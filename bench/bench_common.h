@@ -1,0 +1,108 @@
+// Shared scaffolding for the experiment harnesses: command-line options,
+// synthetic-pair construction, and the paper's evaluation protocol
+// (verified household subset + universe restriction; see DESIGN.md §4).
+
+#ifndef TGLINK_BENCH_BENCH_COMMON_H_
+#define TGLINK_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tglink/eval/metrics.h"
+#include "tglink/linkage/config.h"
+#include "tglink/linkage/iterative.h"
+#include "tglink/synth/generator.h"
+#include "tglink/util/timer.h"
+
+namespace tglink {
+namespace bench {
+
+struct BenchOptions {
+  /// Fraction of the paper's Table 1 dataset sizes. 1.0 = full Rawtenstall
+  /// scale (~50 s per linkage run on one core); the default keeps the
+  /// multi-configuration sweeps interactive.
+  double scale = 0.25;
+  uint64_t seed = 42;
+  /// Which successive pair to evaluate; 2 = 1871->1881, the paper's choice.
+  int pair_index = 2;
+};
+
+inline BenchOptions ParseBenchOptions(int argc, char** argv,
+                                      BenchOptions options = {}) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      options.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--pair=", 7) == 0) {
+      options.pair_index = std::atoi(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("options: --scale=F --seed=N --pair=K\n");
+      std::exit(0);
+    }
+  }
+  return options;
+}
+
+/// A synthetic census pair plus gold resolved in both protocols.
+struct EvalPair {
+  SyntheticPair pair;
+  ResolvedGold full;      // every true link in the region
+  ResolvedGold verified;  // the expert-reference analogue (household level)
+};
+
+inline EvalPair MakeEvalPair(const BenchOptions& options) {
+  GeneratorConfig gen;
+  gen.seed = options.seed;
+  gen.scale = options.scale;
+  gen.num_censuses = options.pair_index + 2;
+  EvalPair ep;
+  ep.pair = GenerateCensusPair(gen, options.pair_index);
+  auto full = ResolveGold(ep.pair.gold, ep.pair.old_dataset,
+                          ep.pair.new_dataset);
+  if (!full.ok()) {
+    std::fprintf(stderr, "gold resolution failed: %s\n",
+                 full.status().ToString().c_str());
+    std::exit(1);
+  }
+  ep.full = std::move(full).value();
+  ep.verified = SelectVerifiedSubset(ep.full, ep.pair.old_dataset,
+                                     ep.pair.new_dataset);
+  return ep;
+}
+
+inline void PrintPairHeader(const EvalPair& ep, const BenchOptions& options) {
+  std::printf(
+      "pair %d->%d at scale %.2f (seed %llu): %zu/%zu records; reference: "
+      "%zu household links, %zu person links\n",
+      ep.pair.old_dataset.year(), ep.pair.new_dataset.year(), options.scale,
+      static_cast<unsigned long long>(options.seed),
+      ep.pair.old_dataset.num_records(), ep.pair.new_dataset.num_records(),
+      ep.verified.group_links.size(), ep.verified.record_links.size());
+}
+
+/// Quality of one linkage result under the paper's protocol.
+struct Quality {
+  PrecisionRecall record;
+  PrecisionRecall group;
+};
+
+inline Quality EvaluatePaperProtocol(const LinkageResult& result,
+                                     const EvalPair& ep) {
+  Quality q;
+  q.record = EvaluateRecordMapping(result.record_mapping, ep.verified,
+                                   /*restrict_to_gold_universe=*/true);
+  const GroupMapping heavy =
+      HeavyGroupLinks(result.group_mapping, result.record_mapping,
+                      ep.pair.old_dataset, ep.pair.new_dataset);
+  q.group = EvaluateGroupMapping(heavy, ep.verified,
+                                 /*restrict_to_gold_universe=*/true);
+  return q;
+}
+
+}  // namespace bench
+}  // namespace tglink
+
+#endif  // TGLINK_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,89 @@
+// Blocking-strategy study (beyond the paper, which compares R_i × R_{i+1}
+// exhaustively): pair completeness (share of true matches kept), reduction
+// ratio (candidates avoided vs the cross product) and runtime for
+//   * multi-pass phonetic blocking (the library default),
+//   * sorted-neighborhood with varying windows,
+//   * their union,
+//   * the exhaustive cross product (reference).
+//
+//   ./blocking_comparison [--scale=0.25] [--seed=42] [--pair=2]
+
+#include <functional>
+#include <set>
+
+#include "bench_common.h"
+#include "tglink/blocking/sorted_neighborhood.h"
+#include "tglink/eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace tglink;
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::EvalPair ep = bench::MakeEvalPair(options);
+  std::printf("== Blocking strategies: completeness vs reduction ==\n");
+  bench::PrintPairHeader(ep, options);
+
+  const double cross = static_cast<double>(ep.pair.old_dataset.num_records()) *
+                       static_cast<double>(ep.pair.new_dataset.num_records());
+
+  struct Strategy {
+    std::string name;
+    std::function<std::vector<CandidatePair>()> generate;
+  };
+  auto snm = [&](size_t window) {
+    SortedNeighborhoodConfig config = SortedNeighborhoodConfig::MakeDefault();
+    config.window = window;
+    return SortedNeighborhoodPairs(ep.pair.old_dataset, ep.pair.new_dataset,
+                                   config);
+  };
+  const std::vector<Strategy> strategies = {
+      {"multi-pass phonetic (default)",
+       [&] {
+         return GenerateCandidatePairs(ep.pair.old_dataset,
+                                       ep.pair.new_dataset,
+                                       BlockingConfig::MakeDefault());
+       }},
+      {"sorted-neighborhood w=4", [&] { return snm(4); }},
+      {"sorted-neighborhood w=8", [&] { return snm(8); }},
+      {"sorted-neighborhood w=16", [&] { return snm(16); }},
+      {"phonetic ∪ SNM w=8",
+       [&] {
+         return UnionCandidatePairs(
+             GenerateCandidatePairs(ep.pair.old_dataset, ep.pair.new_dataset,
+                                    BlockingConfig::MakeDefault()),
+             snm(8));
+       }},
+  };
+
+  TextTable table;
+  table.SetHeader({"strategy", "candidates", "completeness %", "reduction %",
+                   "time s"});
+  for (const Strategy& strategy : strategies) {
+    Timer timer;
+    const std::vector<CandidatePair> candidates = strategy.generate();
+    const double seconds = timer.ElapsedSeconds();
+    std::set<std::pair<RecordId, RecordId>> set;
+    for (const CandidatePair& c : candidates) set.emplace(c.old_id, c.new_id);
+    size_t found = 0;
+    for (const RecordLink& link : ep.full.record_links) {
+      if (set.count(link)) ++found;
+    }
+    const double completeness =
+        ep.full.record_links.empty()
+            ? 0.0
+            : static_cast<double>(found) / ep.full.record_links.size();
+    table.AddRow({strategy.name, std::to_string(candidates.size()),
+                  TextTable::Percent(completeness),
+                  TextTable::Percent(1.0 - candidates.size() / cross),
+                  TextTable::Fixed(seconds, 2)});
+  }
+  table.AddRow({"exhaustive (reference)",
+                std::to_string(static_cast<size_t>(cross)), "100.0", "0.0",
+                "-"});
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf(
+      "\nexpected shape: multi-pass phonetic keeps ~95%% of ALL true matches "
+      "(including movers with changed surnames) at ~98%% reduction; SNM "
+      "completeness grows with the window; the union dominates either "
+      "alone.\n");
+  return 0;
+}

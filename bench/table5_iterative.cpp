@@ -1,0 +1,62 @@
+// Reproduces Table 5: iterative linkage (δ relaxed from 0.7 to 0.5 in steps
+// of 0.05) vs the non-iterative one-shot variant that applies the minimal
+// threshold 0.5 directly.
+//
+//   ./table5_iterative [--scale=0.25] [--seed=42] [--pair=2]
+
+#include "bench_common.h"
+#include "tglink/eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace tglink;
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::EvalPair ep = bench::MakeEvalPair(options);
+  std::printf("== Table 5: iterative vs non-iterative linkage ==\n");
+  bench::PrintPairHeader(ep, options);
+
+  // Two regimes, as in the Table 4 bench: the production defaults include
+  // safety nets (vertex age gate, context residual) that blunt the damage a
+  // one-shot low threshold causes, compressing the iterative advantage; the
+  // second regime disables them — the paper's literal pipeline — where the
+  // value of the iterative schedule shows as in Table 5.
+  for (const bool safety_nets : {true, false}) {
+    TextTable table(safety_nets
+                        ? "-- with vertex gate + context residual (default) --"
+                        : "-- without them (the paper's pipeline) --");
+    table.SetHeader({"method", "grp P%", "grp R%", "grp F%", "rec P%",
+                     "rec R%", "rec F%", "iterations"});
+    for (const bool iterative : {false, true}) {
+      LinkageConfig config = configs::DefaultConfig();
+      if (!iterative) config.delta_high = config.delta_low = 0.5;
+      if (!safety_nets) {
+        config.vertex_age_tolerance = 0;
+        config.context_residual = false;
+      }
+      const LinkageResult result =
+          LinkCensusPair(ep.pair.old_dataset, ep.pair.new_dataset, config);
+      const bench::Quality q = bench::EvaluatePaperProtocol(result, ep);
+      table.AddRow({iterative ? "iterative" : "non-iterative",
+                    TextTable::Percent(q.group.precision()),
+                    TextTable::Percent(q.group.recall()),
+                    TextTable::Percent(q.group.f_measure()),
+                    TextTable::Percent(q.record.precision()),
+                    TextTable::Percent(q.record.recall()),
+                    TextTable::Percent(q.record.f_measure()),
+                    std::to_string(result.iterations.size())});
+    }
+    std::fputs(table.ToString().c_str(), stdout);
+  }
+  std::printf(
+      "\npaper: group 94.5/93.1/93.8 -> 97.3/94.8/96.0; record "
+      "91.8/93.1/92.5 -> 97.5/93.7/95.6 (a 2-3%% iterative win on "
+      "precision).\n"
+      "reproduction finding: in this implementation the two variants tie "
+      "within ~1%%. Two design choices already deliver what the relaxation "
+      "schedule buys in the paper: subgraph vertices additionally require "
+      "their DIRECT pair similarity to reach the current δ (so a one-shot "
+      "low threshold cannot flood subgraphs with transitively-chained "
+      "labels), and Algorithm 2's selection is globally greedy on g_sim, "
+      "which claims the safest matches first regardless of the δ "
+      "schedule.\n");
+  return 0;
+}

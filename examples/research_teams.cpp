@@ -1,0 +1,157 @@
+// Domain transfer (the paper's concluding suggestion): apply temporal group
+// linkage to *research teams* instead of households. Snapshots are taken of
+// a lab's staff every 3 years; teams play the role of households, the PI
+// the role of head, and the evolution patterns read as team continuity,
+// splits (a postdoc starts their own lab) and researchers moving between
+// teams. Everything runs through the exact same public API — only the
+// semantic mapping of the fields changes:
+//
+//   first_name/surname  -> author names
+//   role                -> head = PI, son/daughter = PhD student,
+//                          brother/sister = co-PI, lodger = visiting
+//   age                 -> academic age (years since first publication)
+//   address             -> institute building
+//   occupation          -> research area
+//
+//   ./build/examples/research_teams
+
+#include <cstdio>
+
+#include "tglink/evolution/patterns.h"
+#include "tglink/linkage/config.h"
+#include "tglink/linkage/explain.h"
+#include "tglink/linkage/iterative.h"
+
+namespace {
+
+using namespace tglink;
+
+PersonRecord Author(const char* id, const char* fn, const char* sn, Sex sex,
+                    int academic_age, Role role, const char* institute,
+                    const char* area) {
+  PersonRecord r;
+  r.external_id = id;
+  r.first_name = fn;
+  r.surname = sn;
+  r.sex = sex;
+  r.age = academic_age;
+  r.role = role;
+  r.address = institute;
+  r.occupation = area;
+  return r;
+}
+
+CensusDataset Snapshot2017() {
+  CensusDataset d(2017);
+  // Team A: databases group, PI Lehmann.
+  d.AddHousehold(
+      "teamA_2017",
+      {
+          Author("a1", "anna", "lehmann", Sex::kFemale, 18, Role::kHead,
+                 "building e1", "query optimization"),
+          Author("a2", "boris", "schmidt", Sex::kMale, 12, Role::kBrother,
+                 "building e1", "query optimization"),  // co-PI
+          Author("a3", "carla", "weber", Sex::kFemale, 4, Role::kDaughter,
+                 "building e1", "cardinality estimation"),
+          Author("a4", "david", "koch", Sex::kMale, 3, Role::kSon,
+                 "building e1", "adaptive indexing"),
+          Author("a5", "emil", "fischer", Sex::kMale, 6, Role::kLodger,
+                 "building e1", "stream processing"),  // long-term visitor
+      });
+  // Team B: machine learning group, PI Novak.
+  d.AddHousehold(
+      "teamB_2017",
+      {
+          Author("b1", "petr", "novak", Sex::kMale, 22, Role::kHead,
+                 "building c4", "representation learning"),
+          Author("b2", "greta", "hoffmann", Sex::kFemale, 5, Role::kDaughter,
+                 "building c4", "graph embeddings"),
+          Author("b3", "henry", "braun", Sex::kMale, 2, Role::kSon,
+                 "building c4", "graph embeddings"),
+      });
+  return d;
+}
+
+CensusDataset Snapshot2020() {
+  CensusDataset d(2020);
+  // Team A persists; Carla graduated and founded her own group; a new
+  // student arrived.
+  d.AddHousehold(
+      "teamA_2020",
+      {
+          Author("a1n", "anna", "lehmann", Sex::kFemale, 21, Role::kHead,
+                 "building e1", "query optimization"),
+          Author("a2n", "boris", "schmidt", Sex::kMale, 15, Role::kBrother,
+                 "building e1", "learned optimizers"),
+          Author("a4n", "david", "koch", Sex::kMale, 6, Role::kSon,
+                 "building e1", "adaptive indexing"),
+          Author("a6n", "franz", "maier", Sex::kMale, 1, Role::kSon,
+                 "building e1", "query optimization"),
+      });
+  // Carla's new group, with Emil who moved over from team A.
+  d.AddHousehold(
+      "teamC_2020",
+      {
+          Author("c1n", "carla", "weber", Sex::kFemale, 7, Role::kHead,
+                 "building b2", "cardinality estimation"),
+          Author("c2n", "emil", "fischer", Sex::kMale, 9, Role::kLodger,
+                 "building b2", "stream processing"),
+          Author("c3n", "ida", "vogel", Sex::kFemale, 1, Role::kDaughter,
+                 "building b2", "cardinality estimation"),
+      });
+  // Team B persists (Henry left academia).
+  d.AddHousehold(
+      "teamB_2020",
+      {
+          Author("b1n", "petr", "novak", Sex::kMale, 25, Role::kHead,
+                 "building c4", "representation learning"),
+          Author("b2n", "greta", "hoffmann", Sex::kFemale, 8,
+                 Role::kDaughter, "building c4", "graph embeddings"),
+      });
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  const CensusDataset before = Snapshot2017();
+  const CensusDataset after = Snapshot2020();
+
+  LinkageConfig config = configs::DefaultConfig();
+  config.blocking = BlockingConfig::MakeExhaustive();  // tiny input
+  // Academic ages advance by the snapshot gap like calendar ages, so the
+  // temporal age machinery applies unchanged (gap = 3 years).
+  const LinkageResult result = LinkCensusPair(before, after, config);
+
+  std::printf("linked researchers:\n");
+  for (const RecordLink& link : result.record_mapping.links()) {
+    const PersonRecord& o = before.record(link.first);
+    const PersonRecord& n = after.record(link.second);
+    std::printf("  %-18s (%s) -> %-18s (%s)\n", o.DisplayName().c_str(),
+                before.household(o.group).external_id.c_str(),
+                n.DisplayName().c_str(),
+                after.household(n.group).external_id.c_str());
+  }
+
+  const EvolutionAnalysis analysis = AnalyzeEvolution(
+      before, after, result.record_mapping, result.group_mapping);
+  std::printf("\nteam evolution: %s\n", analysis.counts.ToString().c_str());
+  for (const GroupPatternInstance& instance : analysis.group_patterns) {
+    std::printf("  %s:", GroupPatternName(instance.pattern));
+    for (GroupId g : instance.old_groups) {
+      std::printf(" %s", before.household(g).external_id.c_str());
+    }
+    std::printf(" ->");
+    for (GroupId g : instance.new_groups) {
+      std::printf(" %s", after.household(g).external_id.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Why was Carla linked the way she was?
+  std::printf("\n%s\n",
+              ExplainLink(result, before, after, config, 2)
+                  .ToString(before, after, config)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Baseline: collective record linkage in the style of SiGMa
+// (Lacoste-Julien et al., KDD 2013 — reference [14] of the paper), as the
+// paper describes its reimplementation in Section 5.3:
+//
+//   * candidate record pairs are filtered by a normalized age difference of
+//     at most 3 years;
+//   * seed links are pairs with attribute similarity >= 0.9;
+//   * the algorithm then greedily pops the highest-scoring pair, where the
+//     score combines attribute similarity with a relational similarity (the
+//     fraction of household neighbours already matched to each other), and
+//     accepting a pair raises the relational score of its neighbouring
+//     candidate pairs.
+//
+// Produces a 1:1 record mapping only (no group mapping) — Table 6.
+
+#ifndef TGLINK_BASELINES_COLLECTIVE_H_
+#define TGLINK_BASELINES_COLLECTIVE_H_
+
+#include <vector>
+
+#include "tglink/blocking/blocking.h"
+#include "tglink/census/dataset.h"
+#include "tglink/linkage/mapping.h"
+#include "tglink/similarity/composite.h"
+
+namespace tglink {
+
+struct CollectiveConfig {
+  /// Attribute similarity (the paper uses the same function as iter-sub,
+  /// i.e. Table 2's ω2).
+  SimilarityFunction sim_func;
+
+  /// Seed pairs require attribute similarity >= this value.
+  double seed_threshold = 0.9;
+
+  /// Pairs below this attribute similarity are never considered.
+  double min_similarity = 0.5;
+
+  /// Maximum |(age_old + year_gap) - age_new| for a candidate pair.
+  int max_age_difference = 3;
+
+  /// Combined score = (1 - relational_weight) * attr + relational_weight *
+  /// relational. SiGMa's suggested weighting is moderate.
+  double relational_weight = 0.4;
+
+  /// Accept a non-seed pair only if its combined score reaches this value.
+  double accept_threshold = 0.7;
+
+  BlockingConfig blocking = BlockingConfig::MakeDefault();
+};
+
+/// Runs the collective matcher and returns the 1:1 record mapping.
+RecordMapping CollectiveLink(const CensusDataset& old_dataset,
+                             const CensusDataset& new_dataset,
+                             const CollectiveConfig& config);
+
+}  // namespace tglink
+
+#endif  // TGLINK_BASELINES_COLLECTIVE_H_

@@ -1,0 +1,110 @@
+#include "tglink/baselines/graphsim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "tglink/graph/enrichment.h"
+#include "tglink/linkage/residual.h"
+#include "tglink/similarity/numeric.h"
+
+namespace tglink {
+
+GraphSimResult GraphSimLink(const CensusDataset& old_dataset,
+                            const CensusDataset& new_dataset,
+                            const GraphSimConfig& config) {
+  GraphSimResult result;
+  result.record_mapping =
+      RecordMapping(old_dataset.num_records(), new_dataset.num_records());
+
+  SimilarityFunction sim_func = config.sim_func;
+  sim_func.set_year_gap(new_dataset.year() - old_dataset.year());
+  sim_func.set_threshold(config.record_threshold);
+
+  // Step 1: highly selective one-shot 1:1 record mapping.
+  std::vector<bool> active_old(old_dataset.num_records(), true);
+  std::vector<bool> active_new(new_dataset.num_records(), true);
+  std::unordered_map<uint64_t, double> link_sim;
+  for (const ScoredPair& link :
+       GreedyOneToOneMatch(old_dataset, new_dataset, sim_func,
+                           config.blocking, active_old, active_new)) {
+    const Status st = result.record_mapping.Add(link.old_id, link.new_id);
+    assert(st.ok());
+    (void)st;
+    link_sim.emplace(
+        (static_cast<uint64_t>(link.old_id) << 32) | link.new_id, link.sim);
+  }
+
+  // Step 2: household pair scoring over the fixed record mapping.
+  const std::vector<HouseholdGraph> old_graphs =
+      EnrichAllHouseholds(old_dataset);
+  const std::vector<HouseholdGraph> new_graphs =
+      EnrichAllHouseholds(new_dataset);
+
+  // Collect the record links feeding each candidate household pair.
+  std::unordered_map<uint64_t, std::vector<RecordLink>> pair_links;
+  for (const RecordLink& link : result.record_mapping.links()) {
+    const GroupId go = old_dataset.record(link.first).group;
+    const GroupId gn = new_dataset.record(link.second).group;
+    pair_links[(static_cast<uint64_t>(go) << 32) | gn].push_back(link);
+  }
+
+  std::vector<uint64_t> keys;
+  keys.reserve(pair_links.size());
+  for (const auto& [key, links] : pair_links) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  for (uint64_t key : keys) {
+    const GroupId go = static_cast<GroupId>(key >> 32);
+    const GroupId gn = static_cast<GroupId>(key & 0xFFFFFFFFu);
+    const std::vector<RecordLink>& links = pair_links[key];
+
+    double sim_sum = 0.0;
+    for (const RecordLink& link : links) {
+      sim_sum +=
+          link_sim.at((static_cast<uint64_t>(link.first) << 32) | link.second);
+    }
+    const double avg_sim = sim_sum / static_cast<double>(links.size());
+
+    // Edge similarity over the linked member pairs, Dice-normalized by the
+    // households' total (enriched) relationship counts, as in Eq. 6.
+    const HouseholdGraph& old_graph = old_graphs[go];
+    const HouseholdGraph& new_graph = new_graphs[gn];
+    double rp_sum = 0.0;
+    for (size_t i = 0; i < links.size(); ++i) {
+      for (size_t j = i + 1; j < links.size(); ++j) {
+        const RelEdge* old_edge =
+            old_graph.EdgeBetween(links[i].first, links[j].first);
+        const RelEdge* new_edge =
+            new_graph.EdgeBetween(links[i].second, links[j].second);
+        if (old_edge == nullptr || new_edge == nullptr) continue;
+        if (old_edge->type != new_edge->type) continue;
+        if (old_edge->age_diff_known && new_edge->age_diff_known) {
+          const int d_old = old_graph.OrientedAgeDiff(*old_edge, links[i].first,
+                                                      links[j].first);
+          const int d_new = new_graph.OrientedAgeDiff(
+              *new_edge, links[i].second, links[j].second);
+          const double rp =
+              AgeDiffSimilarity(d_old, d_new, config.edge_age_tolerance);
+          if (rp > 0.0) rp_sum += rp;
+        } else {
+          rp_sum += 0.5;
+        }
+      }
+    }
+    const size_t total_edges = old_graph.num_edges() + new_graph.num_edges();
+    const double e_sim =
+        total_edges == 0 ? 0.0
+                         : 2.0 * rp_sum / static_cast<double>(total_edges);
+
+    const double combined = config.record_weight * avg_sim +
+                            (1.0 - config.record_weight) * e_sim;
+    if (combined >= config.group_threshold) {
+      result.group_mapping.Add(go, gn);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace tglink

@@ -1,0 +1,57 @@
+// Baseline: household linkage after Fu, Christen and Zhou, "A graph
+// matching method for historical census household linkage" (PAKDD 2014 —
+// reference [8] of the paper), as characterized in Section 5.3:
+//
+//   * a highly selective, non-iterative 1:1 record mapping is produced
+//     first, purely from attribute similarity;
+//   * per household pair connected by at least one of these links, an
+//     average record similarity and an edge similarity over the household
+//     graphs are computed;
+//   * household pairs whose combined similarity reaches a threshold are
+//     linked (no iteration, no record-link revision).
+//
+// Its recall ceiling is the point of Table 7: record pairs eliminated by
+// the initial 1:1 filter can never contribute group links.
+
+#ifndef TGLINK_BASELINES_GRAPHSIM_H_
+#define TGLINK_BASELINES_GRAPHSIM_H_
+
+#include "tglink/blocking/blocking.h"
+#include "tglink/census/dataset.h"
+#include "tglink/linkage/mapping.h"
+#include "tglink/similarity/composite.h"
+
+namespace tglink {
+
+struct GraphSimConfig {
+  /// Attribute similarity for the initial record mapping.
+  SimilarityFunction sim_func;
+
+  /// Threshold of the initial highly selective 1:1 matching.
+  double record_threshold = 0.8;
+
+  /// Weight of the average record similarity vs the edge similarity in the
+  /// combined household score.
+  double record_weight = 0.5;
+
+  /// Household pairs at or above this combined score are linked.
+  double group_threshold = 0.3;
+
+  /// Age-difference agreement tolerance for edge similarity, in years.
+  int edge_age_tolerance = 2;
+
+  BlockingConfig blocking = BlockingConfig::MakeDefault();
+};
+
+struct GraphSimResult {
+  RecordMapping record_mapping;
+  GroupMapping group_mapping;
+};
+
+GraphSimResult GraphSimLink(const CensusDataset& old_dataset,
+                            const CensusDataset& new_dataset,
+                            const GraphSimConfig& config);
+
+}  // namespace tglink
+
+#endif  // TGLINK_BASELINES_GRAPHSIM_H_

@@ -1,0 +1,89 @@
+#include "tglink/baselines/temporal_decay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tglink/linkage/prematching.h"
+
+namespace tglink {
+
+namespace {
+const AttributeDecay& DecayFor(const TemporalDecayConfig& config,
+                               Field field) {
+  for (const AttributeDecay& decay : config.decays) {
+    if (decay.field == field) return decay;
+  }
+  return config.default_decay;
+}
+}  // namespace
+
+double DecayedSimilarity(const PersonRecord& old_record,
+                         const PersonRecord& new_record, int year_gap,
+                         const TemporalDecayConfig& config) {
+  const std::vector<AttributeSpec>& specs = config.sim_func.specs();
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (const AttributeSpec& spec : specs) {
+    if (IsFieldMissing(old_record, spec.field) ||
+        IsFieldMissing(new_record, spec.field)) {
+      continue;  // redistribute over observed attributes
+    }
+    const double raw =
+        spec.field == Field::kAge
+            ? 0.5  // handled by the hard age filter, not the similarity
+            : ComputeMeasure(spec.measure,
+                             GetFieldValue(old_record, spec.field),
+                             GetFieldValue(new_record, spec.field));
+    const AttributeDecay& decay = DecayFor(config, spec.field);
+    // Agreement evidence (raw above 0.5) decays with agreement_decay;
+    // disagreement evidence (raw below 0.5) decays with disagreement_decay.
+    // Both interpolate the similarity toward the agnostic midpoint.
+    const double rate = raw >= 0.5 ? decay.agreement_decay
+                                   : decay.disagreement_decay;
+    const double keep = std::exp(-rate * static_cast<double>(year_gap));
+    const double decayed = 0.5 + (raw - 0.5) * keep;
+    weighted_sum += spec.weight * decayed;
+    weight_total += spec.weight;
+  }
+  if (weight_total <= 0.0) return 0.0;
+  return weighted_sum / weight_total;
+}
+
+RecordMapping TemporalDecayLink(const CensusDataset& old_dataset,
+                                const CensusDataset& new_dataset,
+                                const TemporalDecayConfig& config) {
+  const int year_gap = new_dataset.year() - old_dataset.year();
+  std::vector<ScoredPair> scored;
+  for (const CandidatePair& cand :
+       GenerateCandidatePairs(old_dataset, new_dataset, config.blocking)) {
+    const PersonRecord& old_record = old_dataset.record(cand.old_id);
+    const PersonRecord& new_record = new_dataset.record(cand.new_id);
+    if (old_record.has_age() && new_record.has_age() &&
+        std::abs(old_record.age + year_gap - new_record.age) >
+            config.max_age_difference) {
+      continue;
+    }
+    const double sim =
+        DecayedSimilarity(old_record, new_record, year_gap, config);
+    if (sim >= config.threshold) scored.push_back({cand.old_id, cand.new_id, sim});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              if (a.sim != b.sim) return a.sim > b.sim;
+              if (a.old_id != b.old_id) return a.old_id < b.old_id;
+              return a.new_id < b.new_id;
+            });
+  RecordMapping mapping(old_dataset.num_records(), new_dataset.num_records());
+  for (const ScoredPair& pair : scored) {
+    if (mapping.IsOldLinked(pair.old_id) || mapping.IsNewLinked(pair.new_id)) {
+      continue;
+    }
+    const Status st = mapping.Add(pair.old_id, pair.new_id);
+    assert(st.ok());
+    (void)st;
+  }
+  return mapping;
+}
+
+}  // namespace tglink

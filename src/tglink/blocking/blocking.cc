@@ -1,0 +1,86 @@
+#include "tglink/blocking/blocking.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace tglink {
+
+BlockingConfig BlockingConfig::MakeDefault() {
+  BlockingConfig config;
+  config.mode = Mode::kMultiPass;
+  config.passes = {SoundexSurnameFirstInitial(),
+                   SoundexFirstNameSurnameInitial(), SoundexFirstNameSex()};
+  return config;
+}
+
+BlockingConfig BlockingConfig::MakeExhaustive() {
+  BlockingConfig config;
+  config.mode = Mode::kExhaustive;
+  return config;
+}
+
+namespace {
+
+struct Block {
+  std::vector<RecordId> old_ids;
+  std::vector<RecordId> new_ids;
+};
+
+void RunPass(const CensusDataset& old_dataset, const CensusDataset& new_dataset,
+             const BlockKeyFn& key_fn, size_t max_block_size,
+             std::vector<uint64_t>* pair_keys) {
+  std::unordered_map<std::string, Block> blocks;
+  for (RecordId r = 0; r < old_dataset.num_records(); ++r) {
+    std::string key = key_fn(old_dataset.record(r));
+    if (!key.empty()) blocks[std::move(key)].old_ids.push_back(r);
+  }
+  for (RecordId r = 0; r < new_dataset.num_records(); ++r) {
+    std::string key = key_fn(new_dataset.record(r));
+    if (!key.empty()) blocks[std::move(key)].new_ids.push_back(r);
+  }
+  for (const auto& [key, block] : blocks) {
+    if (max_block_size > 0 &&
+        block.old_ids.size() + block.new_ids.size() > max_block_size) {
+      continue;
+    }
+    for (RecordId o : block.old_ids) {
+      for (RecordId n : block.new_ids) {
+        pair_keys->push_back((static_cast<uint64_t>(o) << 32) | n);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CandidatePair> GenerateCandidatePairs(
+    const CensusDataset& old_dataset, const CensusDataset& new_dataset,
+    const BlockingConfig& config) {
+  std::vector<uint64_t> pair_keys;
+  if (config.mode == BlockingConfig::Mode::kExhaustive) {
+    pair_keys.reserve(old_dataset.num_records() * new_dataset.num_records());
+    for (RecordId o = 0; o < old_dataset.num_records(); ++o) {
+      for (RecordId n = 0; n < new_dataset.num_records(); ++n) {
+        pair_keys.push_back((static_cast<uint64_t>(o) << 32) | n);
+      }
+    }
+  } else {
+    for (const BlockKeyFn& pass : config.passes) {
+      RunPass(old_dataset, new_dataset, pass, config.max_block_size,
+              &pair_keys);
+    }
+    std::sort(pair_keys.begin(), pair_keys.end());
+    pair_keys.erase(std::unique(pair_keys.begin(), pair_keys.end()),
+                    pair_keys.end());
+  }
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(pair_keys.size());
+  for (uint64_t key : pair_keys) {
+    pairs.push_back({static_cast<RecordId>(key >> 32),
+                     static_cast<RecordId>(key & 0xFFFFFFFFu)});
+  }
+  return pairs;
+}
+
+}  // namespace tglink

@@ -1,0 +1,85 @@
+#include "tglink/census/dataset.h"
+
+#include <unordered_set>
+
+namespace tglink {
+
+GroupId CensusDataset::AddHousehold(std::string external_id,
+                                    std::vector<PersonRecord> members) {
+  const GroupId gid = static_cast<GroupId>(households_.size());
+  Household household;
+  household.external_id = std::move(external_id);
+  household.members.reserve(members.size());
+  for (PersonRecord& member : members) {
+    const RecordId rid = static_cast<RecordId>(records_.size());
+    member.group = gid;
+    household.members.push_back(rid);
+    records_.push_back(std::move(member));
+  }
+  households_.push_back(std::move(household));
+  return gid;
+}
+
+Status CensusDataset::Validate() const {
+  std::vector<bool> seen(records_.size(), false);
+  for (size_t g = 0; g < households_.size(); ++g) {
+    for (RecordId rid : households_[g].members) {
+      if (rid >= records_.size()) {
+        return Status::Internal("household " + households_[g].external_id +
+                                " references out-of-range record");
+      }
+      if (seen[rid]) {
+        return Status::Internal("record " + records_[rid].external_id +
+                                " appears in multiple households");
+      }
+      seen[rid] = true;
+      if (records_[rid].group != static_cast<GroupId>(g)) {
+        return Status::Internal("record " + records_[rid].external_id +
+                                " has inconsistent group id");
+      }
+    }
+  }
+  for (size_t r = 0; r < records_.size(); ++r) {
+    if (!seen[r]) {
+      return Status::Internal("record " + records_[r].external_id +
+                              " belongs to no household");
+    }
+  }
+  std::unordered_set<std::string> ids;
+  for (const PersonRecord& rec : records_) {
+    if (!ids.insert(rec.external_id).second) {
+      return Status::Internal("duplicate record external id: " +
+                              rec.external_id);
+    }
+  }
+  return Status::OK();
+}
+
+DatasetStats CensusDataset::Stats() const {
+  DatasetStats stats;
+  stats.year = year_;
+  stats.num_records = records_.size();
+  stats.num_households = households_.size();
+  std::unordered_set<std::string> names;
+  size_t missing = 0;
+  constexpr Field kCounted[] = {Field::kFirstName, Field::kSurname,
+                                Field::kSex, Field::kAddress,
+                                Field::kOccupation};
+  for (const PersonRecord& rec : records_) {
+    names.insert(rec.first_name + "|" + rec.surname);
+    for (Field f : kCounted) {
+      if (IsFieldMissing(rec, f)) ++missing;
+    }
+  }
+  stats.unique_name_combinations = names.size();
+  const size_t cells = records_.size() * std::size(kCounted);
+  stats.missing_value_ratio =
+      cells == 0 ? 0.0 : static_cast<double>(missing) / cells;
+  stats.avg_household_size =
+      households_.empty()
+          ? 0.0
+          : static_cast<double>(records_.size()) / households_.size();
+  return stats;
+}
+
+}  // namespace tglink

@@ -1,0 +1,68 @@
+// CensusDataset: one census snapshot D_i = (R_i, G_i) — all person records
+// plus the partition of records into households.
+
+#ifndef TGLINK_CENSUS_DATASET_H_
+#define TGLINK_CENSUS_DATASET_H_
+
+#include <string>
+#include <cstddef>
+#include <vector>
+
+#include "tglink/census/household.h"
+#include "tglink/census/record.h"
+#include "tglink/util/status.h"
+
+namespace tglink {
+
+/// Summary statistics in the shape of the paper's Table 1.
+struct DatasetStats {
+  int year = 0;
+  size_t num_records = 0;
+  size_t num_households = 0;
+  size_t unique_name_combinations = 0;  // distinct (first name, surname)
+  double missing_value_ratio = 0.0;     // over the five string/sex attributes
+  double avg_household_size = 0.0;
+};
+
+class CensusDataset {
+ public:
+  CensusDataset() = default;
+  explicit CensusDataset(int year) : year_(year) {}
+
+  int year() const { return year_; }
+  void set_year(int year) { year_ = year; }
+
+  const std::vector<PersonRecord>& records() const { return records_; }
+  const std::vector<Household>& households() const { return households_; }
+
+  const PersonRecord& record(RecordId id) const { return records_[id]; }
+  const Household& household(GroupId id) const { return households_[id]; }
+
+  size_t num_records() const { return records_.size(); }
+  size_t num_households() const { return households_.size(); }
+
+  /// Appends a household with the given member records; assigns dense ids
+  /// and sets each member's `group` field. Returns the new household's id.
+  GroupId AddHousehold(std::string external_id,
+                       std::vector<PersonRecord> members);
+
+  /// Mutable record access for in-place normalization / corruption.
+  PersonRecord* mutable_record(RecordId id) { return &records_[id]; }
+
+  /// Checks structural invariants: every record belongs to exactly one
+  /// household, membership lists are consistent with records' group fields,
+  /// external ids are unique.
+  Status Validate() const;
+
+  /// Computes Table-1-style statistics.
+  DatasetStats Stats() const;
+
+ private:
+  int year_ = 0;
+  std::vector<PersonRecord> records_;
+  std::vector<Household> households_;
+};
+
+}  // namespace tglink
+
+#endif  // TGLINK_CENSUS_DATASET_H_

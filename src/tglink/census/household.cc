@@ -1,0 +1,3 @@
+#include "tglink/census/household.h"
+
+// Household is a plain aggregate; implementation intentionally empty.

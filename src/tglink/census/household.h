@@ -1,0 +1,23 @@
+// Household: a non-overlapping group of person records from one snapshot.
+
+#ifndef TGLINK_CENSUS_HOUSEHOLD_H_
+#define TGLINK_CENSUS_HOUSEHOLD_H_
+
+#include <string>
+#include <cstddef>
+#include <vector>
+
+#include "tglink/census/record.h"
+
+namespace tglink {
+
+struct Household {
+  std::string external_id;
+  std::vector<RecordId> members;  // indices into CensusDataset::records
+
+  size_t size() const { return members.size(); }
+};
+
+}  // namespace tglink
+
+#endif  // TGLINK_CENSUS_HOUSEHOLD_H_

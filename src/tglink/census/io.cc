@@ -1,0 +1,94 @@
+#include "tglink/census/io.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "tglink/util/csv.h"
+#include "tglink/util/strings.h"
+
+namespace tglink {
+
+namespace {
+const char* const kHeader[] = {"record_id",  "household_id", "first_name",
+                               "surname",    "sex",          "age",
+                               "role",       "address",      "occupation"};
+constexpr size_t kNumColumns = std::size(kHeader);
+}  // namespace
+
+std::string DatasetToCsv(const CensusDataset& dataset) {
+  std::string out;
+  CsvRow header(kHeader, kHeader + kNumColumns);
+  out += FormatCsvRow(header);
+  for (const Household& hh : dataset.households()) {
+    for (RecordId rid : hh.members) {
+      const PersonRecord& rec = dataset.record(rid);
+      CsvRow row = {
+          rec.external_id,
+          hh.external_id,
+          rec.first_name,
+          rec.surname,
+          SexName(rec.sex),
+          rec.has_age() ? std::to_string(rec.age) : "",
+          RoleName(rec.role),
+          rec.address,
+          rec.occupation,
+      };
+      out += FormatCsvRow(row);
+    }
+  }
+  return out;
+}
+
+Result<CensusDataset> DatasetFromCsv(const std::string& text, int year) {
+  auto parsed = ParseCsv(text);
+  if (!parsed.ok()) return parsed.status();
+  const std::vector<CsvRow>& rows = parsed.value();
+  if (rows.empty()) return Status::ParseError("empty census CSV");
+  if (rows[0].size() != kNumColumns || rows[0][0] != "record_id") {
+    return Status::ParseError("unexpected census CSV header");
+  }
+
+  // Group rows by household id, preserving first-appearance order.
+  std::vector<std::string> household_order;
+  std::unordered_map<std::string, std::vector<PersonRecord>> by_household;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const CsvRow& row = rows[i];
+    if (row.size() != kNumColumns) {
+      return Status::ParseError("row " + std::to_string(i) + " has " +
+                                std::to_string(row.size()) + " columns");
+    }
+    PersonRecord rec;
+    rec.external_id = row[0];
+    rec.first_name = NormalizeValue(row[2]);
+    rec.surname = NormalizeValue(row[3]);
+    rec.sex = ParseSex(row[4]);
+    rec.age = IsMissing(row[5]) ? -1 : ParseNonNegativeInt(row[5]);
+    rec.role = ParseRole(row[6]);
+    rec.address = IsMissing(row[7]) ? "" : NormalizeValue(row[7]);
+    rec.occupation = IsMissing(row[8]) ? "" : NormalizeValue(row[8]);
+    const std::string& hh_id = row[1];
+    if (by_household.find(hh_id) == by_household.end()) {
+      household_order.push_back(hh_id);
+    }
+    by_household[hh_id].push_back(std::move(rec));
+  }
+
+  CensusDataset dataset(year);
+  for (const std::string& hh_id : household_order) {
+    dataset.AddHousehold(hh_id, std::move(by_household[hh_id]));
+  }
+  TGLINK_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+Status SaveDataset(const CensusDataset& dataset, const std::string& path) {
+  return WriteStringToFile(path, DatasetToCsv(dataset));
+}
+
+Result<CensusDataset> LoadDataset(const std::string& path, int year) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return DatasetFromCsv(text.value(), year);
+}
+
+}  // namespace tglink

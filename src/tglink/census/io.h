@@ -1,0 +1,32 @@
+// CSV persistence for census snapshots.
+//
+// Column layout (with header row):
+//   record_id,household_id,first_name,surname,sex,age,role,address,occupation
+// Rows belonging to one household must be contiguous is NOT required —
+// households are reassembled by household_id in order of first appearance.
+
+#ifndef TGLINK_CENSUS_IO_H_
+#define TGLINK_CENSUS_IO_H_
+
+#include <string>
+
+#include "tglink/census/dataset.h"
+#include "tglink/util/status.h"
+
+namespace tglink {
+
+/// Serializes a dataset to CSV text (including the header row).
+std::string DatasetToCsv(const CensusDataset& dataset);
+
+/// Parses CSV text (produced by DatasetToCsv or hand-written with the same
+/// header) into a dataset with the given census year. String attributes are
+/// normalized via NormalizeValue; placeholder values become missing.
+Result<CensusDataset> DatasetFromCsv(const std::string& text, int year);
+
+/// File convenience wrappers.
+Status SaveDataset(const CensusDataset& dataset, const std::string& path);
+Result<CensusDataset> LoadDataset(const std::string& path, int year);
+
+}  // namespace tglink
+
+#endif  // TGLINK_CENSUS_IO_H_

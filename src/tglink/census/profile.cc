@@ -1,0 +1,148 @@
+#include "tglink/census/profile.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace tglink {
+
+const char* WarningKindName(ConsistencyWarning::Kind kind) {
+  switch (kind) {
+    case ConsistencyWarning::Kind::kNoHead:
+      return "no-head";
+    case ConsistencyWarning::Kind::kMultipleHeads:
+      return "multiple-heads";
+    case ConsistencyWarning::Kind::kMaleWife:
+      return "male-wife";
+    case ConsistencyWarning::Kind::kImplausibleParent:
+      return "implausible-parent-age";
+    case ConsistencyWarning::Kind::kSpouseAgeGap:
+      return "spouse-age-gap";
+    case ConsistencyWarning::Kind::kImplausibleAge:
+      return "implausible-age";
+  }
+  return "?";
+}
+
+DatasetProfile ProfileDataset(const CensusDataset& dataset,
+                              size_t max_warnings) {
+  DatasetProfile profile;
+  profile.stats = dataset.Stats();
+
+  constexpr Field kFields[] = {Field::kFirstName, Field::kSurname,
+                               Field::kSex,       Field::kAddress,
+                               Field::kOccupation, Field::kAge};
+  for (Field field : kFields) {
+    AttributeProfile ap;
+    ap.field = field;
+    std::unordered_set<std::string> distinct;
+    for (const PersonRecord& record : dataset.records()) {
+      if (IsFieldMissing(record, field)) {
+        ++ap.missing;
+      } else {
+        ++ap.present;
+        distinct.insert(GetFieldValue(record, field));
+      }
+    }
+    ap.distinct = distinct.size();
+    profile.attributes.push_back(ap);
+  }
+
+  for (const PersonRecord& record : dataset.records()) {
+    if (record.has_age()) {
+      const size_t bucket =
+          std::min<size_t>(9, static_cast<size_t>(record.age) / 10);
+      ++profile.age_histogram[bucket];
+    }
+  }
+
+  auto warn = [&profile, max_warnings](ConsistencyWarning::Kind kind,
+                                       const std::string& household,
+                                       std::string detail) {
+    if (max_warnings != 0 && profile.warnings.size() >= max_warnings) return;
+    profile.warnings.push_back({kind, household, std::move(detail)});
+  };
+
+  for (const Household& household : dataset.households()) {
+    const size_t bucket = std::min<size_t>(15, household.members.size());
+    ++profile.household_size_histogram[bucket];
+
+    const PersonRecord* head = nullptr;
+    size_t head_count = 0;
+    for (RecordId rid : household.members) {
+      const PersonRecord& record = dataset.record(rid);
+      if (record.role == Role::kHead) {
+        ++head_count;
+        head = &record;
+      }
+      if (record.has_age() && record.age > 105) {
+        warn(ConsistencyWarning::Kind::kImplausibleAge, household.external_id,
+             record.external_id + " has age " + std::to_string(record.age));
+      }
+      if (record.role == Role::kWife && record.sex == Sex::kMale) {
+        warn(ConsistencyWarning::Kind::kMaleWife, household.external_id,
+             record.external_id + " is a male wife");
+      }
+    }
+    if (head_count == 0) {
+      warn(ConsistencyWarning::Kind::kNoHead, household.external_id,
+           "household has no head record");
+    } else if (head_count > 1) {
+      warn(ConsistencyWarning::Kind::kMultipleHeads, household.external_id,
+           std::to_string(head_count) + " head records");
+    }
+    if (head != nullptr && head->has_age()) {
+      for (RecordId rid : household.members) {
+        const PersonRecord& record = dataset.record(rid);
+        if (!record.has_age()) continue;
+        if (record.role == Role::kWife &&
+            std::abs(record.age - head->age) > 30) {
+          warn(ConsistencyWarning::Kind::kSpouseAgeGap, household.external_id,
+               "head/wife age gap " +
+                   std::to_string(std::abs(record.age - head->age)));
+        }
+        if ((record.role == Role::kSon || record.role == Role::kDaughter)) {
+          const int gap = head->age - record.age;
+          if (gap < 13 || gap > 60) {
+            warn(ConsistencyWarning::Kind::kImplausibleParent,
+                 household.external_id,
+                 record.external_id + " is " + std::to_string(gap) +
+                     " years younger than the head");
+          }
+        }
+      }
+    }
+  }
+  return profile;
+}
+
+std::string DatasetProfile::ToString() const {
+  std::ostringstream os;
+  os << "census " << stats.year << ": " << stats.num_records << " records, "
+     << stats.num_households << " households, "
+     << stats.unique_name_combinations << " unique names, "
+     << 100.0 * stats.missing_value_ratio << "% missing\n";
+  os << "attributes:\n";
+  for (const AttributeProfile& ap : attributes) {
+    os << "  " << FieldName(ap.field) << ": fill "
+       << 100.0 * ap.fill_rate() << "%, " << ap.distinct << " distinct\n";
+  }
+  os << "household sizes:";
+  for (size_t s = 1; s < household_size_histogram.size(); ++s) {
+    if (household_size_histogram[s] == 0) continue;
+    os << " " << s << (s == 15 ? "+" : "") << ":"
+       << household_size_histogram[s];
+  }
+  os << "\nage decades:";
+  for (size_t d = 0; d < age_histogram.size(); ++d) {
+    os << " " << 10 * d << "s:" << age_histogram[d];
+  }
+  os << "\nwarnings: " << warnings.size();
+  for (const ConsistencyWarning& warning : warnings) {
+    os << "\n  [" << WarningKindName(warning.kind) << "] "
+       << warning.household << ": " << warning.detail;
+  }
+  return os.str();
+}
+
+}  // namespace tglink

@@ -1,0 +1,66 @@
+// Data-quality profiling and consistency checking for census snapshots —
+// the pre-flight a practitioner runs before linking real transcribed data:
+// per-attribute fill rates, age and household-size distributions, and
+// structural role-consistency warnings (no head, several heads, a wife
+// recorded as male, implausible parent-child age gaps, ...).
+
+#ifndef TGLINK_CENSUS_PROFILE_H_
+#define TGLINK_CENSUS_PROFILE_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tglink/census/dataset.h"
+
+namespace tglink {
+
+struct AttributeProfile {
+  Field field = Field::kFirstName;
+  size_t present = 0;
+  size_t missing = 0;
+  size_t distinct = 0;  // distinct non-missing values
+
+  double fill_rate() const {
+    const size_t total = present + missing;
+    return total == 0 ? 0.0 : static_cast<double>(present) / total;
+  }
+};
+
+struct ConsistencyWarning {
+  enum class Kind : uint8_t {
+    kNoHead,             // household without a head record
+    kMultipleHeads,      // more than one head
+    kMaleWife,           // role wife with sex male
+    kImplausibleParent,  // parent-child age gap < 13 or > 60 years
+    kSpouseAgeGap,       // |head - wife| age gap > 30 years
+    kImplausibleAge,     // age > 105
+  };
+  Kind kind;
+  std::string household;  // external id
+  std::string detail;
+};
+
+const char* WarningKindName(ConsistencyWarning::Kind kind);
+
+struct DatasetProfile {
+  DatasetStats stats;
+  std::vector<AttributeProfile> attributes;  // one per Field
+  /// Histogram of household sizes; index = size (0 unused), capped at 15+.
+  std::array<size_t, 16> household_size_histogram = {};
+  /// Decade age histogram: [0-9], [10-19], ..., [90+].
+  std::array<size_t, 10> age_histogram = {};
+  std::vector<ConsistencyWarning> warnings;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Profiles a snapshot; `max_warnings` caps the warning list (0 = all).
+DatasetProfile ProfileDataset(const CensusDataset& dataset,
+                              size_t max_warnings = 100);
+
+}  // namespace tglink
+
+#endif  // TGLINK_CENSUS_PROFILE_H_

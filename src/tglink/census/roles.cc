@@ -1,0 +1,125 @@
+#include "tglink/census/roles.h"
+
+#include "tglink/util/strings.h"
+
+namespace tglink {
+
+const char* SexName(Sex sex) {
+  switch (sex) {
+    case Sex::kMale:
+      return "m";
+    case Sex::kFemale:
+      return "f";
+    case Sex::kUnknown:
+      return "";
+  }
+  return "";
+}
+
+Sex ParseSex(std::string_view s) {
+  const std::string v = ToLower(std::string(Trim(s)));
+  if (v == "m" || v == "male") return Sex::kMale;
+  if (v == "f" || v == "female") return Sex::kFemale;
+  return Sex::kUnknown;
+}
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kHead:
+      return "head";
+    case Role::kWife:
+      return "wife";
+    case Role::kSon:
+      return "son";
+    case Role::kDaughter:
+      return "daughter";
+    case Role::kFather:
+      return "father";
+    case Role::kMother:
+      return "mother";
+    case Role::kBrother:
+      return "brother";
+    case Role::kSister:
+      return "sister";
+    case Role::kGrandson:
+      return "grandson";
+    case Role::kGranddaughter:
+      return "granddaughter";
+    case Role::kNephew:
+      return "nephew";
+    case Role::kNiece:
+      return "niece";
+    case Role::kServant:
+      return "servant";
+    case Role::kLodger:
+      return "lodger";
+    case Role::kBoarder:
+      return "boarder";
+    case Role::kVisitor:
+      return "visitor";
+    case Role::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+Role ParseRole(std::string_view s) {
+  const std::string v = ToLower(std::string(Trim(s)));
+  if (v == "head") return Role::kHead;
+  if (v == "wife") return Role::kWife;
+  if (v == "son") return Role::kSon;
+  if (v == "daughter") return Role::kDaughter;
+  if (v == "father") return Role::kFather;
+  if (v == "mother") return Role::kMother;
+  if (v == "brother") return Role::kBrother;
+  if (v == "sister") return Role::kSister;
+  if (v == "grandson") return Role::kGrandson;
+  if (v == "granddaughter") return Role::kGranddaughter;
+  if (v == "nephew") return Role::kNephew;
+  if (v == "niece") return Role::kNiece;
+  if (v == "servant") return Role::kServant;
+  if (v == "lodger") return Role::kLodger;
+  if (v == "boarder") return Role::kBoarder;
+  if (v == "visitor") return Role::kVisitor;
+  return Role::kUnknown;
+}
+
+bool IsFamilyRole(Role role) {
+  switch (role) {
+    case Role::kHead:
+    case Role::kWife:
+    case Role::kSon:
+    case Role::kDaughter:
+    case Role::kFather:
+    case Role::kMother:
+    case Role::kBrother:
+    case Role::kSister:
+    case Role::kGrandson:
+    case Role::kGranddaughter:
+    case Role::kNephew:
+    case Role::kNiece:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int GenerationOffset(Role role) {
+  switch (role) {
+    case Role::kFather:
+    case Role::kMother:
+      return -1;
+    case Role::kSon:
+    case Role::kDaughter:
+    case Role::kNephew:
+    case Role::kNiece:
+      return 1;
+    case Role::kGrandson:
+    case Role::kGranddaughter:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace tglink

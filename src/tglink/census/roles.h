@@ -1,0 +1,55 @@
+// Vocabulary for person sex and household roles. Roles in historical census
+// data are recorded relative to the head of household ("daughter" means
+// daughter *of the head*), which is why group enrichment (graph/enrichment.h)
+// later replaces them with head-independent relationship types.
+
+#ifndef TGLINK_CENSUS_ROLES_H_
+#define TGLINK_CENSUS_ROLES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tglink {
+
+enum class Sex : uint8_t { kUnknown = 0, kMale, kFemale };
+
+/// Household role relative to the head of household.
+enum class Role : uint8_t {
+  kUnknown = 0,
+  kHead,
+  kWife,
+  kSon,
+  kDaughter,
+  kFather,
+  kMother,
+  kBrother,
+  kSister,
+  kGrandson,
+  kGranddaughter,
+  kNephew,
+  kNiece,
+  kServant,
+  kLodger,
+  kBoarder,
+  kVisitor,
+};
+
+const char* SexName(Sex sex);
+Sex ParseSex(std::string_view s);
+
+const char* RoleName(Role role);
+Role ParseRole(std::string_view s);
+
+/// True for roles in the head's nuclear/extended family; false for
+/// co-residents (servants, lodgers, boarders, visitors, unknown).
+bool IsFamilyRole(Role role);
+
+/// Generation offset of the role-holder relative to the head:
+/// parents -1, head/spouse/siblings 0, children/nephews +1, grandchildren +2.
+/// Non-family roles return 0. Used to derive pairwise relationship types.
+int GenerationOffset(Role role);
+
+}  // namespace tglink
+
+#endif  // TGLINK_CENSUS_ROLES_H_

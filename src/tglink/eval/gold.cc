@@ -1,0 +1,154 @@
+#include "tglink/eval/gold.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tglink/util/csv.h"
+
+namespace tglink {
+
+namespace {
+std::unordered_map<std::string, uint32_t> IndexRecords(
+    const CensusDataset& dataset) {
+  std::unordered_map<std::string, uint32_t> index;
+  index.reserve(dataset.num_records());
+  for (uint32_t r = 0; r < dataset.num_records(); ++r) {
+    index.emplace(dataset.record(r).external_id, r);
+  }
+  return index;
+}
+
+std::unordered_map<std::string, uint32_t> IndexHouseholds(
+    const CensusDataset& dataset) {
+  std::unordered_map<std::string, uint32_t> index;
+  index.reserve(dataset.num_households());
+  for (uint32_t g = 0; g < dataset.num_households(); ++g) {
+    index.emplace(dataset.household(g).external_id, g);
+  }
+  return index;
+}
+}  // namespace
+
+Result<ResolvedGold> ResolveGold(const GoldMapping& gold,
+                                 const CensusDataset& old_dataset,
+                                 const CensusDataset& new_dataset) {
+  const auto old_records = IndexRecords(old_dataset);
+  const auto new_records = IndexRecords(new_dataset);
+  const auto old_groups = IndexHouseholds(old_dataset);
+  const auto new_groups = IndexHouseholds(new_dataset);
+
+  ResolvedGold resolved;
+  resolved.record_links.reserve(gold.record_links.size());
+  for (const auto& [o, n] : gold.record_links) {
+    auto io = old_records.find(o);
+    auto in = new_records.find(n);
+    if (io == old_records.end() || in == new_records.end()) {
+      return Status::NotFound("gold record link references unknown id: " + o +
+                              " / " + n);
+    }
+    resolved.record_links.emplace_back(io->second, in->second);
+  }
+  resolved.group_links.reserve(gold.group_links.size());
+  for (const auto& [o, n] : gold.group_links) {
+    auto io = old_groups.find(o);
+    auto in = new_groups.find(n);
+    if (io == old_groups.end() || in == new_groups.end()) {
+      return Status::NotFound("gold group link references unknown id: " + o +
+                              " / " + n);
+    }
+    resolved.group_links.emplace_back(io->second, in->second);
+  }
+  std::sort(resolved.record_links.begin(), resolved.record_links.end());
+  std::sort(resolved.group_links.begin(), resolved.group_links.end());
+  return resolved;
+}
+
+ResolvedGold RestrictGoldToHouseholds(
+    const ResolvedGold& gold, const CensusDataset& old_dataset,
+    const std::unordered_set<GroupId>& old_households) {
+  ResolvedGold restricted;
+  for (const RecordLink& link : gold.record_links) {
+    if (old_households.count(old_dataset.record(link.first).group)) {
+      restricted.record_links.push_back(link);
+    }
+  }
+  for (const GroupLink& link : gold.group_links) {
+    if (old_households.count(link.first)) {
+      restricted.group_links.push_back(link);
+    }
+  }
+  return restricted;
+}
+
+ResolvedGold SelectVerifiedSubset(const ResolvedGold& gold,
+                                  const CensusDataset& old_dataset,
+                                  const CensusDataset& new_dataset,
+                                  size_t min_shared_members) {
+  // Count true person links per (old household, new household) pair.
+  std::unordered_map<uint64_t, size_t> shared;
+  auto key = [](GroupId a, GroupId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  for (const RecordLink& link : gold.record_links) {
+    ++shared[key(old_dataset.record(link.first).group,
+                 new_dataset.record(link.second).group)];
+  }
+  // The expert reference consists of *matched households*: group links
+  // carrying >= min_shared_members true person links, and the person links
+  // flowing across exactly those household pairs. Single-member moves out
+  // of a verified household are not part of the reference (the experts
+  // linked households, not emigrating individuals).
+  ResolvedGold verified;
+  std::unordered_set<uint64_t> heavy;
+  for (const GroupLink& link : gold.group_links) {
+    auto it = shared.find(key(link.first, link.second));
+    if (it != shared.end() && it->second >= min_shared_members) {
+      heavy.insert(key(link.first, link.second));
+      verified.group_links.push_back(link);
+    }
+  }
+  for (const RecordLink& link : gold.record_links) {
+    if (heavy.count(key(old_dataset.record(link.first).group,
+                        new_dataset.record(link.second).group))) {
+      verified.record_links.push_back(link);
+    }
+  }
+  return verified;
+}
+
+std::string GoldToCsv(const GoldMapping& gold) {
+  std::string out = FormatCsvRow({"kind", "old_id", "new_id"});
+  for (const auto& [o, n] : gold.record_links) {
+    out += FormatCsvRow({"record", o, n});
+  }
+  for (const auto& [o, n] : gold.group_links) {
+    out += FormatCsvRow({"group", o, n});
+  }
+  return out;
+}
+
+Result<GoldMapping> GoldFromCsv(const std::string& text) {
+  auto parsed = ParseCsv(text);
+  if (!parsed.ok()) return parsed.status();
+  const auto& rows = parsed.value();
+  if (rows.empty() || rows[0].size() != 3 || rows[0][0] != "kind") {
+    return Status::ParseError("unexpected gold CSV header");
+  }
+  GoldMapping gold;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() != 3) {
+      return Status::ParseError("gold row " + std::to_string(i) +
+                                " has wrong arity");
+    }
+    if (rows[i][0] == "record") {
+      gold.record_links.emplace_back(rows[i][1], rows[i][2]);
+    } else if (rows[i][0] == "group") {
+      gold.group_links.emplace_back(rows[i][1], rows[i][2]);
+    } else {
+      return Status::ParseError("unknown gold link kind: " + rows[i][0]);
+    }
+  }
+  return gold;
+}
+
+}  // namespace tglink

@@ -1,0 +1,105 @@
+#include "tglink/eval/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tglink {
+
+std::string PrecisionRecall::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "P=%.1f%% R=%.1f%% F=%.1f%%",
+                100.0 * precision(), 100.0 * recall(), 100.0 * f_measure());
+  return buf;
+}
+
+PrecisionRecall EvaluateLinks(
+    std::vector<std::pair<uint32_t, uint32_t>> predicted,
+    std::vector<std::pair<uint32_t, uint32_t>> gold) {
+  std::sort(predicted.begin(), predicted.end());
+  predicted.erase(std::unique(predicted.begin(), predicted.end()),
+                  predicted.end());
+  std::sort(gold.begin(), gold.end());
+  gold.erase(std::unique(gold.begin(), gold.end()), gold.end());
+
+  PrecisionRecall pr;
+  size_t i = 0, j = 0;
+  while (i < predicted.size() && j < gold.size()) {
+    if (predicted[i] < gold[j]) {
+      ++pr.false_positives;
+      ++i;
+    } else if (gold[j] < predicted[i]) {
+      ++pr.false_negatives;
+      ++j;
+    } else {
+      ++pr.true_positives;
+      ++i;
+      ++j;
+    }
+  }
+  pr.false_positives += predicted.size() - i;
+  pr.false_negatives += gold.size() - j;
+  return pr;
+}
+
+PrecisionRecall EvaluateRecordMapping(const RecordMapping& predicted,
+                                      const ResolvedGold& gold,
+                                      bool restrict_to_gold_universe) {
+  std::vector<std::pair<uint32_t, uint32_t>> pred_links;
+  if (restrict_to_gold_universe) {
+    std::unordered_set<uint32_t> universe;
+    for (const RecordLink& link : gold.record_links) {
+      universe.insert(link.first);
+    }
+    for (const RecordLink& link : predicted.links()) {
+      if (universe.count(link.first)) pred_links.push_back(link);
+    }
+  } else {
+    pred_links = predicted.links();
+  }
+  return EvaluateLinks(std::move(pred_links), gold.record_links);
+}
+
+GroupMapping HeavyGroupLinks(const GroupMapping& groups,
+                             const RecordMapping& records,
+                             const CensusDataset& old_dataset,
+                             const CensusDataset& new_dataset,
+                             size_t min_shared) {
+  std::unordered_map<uint64_t, size_t> shared;
+  auto key = [](uint32_t a, uint32_t b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  for (const RecordLink& link : records.links()) {
+    ++shared[key(old_dataset.record(link.first).group,
+                 new_dataset.record(link.second).group)];
+  }
+  GroupMapping heavy;
+  for (const GroupLink& link : groups.SortedLinks()) {
+    auto it = shared.find(key(link.first, link.second));
+    if (it != shared.end() && it->second >= min_shared) {
+      heavy.Add(link.first, link.second);
+    }
+  }
+  return heavy;
+}
+
+PrecisionRecall EvaluateGroupMapping(const GroupMapping& predicted,
+                                     const ResolvedGold& gold,
+                                     bool restrict_to_gold_universe) {
+  std::vector<std::pair<uint32_t, uint32_t>> pred_links;
+  if (restrict_to_gold_universe) {
+    std::unordered_set<uint32_t> universe;
+    for (const GroupLink& link : gold.group_links) {
+      universe.insert(link.first);
+    }
+    for (const GroupLink& link : predicted.links()) {
+      if (universe.count(link.first)) pred_links.push_back(link);
+    }
+  } else {
+    pred_links = predicted.links();
+  }
+  return EvaluateLinks(std::move(pred_links), gold.group_links);
+}
+
+}  // namespace tglink

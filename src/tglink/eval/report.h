@@ -1,0 +1,35 @@
+// Fixed-width text tables for the experiment harnesses, so that every bench
+// binary prints rows in the same shape as the paper's tables.
+
+#ifndef TGLINK_EVAL_REPORT_H_
+#define TGLINK_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace tglink {
+
+/// Column-aligned plain-text table with a header row and optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column separators and a rule under the header.
+  std::string ToString() const;
+
+  /// Convenience: "96.0" style fixed-precision formatting.
+  static std::string Percent(double fraction, int decimals = 1);
+  static std::string Fixed(double value, int decimals = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tglink
+
+#endif  // TGLINK_EVAL_REPORT_H_

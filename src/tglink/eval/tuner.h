@@ -1,0 +1,63 @@
+// Attribute-weight tuning by coordinate ascent — the paper notes that
+// "we could also apply learning-based methods to find a near-optimal
+// weight vector" (Section 5.2.1, citing Richards et al.). This module
+// implements that alternative: given gold record links, it optimizes the
+// attribute weights of a SimilarityFunction against the F-measure of a
+// greedy one-to-one attribute matching (a fast, faithful proxy for
+// pre-matching quality), producing a data-driven ω to feed the full
+// iterative algorithm.
+
+#ifndef TGLINK_EVAL_TUNER_H_
+#define TGLINK_EVAL_TUNER_H_
+
+#include <vector>
+
+#include "tglink/blocking/blocking.h"
+#include "tglink/census/dataset.h"
+#include "tglink/eval/gold.h"
+#include "tglink/eval/metrics.h"
+#include "tglink/similarity/composite.h"
+
+namespace tglink {
+
+struct TunerConfig {
+  /// Granularity of the per-coordinate grid over [min_weight, max_weight]
+  /// (weights are renormalized to sum 1 for evaluation).
+  double step = 0.1;
+  /// Full sweeps over all attributes.
+  int max_rounds = 3;
+  /// Weight bounds before renormalization.
+  double min_weight = 0.0;
+  double max_weight = 0.8;
+  /// Threshold used by the greedy-matching objective.
+  double threshold = 0.7;
+  BlockingConfig blocking = BlockingConfig::MakeDefault();
+};
+
+struct TunerResult {
+  SimilarityFunction tuned;
+  double initial_f = 0.0;
+  double tuned_f = 0.0;
+  size_t evaluations = 0;
+};
+
+/// Objective: F-measure of greedy 1:1 matching with `sim_func` at
+/// `threshold` against the gold record links.
+double GreedyMatchObjective(const CensusDataset& old_dataset,
+                            const CensusDataset& new_dataset,
+                            const ResolvedGold& gold,
+                            const SimilarityFunction& sim_func,
+                            double threshold,
+                            const BlockingConfig& blocking);
+
+/// Coordinate-ascent tuning of the attribute weights of `base`. The spec
+/// list (fields + measures) is kept; only weights change. Deterministic.
+TunerResult TuneAttributeWeights(const CensusDataset& old_dataset,
+                                 const CensusDataset& new_dataset,
+                                 const ResolvedGold& gold,
+                                 const SimilarityFunction& base,
+                                 const TunerConfig& config = {});
+
+}  // namespace tglink
+
+#endif  // TGLINK_EVAL_TUNER_H_

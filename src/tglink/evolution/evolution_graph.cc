@@ -1,0 +1,47 @@
+#include "tglink/evolution/evolution_graph.h"
+
+#include <cassert>
+
+namespace tglink {
+
+EvolutionGraph::EvolutionGraph(
+    const std::vector<CensusDataset>& datasets,
+    const std::vector<RecordMapping>& record_mappings,
+    const std::vector<GroupMapping>& group_mappings) {
+  assert(!datasets.empty());
+  assert(record_mappings.size() == datasets.size() - 1);
+  assert(group_mappings.size() == datasets.size() - 1);
+
+  num_households_.reserve(datasets.size());
+  group_vertex_base_.reserve(datasets.size());
+  size_t base = 0;
+  for (const CensusDataset& dataset : datasets) {
+    group_vertex_base_.push_back(base);
+    num_households_.push_back(dataset.num_households());
+    base += dataset.num_households();
+  }
+
+  for (size_t epoch = 0; epoch + 1 < datasets.size(); ++epoch) {
+    const EvolutionAnalysis analysis =
+        AnalyzeEvolution(datasets[epoch], datasets[epoch + 1],
+                         record_mappings[epoch], group_mappings[epoch]);
+    pair_counts_.push_back(analysis.counts);
+    for (size_t i = 0; i < analysis.linked_pairs.size(); ++i) {
+      group_edges_.push_back({epoch, analysis.linked_pairs[i].first,
+                              analysis.linked_pairs[i].second,
+                              analysis.pair_patterns[i],
+                              analysis.shared_members[i]});
+    }
+    for (const RecordLink& link : record_mappings[epoch].links()) {
+      record_edges_.push_back({epoch, link.first, link.second});
+    }
+  }
+}
+
+size_t EvolutionGraph::total_households() const {
+  size_t total = 0;
+  for (size_t n : num_households_) total += n;
+  return total;
+}
+
+}  // namespace tglink

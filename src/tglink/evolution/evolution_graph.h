@@ -1,0 +1,75 @@
+// Evolution graph (Section 4.2): household and person vertices for every
+// snapshot of a census series, connected across successive snapshots by
+// typed pattern edges. Supports the paper's connected-component and
+// preserved-chain analyses (Section 5.4 / Table 8).
+
+#ifndef TGLINK_EVOLUTION_EVOLUTION_GRAPH_H_
+#define TGLINK_EVOLUTION_EVOLUTION_GRAPH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "tglink/census/dataset.h"
+#include "tglink/evolution/patterns.h"
+#include "tglink/linkage/mapping.h"
+
+namespace tglink {
+
+/// Typed edge between a household of snapshot `epoch` and one of `epoch+1`.
+struct GroupEvolutionEdge {
+  size_t epoch;  // index of the older snapshot
+  GroupId old_group;
+  GroupId new_group;
+  GroupPattern pattern;      // classification of this pair's relationship
+  size_t shared_members;     // preserved members crossing this edge
+};
+
+/// Record link across snapshots (the gray dotted lines of Fig. 5(b)).
+struct RecordEvolutionEdge {
+  size_t epoch;
+  RecordId old_record;
+  RecordId new_record;
+};
+
+/// The multi-snapshot evolution graph.
+class EvolutionGraph {
+ public:
+  /// Builds the graph from T snapshots and the T-1 linkage results between
+  /// successive pairs. `datasets` must outlive the graph.
+  EvolutionGraph(const std::vector<CensusDataset>& datasets,
+                 const std::vector<RecordMapping>& record_mappings,
+                 const std::vector<GroupMapping>& group_mappings);
+
+  size_t num_epochs() const { return num_households_.size(); }
+  size_t num_households(size_t epoch) const { return num_households_[epoch]; }
+  size_t total_households() const;
+
+  const std::vector<GroupEvolutionEdge>& group_edges() const {
+    return group_edges_;
+  }
+  const std::vector<RecordEvolutionEdge>& record_edges() const {
+    return record_edges_;
+  }
+
+  /// Per-pair pattern counts (Fig. 6), indexed by epoch.
+  const std::vector<EvolutionCounts>& pair_counts() const {
+    return pair_counts_;
+  }
+
+  /// Flat vertex id of household `group` in snapshot `epoch`.
+  size_t GroupVertex(size_t epoch, GroupId group) const {
+    return group_vertex_base_[epoch] + group;
+  }
+
+ private:
+  std::vector<size_t> num_households_;
+  std::vector<size_t> group_vertex_base_;  // prefix sums over households
+  std::vector<GroupEvolutionEdge> group_edges_;
+  std::vector<RecordEvolutionEdge> record_edges_;
+  std::vector<EvolutionCounts> pair_counts_;
+};
+
+}  // namespace tglink
+
+#endif  // TGLINK_EVOLUTION_EVOLUTION_GRAPH_H_

@@ -1,0 +1,100 @@
+#include "tglink/evolution/export.h"
+
+#include <unordered_map>
+
+#include "tglink/graph/union_find.h"
+#include "tglink/util/csv.h"
+
+namespace tglink {
+
+namespace {
+const char* PatternColor(GroupPattern pattern) {
+  switch (pattern) {
+    case GroupPattern::kPreserve:
+      return "black";
+    case GroupPattern::kMove:
+      return "gray60";
+    case GroupPattern::kSplit:
+      return "firebrick";
+    case GroupPattern::kMerge:
+      return "darkgreen";
+    default:
+      return "blue";
+  }
+}
+}  // namespace
+
+std::string EvolutionGraphToDot(const EvolutionGraph& graph,
+                                const std::vector<CensusDataset>& datasets,
+                                const DotExportOptions& options) {
+  // Component sizes for pruning.
+  UnionFind uf(graph.total_households());
+  for (const GroupEvolutionEdge& edge : graph.group_edges()) {
+    uf.Union(graph.GroupVertex(edge.epoch, edge.old_group),
+             graph.GroupVertex(edge.epoch + 1, edge.new_group));
+  }
+
+  std::string dot = "digraph evolution {\n  rankdir=LR;\n  node [shape=box, "
+                    "style=rounded, fontsize=10];\n";
+  size_t emitted = 0;
+  std::vector<bool> included(graph.total_households(), false);
+  for (size_t epoch = 0; epoch < graph.num_epochs(); ++epoch) {
+    dot += "  subgraph cluster_" + std::to_string(epoch) + " {\n    label=\"" +
+           std::to_string(datasets[epoch].year()) + "\";\n    rank=same;\n";
+    for (GroupId g = 0; g < graph.num_households(epoch); ++g) {
+      const size_t vertex = graph.GroupVertex(epoch, g);
+      if (uf.ComponentSize(vertex) < options.min_component_size) continue;
+      if (options.max_vertices > 0 && emitted >= options.max_vertices) break;
+      included[vertex] = true;
+      ++emitted;
+      dot += "    v" + std::to_string(vertex) + " [label=\"" +
+             datasets[epoch].household(g).external_id + " (" +
+             std::to_string(datasets[epoch].household(g).members.size()) +
+             ")\"];\n";
+    }
+    dot += "  }\n";
+  }
+  for (const GroupEvolutionEdge& edge : graph.group_edges()) {
+    const size_t from = graph.GroupVertex(edge.epoch, edge.old_group);
+    const size_t to = graph.GroupVertex(edge.epoch + 1, edge.new_group);
+    if (!included[from] || !included[to]) continue;
+    dot += "  v" + std::to_string(from) + " -> v" + std::to_string(to) +
+           " [label=\"" + GroupPatternName(edge.pattern) + ":" +
+           std::to_string(edge.shared_members) + "\", color=" +
+           PatternColor(edge.pattern) + "];\n";
+  }
+  if (options.include_record_edges) {
+    for (const RecordEvolutionEdge& edge : graph.record_edges()) {
+      const size_t from = graph.GroupVertex(
+          edge.epoch, datasets[edge.epoch].record(edge.old_record).group);
+      const size_t to = graph.GroupVertex(
+          edge.epoch + 1,
+          datasets[edge.epoch + 1].record(edge.new_record).group);
+      if (!included[from] || !included[to]) continue;
+      dot += "  v" + std::to_string(from) + " -> v" + std::to_string(to) +
+             " [style=dotted, arrowhead=none, color=gray80];\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+std::string EvolutionGraphToCsv(const EvolutionGraph& graph,
+                                const std::vector<CensusDataset>& datasets) {
+  std::string out = FormatCsvRow({"epoch", "old_year", "new_year",
+                                  "old_household", "new_household", "pattern",
+                                  "shared_members"});
+  for (const GroupEvolutionEdge& edge : graph.group_edges()) {
+    out += FormatCsvRow(
+        {std::to_string(edge.epoch),
+         std::to_string(datasets[edge.epoch].year()),
+         std::to_string(datasets[edge.epoch + 1].year()),
+         datasets[edge.epoch].household(edge.old_group).external_id,
+         datasets[edge.epoch + 1].household(edge.new_group).external_id,
+         GroupPatternName(edge.pattern),
+         std::to_string(edge.shared_members)});
+  }
+  return out;
+}
+
+}  // namespace tglink

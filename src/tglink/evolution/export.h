@@ -1,0 +1,41 @@
+// Export of the evolution graph for external tooling: Graphviz DOT for
+// visual inspection and a flat CSV edge list for graph-mining frameworks —
+// the paper's Section 4.2 positions the evolution graph as the substrate
+// for "cluster analysis, pattern matching or finding frequent subgraphs".
+
+#ifndef TGLINK_EVOLUTION_EXPORT_H_
+#define TGLINK_EVOLUTION_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "tglink/evolution/evolution_graph.h"
+
+namespace tglink {
+
+struct DotExportOptions {
+  /// Only include household components containing at least this many
+  /// vertices (pruning isolated households keeps the plot readable).
+  size_t min_component_size = 2;
+  /// Also draw person-link edges (dotted, as in Fig. 5(b)). Off by default:
+  /// they dominate visually at scale.
+  bool include_record_edges = false;
+  /// Maximum household vertices emitted (0 = unlimited).
+  size_t max_vertices = 0;
+};
+
+/// Renders the household layer of the evolution graph as Graphviz DOT.
+/// Households become boxes grouped into per-census ranks; pattern edges are
+/// labeled and colored by type.
+std::string EvolutionGraphToDot(const EvolutionGraph& graph,
+                                const std::vector<CensusDataset>& datasets,
+                                const DotExportOptions& options = {});
+
+/// Flat CSV edge list:
+///   epoch,old_year,new_year,old_household,new_household,pattern,shared
+std::string EvolutionGraphToCsv(const EvolutionGraph& graph,
+                                const std::vector<CensusDataset>& datasets);
+
+}  // namespace tglink
+
+#endif  // TGLINK_EVOLUTION_EXPORT_H_

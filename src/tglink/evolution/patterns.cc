@@ -1,0 +1,171 @@
+#include "tglink/evolution/patterns.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace tglink {
+
+const char* RecordPatternName(RecordPattern pattern) {
+  switch (pattern) {
+    case RecordPattern::kPreserve:
+      return "preserve_R";
+    case RecordPattern::kAdd:
+      return "add_R";
+    case RecordPattern::kRemove:
+      return "remove_R";
+  }
+  return "?";
+}
+
+const char* GroupPatternName(GroupPattern pattern) {
+  switch (pattern) {
+    case GroupPattern::kPreserve:
+      return "preserve_G";
+    case GroupPattern::kMove:
+      return "move";
+    case GroupPattern::kSplit:
+      return "split";
+    case GroupPattern::kMerge:
+      return "merge";
+    case GroupPattern::kAdd:
+      return "add_G";
+    case GroupPattern::kRemove:
+      return "remove_G";
+  }
+  return "?";
+}
+
+std::string EvolutionCounts::ToString() const {
+  std::ostringstream os;
+  os << "records: preserve=" << preserve_records << " add=" << add_records
+     << " remove=" << remove_records << " | groups: preserve="
+     << preserve_groups << " move=" << move_groups << " split=" << split_groups
+     << " merge=" << merge_groups << " add=" << add_groups
+     << " remove=" << remove_groups;
+  return os.str();
+}
+
+EvolutionAnalysis AnalyzeEvolution(const CensusDataset& old_dataset,
+                                   const CensusDataset& new_dataset,
+                                   const RecordMapping& record_mapping,
+                                   const GroupMapping& group_mapping) {
+  EvolutionAnalysis analysis;
+
+  // Record patterns.
+  analysis.counts.preserve_records = record_mapping.size();
+  analysis.counts.remove_records =
+      old_dataset.num_records() - record_mapping.size();
+  analysis.counts.add_records =
+      new_dataset.num_records() - record_mapping.size();
+
+  // Shared preserved members per linked group pair.
+  std::unordered_map<uint64_t, size_t> shared;
+  auto key = [](GroupId a, GroupId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  for (const RecordLink& link : record_mapping.links()) {
+    const GroupId go = old_dataset.record(link.first).group;
+    const GroupId gn = new_dataset.record(link.second).group;
+    ++shared[key(go, gn)];
+  }
+
+  analysis.linked_pairs = group_mapping.SortedLinks();
+  analysis.shared_members.reserve(analysis.linked_pairs.size());
+  // Partner counts per group (for the 1:1 condition of preserve_G) and the
+  // per-group lists of heavy (>= 2 shared members) partners for split/merge.
+  std::vector<size_t> old_degree(old_dataset.num_households(), 0);
+  std::vector<size_t> new_degree(new_dataset.num_households(), 0);
+  std::vector<size_t> old_heavy(old_dataset.num_households(), 0);
+  std::vector<size_t> new_heavy(new_dataset.num_households(), 0);
+  for (const GroupLink& link : analysis.linked_pairs) {
+    auto it = shared.find(key(link.first, link.second));
+    const size_t count = it == shared.end() ? 0 : it->second;
+    analysis.shared_members.push_back(count);
+    ++old_degree[link.first];
+    ++new_degree[link.second];
+    if (count >= 2) {
+      ++old_heavy[link.first];
+      ++new_heavy[link.second];
+    }
+  }
+
+  // Pairwise patterns: preserve_G and move. A pair counts as preserved when
+  // it carries >= 2 preserved members and is not part of a split or merge
+  // (neither side has another heavy partner) — the paper's "1:1 link" with
+  // the real-world allowance that individual members may have moved away.
+  for (size_t i = 0; i < analysis.linked_pairs.size(); ++i) {
+    const GroupLink& link = analysis.linked_pairs[i];
+    const size_t count = analysis.shared_members[i];
+    if (count >= 2 && old_heavy[link.first] == 1 &&
+        new_heavy[link.second] == 1) {
+      ++analysis.counts.preserve_groups;
+      analysis.pair_patterns.push_back(GroupPattern::kPreserve);
+      analysis.group_patterns.push_back(
+          {GroupPattern::kPreserve, {link.first}, {link.second}});
+    } else if (count >= 2 && old_heavy[link.first] >= 2) {
+      analysis.pair_patterns.push_back(GroupPattern::kSplit);
+    } else if (count >= 2 && new_heavy[link.second] >= 2) {
+      analysis.pair_patterns.push_back(GroupPattern::kMerge);
+    } else {
+      // count <= 1 (a single mover, or a residual link whose record pair
+      // was later superseded): the weak "move" relationship.
+      analysis.pair_patterns.push_back(GroupPattern::kMove);
+      if (count == 1) {
+        ++analysis.counts.move_groups;
+        analysis.group_patterns.push_back(
+            {GroupPattern::kMove, {link.first}, {link.second}});
+      }
+    }
+  }
+
+  // Split: an old group with >= 2 new partners each sharing >= 2 members.
+  for (GroupId g = 0; g < old_dataset.num_households(); ++g) {
+    if (old_heavy[g] < 2) continue;
+    ++analysis.counts.split_groups;
+    GroupPatternInstance instance;
+    instance.pattern = GroupPattern::kSplit;
+    instance.old_groups = {g};
+    for (size_t i = 0; i < analysis.linked_pairs.size(); ++i) {
+      if (analysis.linked_pairs[i].first == g &&
+          analysis.shared_members[i] >= 2) {
+        instance.new_groups.push_back(analysis.linked_pairs[i].second);
+      }
+    }
+    analysis.group_patterns.push_back(std::move(instance));
+  }
+
+  // Merge: a new group fed by >= 2 old groups each sharing >= 2 members.
+  for (GroupId g = 0; g < new_dataset.num_households(); ++g) {
+    if (new_heavy[g] < 2) continue;
+    ++analysis.counts.merge_groups;
+    GroupPatternInstance instance;
+    instance.pattern = GroupPattern::kMerge;
+    instance.new_groups = {g};
+    for (size_t i = 0; i < analysis.linked_pairs.size(); ++i) {
+      if (analysis.linked_pairs[i].second == g &&
+          analysis.shared_members[i] >= 2) {
+        instance.old_groups.push_back(analysis.linked_pairs[i].first);
+      }
+    }
+    analysis.group_patterns.push_back(std::move(instance));
+  }
+
+  // add_G / remove_G: unlinked groups.
+  for (GroupId g = 0; g < old_dataset.num_households(); ++g) {
+    if (old_degree[g] == 0) {
+      ++analysis.counts.remove_groups;
+      analysis.group_patterns.push_back({GroupPattern::kRemove, {g}, {}});
+    }
+  }
+  for (GroupId g = 0; g < new_dataset.num_households(); ++g) {
+    if (new_degree[g] == 0) {
+      ++analysis.counts.add_groups;
+      analysis.group_patterns.push_back({GroupPattern::kAdd, {}, {g}});
+    }
+  }
+
+  return analysis;
+}
+
+}  // namespace tglink

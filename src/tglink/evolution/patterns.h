@@ -1,0 +1,80 @@
+// Evolution patterns (Section 4.1): classifying what happened to each
+// person and each household between two successive censuses, given the
+// record and group mappings produced by linkage.
+
+#ifndef TGLINK_EVOLUTION_PATTERNS_H_
+#define TGLINK_EVOLUTION_PATTERNS_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tglink/census/dataset.h"
+#include "tglink/linkage/mapping.h"
+
+namespace tglink {
+
+enum class RecordPattern : uint8_t { kPreserve, kAdd, kRemove };
+enum class GroupPattern : uint8_t {
+  kPreserve,  // 1:1-linked pair with >= 2 preserved members
+  kMove,      // linked pair sharing exactly one preserved member
+  kSplit,     // one old group feeding >= 2 new groups with >= 2 members each
+  kMerge,     // >= 2 old groups feeding one new group with >= 2 members each
+  kAdd,       // new group with no link
+  kRemove,    // old group with no link
+};
+
+const char* RecordPatternName(RecordPattern pattern);
+const char* GroupPatternName(GroupPattern pattern);
+
+/// One detected group-level pattern instance. For kSplit, `old_groups` has
+/// one element and `new_groups` all destinations; for kMerge vice versa;
+/// for the pairwise patterns both sides have one element; for kAdd/kRemove
+/// only the corresponding side is populated.
+struct GroupPatternInstance {
+  GroupPattern pattern;
+  std::vector<GroupId> old_groups;
+  std::vector<GroupId> new_groups;
+};
+
+/// Aggregate counts in the shape of the paper's Fig. 6.
+struct EvolutionCounts {
+  size_t preserve_records = 0;
+  size_t add_records = 0;
+  size_t remove_records = 0;
+
+  size_t preserve_groups = 0;
+  size_t move_groups = 0;
+  size_t split_groups = 0;
+  size_t merge_groups = 0;
+  size_t add_groups = 0;
+  size_t remove_groups = 0;
+
+  std::string ToString() const;
+};
+
+/// Full pattern analysis of one successive census pair.
+struct EvolutionAnalysis {
+  EvolutionCounts counts;
+  std::vector<GroupPatternInstance> group_patterns;
+  /// Per-(old,new) linked group pair: number of preserved members shared
+  /// and the pattern classification of that pair (kPreserve, kMove, kSplit
+  /// or kMerge; a pair that qualifies as both split and merge is labeled
+  /// kSplit). All three vectors are parallel.
+  std::vector<GroupLink> linked_pairs;
+  std::vector<size_t> shared_members;
+  std::vector<GroupPattern> pair_patterns;
+};
+
+/// Detects all record and group evolution patterns between two snapshots.
+/// `shared members` between a linked pair counts record links whose old
+/// record is in the old group and whose new record is in the new group.
+EvolutionAnalysis AnalyzeEvolution(const CensusDataset& old_dataset,
+                                   const CensusDataset& new_dataset,
+                                   const RecordMapping& record_mapping,
+                                   const GroupMapping& group_mapping);
+
+}  // namespace tglink
+
+#endif  // TGLINK_EVOLUTION_PATTERNS_H_

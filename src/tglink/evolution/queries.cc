@@ -1,0 +1,69 @@
+#include "tglink/evolution/queries.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tglink/graph/union_find.h"
+
+namespace tglink {
+
+ComponentStats ConnectedHouseholdComponents(const EvolutionGraph& graph) {
+  UnionFind uf(graph.total_households());
+  for (const GroupEvolutionEdge& edge : graph.group_edges()) {
+    uf.Union(graph.GroupVertex(edge.epoch, edge.old_group),
+             graph.GroupVertex(edge.epoch + 1, edge.new_group));
+  }
+  ComponentStats stats;
+  stats.num_components = uf.num_components();
+  for (size_t v = 0; v < graph.total_households(); ++v) {
+    stats.largest_component =
+        std::max(stats.largest_component, uf.ComponentSize(v));
+  }
+  stats.largest_coverage =
+      graph.total_households() == 0
+          ? 0.0
+          : static_cast<double>(stats.largest_component) /
+                static_cast<double>(graph.total_households());
+  return stats;
+}
+
+size_t CountPreservedChains(const EvolutionGraph& graph, size_t intervals) {
+  if (intervals == 0 || graph.num_epochs() < intervals + 1) return 0;
+
+  // preserve_G edges are 1:1 per construction (a household participates in
+  // at most one preserve edge per pair), so chains can be counted by
+  // following successor pointers: successor[epoch][old_group] = new_group.
+  std::vector<std::unordered_map<GroupId, GroupId>> successor(
+      graph.num_epochs() - 1);
+  for (const GroupEvolutionEdge& edge : graph.group_edges()) {
+    if (edge.pattern == GroupPattern::kPreserve) {
+      successor[edge.epoch].emplace(edge.old_group, edge.new_group);
+    }
+  }
+
+  size_t chains = 0;
+  for (size_t start = 0; start + intervals < graph.num_epochs(); ++start) {
+    for (const auto& [group, next] : successor[start]) {
+      GroupId current = next;
+      size_t steps = 1;
+      while (steps < intervals) {
+        auto it = successor[start + steps].find(current);
+        if (it == successor[start + steps].end()) break;
+        current = it->second;
+        ++steps;
+      }
+      if (steps == intervals) ++chains;
+    }
+  }
+  return chains;
+}
+
+std::vector<size_t> PreservedChainProfile(const EvolutionGraph& graph) {
+  std::vector<size_t> profile;
+  for (size_t k = 1; k < graph.num_epochs(); ++k) {
+    profile.push_back(CountPreservedChains(graph, k));
+  }
+  return profile;
+}
+
+}  // namespace tglink

@@ -1,0 +1,38 @@
+// Graph-mining queries over the evolution graph (Section 5.4): connected
+// components of related households across the whole series, and counts of
+// households preserved over k successive intervals (Table 8).
+
+#ifndef TGLINK_EVOLUTION_QUERIES_H_
+#define TGLINK_EVOLUTION_QUERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tglink/evolution/evolution_graph.h"
+
+namespace tglink {
+
+struct ComponentStats {
+  size_t num_components = 0;       // over household vertices with any edge
+                                   // plus isolated households
+  size_t largest_component = 0;    // households in the largest component
+  double largest_coverage = 0.0;   // largest / total households
+};
+
+/// Connected components over household vertices, connecting households of
+/// successive snapshots through group-pattern edges of any type.
+ComponentStats ConnectedHouseholdComponents(const EvolutionGraph& graph);
+
+/// Number of preserve_G chains of exactly `intervals` consecutive edges
+/// (e.g. intervals=2 counts households preserved over 20 years when the
+/// census period is 10 years). A chain is counted for every start epoch, so
+/// the value for intervals=1 equals the sum of per-pair preserve_G counts —
+/// matching the paper's Table 8 convention.
+size_t CountPreservedChains(const EvolutionGraph& graph, size_t intervals);
+
+/// Convenience: chain counts for every interval length 1..num_epochs-1.
+std::vector<size_t> PreservedChainProfile(const EvolutionGraph& graph);
+
+}  // namespace tglink
+
+#endif  // TGLINK_EVOLUTION_QUERIES_H_

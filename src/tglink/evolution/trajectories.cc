@@ -1,0 +1,108 @@
+#include "tglink/evolution/trajectories.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tglink {
+
+namespace {
+/// Priority of a pattern when several outgoing edges tie on shared members.
+int PatternRank(GroupPattern pattern) {
+  switch (pattern) {
+    case GroupPattern::kPreserve:
+      return 0;
+    case GroupPattern::kSplit:
+      return 1;
+    case GroupPattern::kMerge:
+      return 2;
+    case GroupPattern::kMove:
+      return 3;
+    default:
+      return 4;
+  }
+}
+}  // namespace
+
+std::vector<HouseholdTrajectory> ExtractTrajectories(
+    const EvolutionGraph& graph) {
+  // Outgoing edges per (epoch, group); incoming flags for root detection.
+  std::unordered_map<uint64_t, std::vector<const GroupEvolutionEdge*>> out;
+  std::unordered_set<uint64_t> has_incoming;
+  auto key = [&graph](size_t epoch, GroupId group) {
+    return static_cast<uint64_t>(graph.GroupVertex(epoch, group));
+  };
+  for (const GroupEvolutionEdge& edge : graph.group_edges()) {
+    out[key(edge.epoch, edge.old_group)].push_back(&edge);
+    has_incoming.insert(key(edge.epoch + 1, edge.new_group));
+  }
+
+  auto best_edge = [](const std::vector<const GroupEvolutionEdge*>& edges) {
+    const GroupEvolutionEdge* best = nullptr;
+    for (const GroupEvolutionEdge* e : edges) {
+      if (best == nullptr || e->shared_members > best->shared_members ||
+          (e->shared_members == best->shared_members &&
+           (PatternRank(e->pattern) < PatternRank(best->pattern) ||
+            (PatternRank(e->pattern) == PatternRank(best->pattern) &&
+             e->new_group < best->new_group)))) {
+        best = e;
+      }
+    }
+    return best;
+  };
+
+  std::vector<HouseholdTrajectory> trajectories;
+  for (size_t epoch = 0; epoch < graph.num_epochs(); ++epoch) {
+    for (GroupId g = 0; g < graph.num_households(epoch); ++g) {
+      if (has_incoming.count(key(epoch, g))) continue;  // not a lineage root
+      HouseholdTrajectory trajectory;
+      trajectory.start_epoch = epoch;
+      trajectory.start_group = g;
+      size_t e = epoch;
+      GroupId current = g;
+      while (e < graph.num_epochs() - 1) {
+        auto it = out.find(key(e, current));
+        if (it == out.end()) break;
+        const GroupEvolutionEdge* edge = best_edge(it->second);
+        trajectory.patterns.push_back(edge->pattern);
+        current = edge->new_group;
+        ++e;
+      }
+      trajectories.push_back(std::move(trajectory));
+    }
+  }
+  return trajectories;
+}
+
+std::string TrajectorySignature(const HouseholdTrajectory& trajectory) {
+  std::string signature;
+  for (size_t i = 0; i < trajectory.patterns.size(); ++i) {
+    if (i > 0) signature += ">";
+    signature += GroupPatternName(trajectory.patterns[i]);
+  }
+  return signature;
+}
+
+std::vector<TrajectoryCount> FrequentTrajectories(
+    const std::vector<HouseholdTrajectory>& trajectories, size_t top_k) {
+  std::map<std::string, size_t> counts;
+  for (const HouseholdTrajectory& trajectory : trajectories) {
+    const std::string signature = TrajectorySignature(trajectory);
+    if (!signature.empty()) ++counts[signature];
+  }
+  std::vector<TrajectoryCount> out;
+  out.reserve(counts.size());
+  for (const auto& [signature, count] : counts) {
+    out.push_back({signature, count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TrajectoryCount& a, const TrajectoryCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.signature < b.signature;
+            });
+  if (top_k > 0 && out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+}  // namespace tglink

@@ -1,0 +1,50 @@
+// Household trajectory mining over the evolution graph — the "frequent or
+// unusual change scenarios" analysis the paper's Section 4.2 proposes as
+// future work. A trajectory is the sequence of pattern types a household
+// lineage experiences across the census series (e.g. preserve → split →
+// preserve); this module enumerates them and counts their frequencies.
+
+#ifndef TGLINK_EVOLUTION_TRAJECTORIES_H_
+#define TGLINK_EVOLUTION_TRAJECTORIES_H_
+
+#include <string>
+#include <vector>
+
+#include "tglink/evolution/evolution_graph.h"
+
+namespace tglink {
+
+/// One household lineage: starting from a household in the first snapshot
+/// it appears in, following its strongest outgoing pattern edge per epoch.
+struct HouseholdTrajectory {
+  size_t start_epoch = 0;
+  GroupId start_group = kInvalidGroup;
+  /// Pattern labels along the lineage; "end" is implicit. Length equals the
+  /// number of epochs survived.
+  std::vector<GroupPattern> patterns;
+};
+
+/// Extracts a trajectory for every household that has no incoming pattern
+/// edge (lineage roots). At each step the edge with the most shared members
+/// (ties: preserve > split > merge > move, then lowest target id) is
+/// followed.
+std::vector<HouseholdTrajectory> ExtractTrajectories(
+    const EvolutionGraph& graph);
+
+/// A trajectory signature like "preserve_G>split>move" (empty for
+/// households that never link forward).
+std::string TrajectorySignature(const HouseholdTrajectory& trajectory);
+
+struct TrajectoryCount {
+  std::string signature;
+  size_t count = 0;
+};
+
+/// The `top_k` most frequent trajectory signatures (all when top_k == 0),
+/// ordered by descending count then signature.
+std::vector<TrajectoryCount> FrequentTrajectories(
+    const std::vector<HouseholdTrajectory>& trajectories, size_t top_k = 0);
+
+}  // namespace tglink
+
+#endif  // TGLINK_EVOLUTION_TRAJECTORIES_H_

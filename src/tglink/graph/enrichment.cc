@@ -1,0 +1,56 @@
+#include "tglink/graph/enrichment.h"
+
+#include <cstdlib>
+
+namespace tglink {
+
+RelType DeriveRelType(Role role_a, Role role_b) {
+  if (!IsFamilyRole(role_a) || !IsFamilyRole(role_b)) {
+    return RelType::kCoResident;
+  }
+  const bool head_wife = (role_a == Role::kHead && role_b == Role::kWife) ||
+                         (role_a == Role::kWife && role_b == Role::kHead);
+  if (head_wife) return RelType::kSpouse;
+  const int diff =
+      std::abs(GenerationOffset(role_a) - GenerationOffset(role_b));
+  switch (diff) {
+    case 0:
+      // Wife + head's sibling / head + his sibling / two children: treat
+      // all same-generation family pairs as the sibling class.
+      return RelType::kSibling;
+    case 1:
+      return RelType::kParentChild;
+    case 2:
+      return RelType::kGrandparent;
+    default:
+      return RelType::kExtended;
+  }
+}
+
+HouseholdGraph EnrichHousehold(const CensusDataset& dataset, GroupId group) {
+  const Household& hh = dataset.household(group);
+  HouseholdGraph graph(group, hh.members);
+  const std::vector<RecordId>& members = graph.members();
+  for (size_t i = 0; i < members.size(); ++i) {
+    const PersonRecord& a = dataset.record(members[i]);
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      const PersonRecord& b = dataset.record(members[j]);
+      const RelType type = DeriveRelType(a.role, b.role);
+      const bool ages_known = a.has_age() && b.has_age();
+      const int age_diff = ages_known ? a.age - b.age : 0;
+      graph.AddEdge(members[i], members[j], type, age_diff, ages_known);
+    }
+  }
+  return graph;
+}
+
+std::vector<HouseholdGraph> EnrichAllHouseholds(const CensusDataset& dataset) {
+  std::vector<HouseholdGraph> graphs;
+  graphs.reserve(dataset.num_households());
+  for (GroupId g = 0; g < dataset.num_households(); ++g) {
+    graphs.push_back(EnrichHousehold(dataset, g));
+  }
+  return graphs;
+}
+
+}  // namespace tglink

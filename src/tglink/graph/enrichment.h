@@ -1,0 +1,37 @@
+// Group enrichment (Section 3.1): turns each household into a complete
+// graph over its members, replacing head-relative census roles by unified
+// pairwise relationship types and attaching the age difference as a
+// time-stable edge property.
+
+#ifndef TGLINK_GRAPH_ENRICHMENT_H_
+#define TGLINK_GRAPH_ENRICHMENT_H_
+
+#include <vector>
+
+#include "tglink/census/dataset.h"
+#include "tglink/graph/household_graph.h"
+
+namespace tglink {
+
+/// Derives the unified relationship type between two household members from
+/// their head-relative roles:
+///  * head+wife                          -> spouse
+///  * same generation, both family       -> sibling (head+sibling, children
+///                                          among themselves, ...)
+///  * one generation apart, both family  -> parent-child
+///  * two generations apart, both family -> grandparent
+///  * otherwise family                   -> extended
+///  * any non-family participant         -> co-resident
+RelType DeriveRelType(Role role_a, Role role_b);
+
+/// Builds the enriched graph of one household ("completeGroups" in
+/// Algorithm 1): an edge for every member pair, with DeriveRelType and the
+/// signed age difference.
+HouseholdGraph EnrichHousehold(const CensusDataset& dataset, GroupId group);
+
+/// Enriches every household of the dataset; result is indexed by GroupId.
+std::vector<HouseholdGraph> EnrichAllHouseholds(const CensusDataset& dataset);
+
+}  // namespace tglink
+
+#endif  // TGLINK_GRAPH_ENRICHMENT_H_

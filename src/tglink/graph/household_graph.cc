@@ -1,0 +1,67 @@
+#include "tglink/graph/household_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tglink {
+
+const char* RelTypeName(RelType type) {
+  switch (type) {
+    case RelType::kSpouse:
+      return "spouse";
+    case RelType::kParentChild:
+      return "parent-child";
+    case RelType::kSibling:
+      return "sibling";
+    case RelType::kGrandparent:
+      return "grandparent";
+    case RelType::kExtended:
+      return "extended";
+    case RelType::kCoResident:
+      return "co-resident";
+  }
+  return "?";
+}
+
+HouseholdGraph::HouseholdGraph(GroupId group, std::vector<RecordId> members)
+    : group_(group), members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+}
+
+void HouseholdGraph::AddEdge(RecordId a, RecordId b, RelType type,
+                             int age_diff, bool age_diff_known) {
+  assert(a != b);
+  if (a > b) {
+    std::swap(a, b);
+    age_diff = -age_diff;
+  }
+  assert(std::binary_search(members_.begin(), members_.end(), a));
+  assert(std::binary_search(members_.begin(), members_.end(), b));
+  RelEdge edge;
+  edge.a = a;
+  edge.b = b;
+  edge.type = type;
+  edge.age_diff = age_diff;
+  edge.age_diff_known = age_diff_known;
+  const uint32_t idx = static_cast<uint32_t>(edges_.size());
+  const bool inserted = edge_index_.emplace(PairKey(a, b), idx).second;
+  assert(inserted && "duplicate edge");
+  (void)inserted;
+  edges_.push_back(edge);
+}
+
+const RelEdge* HouseholdGraph::EdgeBetween(RecordId a, RecordId b) const {
+  if (a > b) std::swap(a, b);
+  auto it = edge_index_.find(PairKey(a, b));
+  if (it == edge_index_.end()) return nullptr;
+  return &edges_[it->second];
+}
+
+int HouseholdGraph::OrientedAgeDiff(const RelEdge& edge, RecordId x,
+                                    RecordId y) const {
+  assert((edge.a == x && edge.b == y) || (edge.a == y && edge.b == x));
+  (void)y;
+  return edge.a == x ? edge.age_diff : -edge.age_diff;
+}
+
+}  // namespace tglink

@@ -1,0 +1,81 @@
+// HouseholdGraph: the graph representation of one household after the
+// group-enrichment phase (Section 3.1 of the paper). Vertices are the
+// household's person records; edges are *head-independent* relationship
+// types with the age difference attached as a time-stable edge property.
+
+#ifndef TGLINK_GRAPH_HOUSEHOLD_GRAPH_H_
+#define TGLINK_GRAPH_HOUSEHOLD_GRAPH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "tglink/census/record.h"
+
+namespace tglink {
+
+/// Unified (head-independent) pairwise relationship types. The original
+/// census roles are relative to the head of household and do not survive a
+/// person moving to another household; these derived types do.
+enum class RelType : uint8_t {
+  kSpouse = 0,
+  kParentChild,     // one generation apart (direction carried by age sign)
+  kSibling,         // same generation within the family
+  kGrandparent,     // two generations apart
+  kExtended,        // family, > 2 generations apart or unclassifiable
+  kCoResident,      // at least one non-family member (servant, lodger, ...)
+};
+
+const char* RelTypeName(RelType type);
+
+/// An enriched, undirected relationship edge. Endpoints are ordered
+/// a < b (by RecordId); `age_diff` is age(a) - age(b) when both ages are
+/// known (signed, so that parent/child orientation is preserved through the
+/// vertex-pair orientation used by subgraph matching).
+struct RelEdge {
+  RecordId a = kInvalidRecord;
+  RecordId b = kInvalidRecord;
+  RelType type = RelType::kCoResident;
+  int age_diff = 0;
+  bool age_diff_known = false;
+};
+
+/// Enriched household graph: complete over the household's members.
+class HouseholdGraph {
+ public:
+  HouseholdGraph() = default;
+  HouseholdGraph(GroupId group, std::vector<RecordId> members);
+
+  GroupId group() const { return group_; }
+  const std::vector<RecordId>& members() const { return members_; }
+  const std::vector<RelEdge>& edges() const { return edges_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Adds an edge; endpoints are canonicalized to a < b (flipping the sign
+  /// of age_diff as needed). Both endpoints must be members.
+  void AddEdge(RecordId a, RecordId b, RelType type, int age_diff,
+               bool age_diff_known);
+
+  /// Edge between two members, or nullptr. After enrichment every member
+  /// pair has an edge.
+  const RelEdge* EdgeBetween(RecordId a, RecordId b) const;
+
+  /// Signed age difference age(x) - age(y) along the edge between x and y.
+  /// Only meaningful when the edge exists and its age_diff_known is true.
+  int OrientedAgeDiff(const RelEdge& edge, RecordId x, RecordId y) const;
+
+ private:
+  static uint64_t PairKey(RecordId a, RecordId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  GroupId group_ = kInvalidGroup;
+  std::vector<RecordId> members_;
+  std::vector<RelEdge> edges_;
+  std::unordered_map<uint64_t, uint32_t> edge_index_;  // PairKey(a<b) -> idx
+};
+
+}  // namespace tglink
+
+#endif  // TGLINK_GRAPH_HOUSEHOLD_GRAPH_H_

@@ -1,0 +1,45 @@
+#include "tglink/graph/union_find.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace tglink {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_components_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+size_t UnionFind::Find(size_t x) {
+  assert(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = static_cast<uint32_t>(ra);
+  size_[ra] += size_[rb];
+  --num_components_;
+  return true;
+}
+
+std::vector<uint32_t> UnionFind::ComponentLabels() {
+  std::vector<uint32_t> labels(parent_.size());
+  std::vector<uint32_t> root_label(parent_.size(), UINT32_MAX);
+  uint32_t next = 0;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    const size_t root = Find(i);
+    if (root_label[root] == UINT32_MAX) root_label[root] = next++;
+    labels[i] = root_label[root];
+  }
+  return labels;
+}
+
+}  // namespace tglink

@@ -1,0 +1,54 @@
+#include "tglink/linkage/config.h"
+
+namespace tglink {
+namespace configs {
+
+SimilarityFunction Omega1(double delta) {
+  return SimilarityFunction(
+      {
+          {Field::kFirstName, Measure::kQGramDice, 0.2},
+          {Field::kSex, Measure::kExact, 0.2},
+          {Field::kSurname, Measure::kQGramDice, 0.2},
+          {Field::kAddress, Measure::kQGramDice, 0.2},
+          {Field::kOccupation, Measure::kQGramDice, 0.2},
+      },
+      delta);
+}
+
+SimilarityFunction Omega2(double delta) {
+  return SimilarityFunction(
+      {
+          {Field::kFirstName, Measure::kQGramDice, 0.4},
+          {Field::kSex, Measure::kExact, 0.2},
+          {Field::kSurname, Measure::kQGramDice, 0.2},
+          {Field::kAddress, Measure::kQGramDice, 0.1},
+          {Field::kOccupation, Measure::kQGramDice, 0.1},
+      },
+      delta);
+}
+
+SimilarityFunction ResidualSimFunc(double delta) {
+  // ω2 attributes plus a temporal age component. The age term substitutes
+  // for the structural evidence that subgraph matching would otherwise
+  // contribute, keeping residual matching precise.
+  return SimilarityFunction(
+      {
+          {Field::kFirstName, Measure::kQGramDice, 0.35},
+          {Field::kSex, Measure::kExact, 0.15},
+          {Field::kSurname, Measure::kQGramDice, 0.2},
+          {Field::kAddress, Measure::kQGramDice, 0.05},
+          {Field::kOccupation, Measure::kQGramDice, 0.05},
+          {Field::kAge, Measure::kExact, 0.2},  // measure ignored for kAge
+      },
+      delta);
+}
+
+LinkageConfig DefaultConfig() {
+  LinkageConfig config;
+  config.sim_func = Omega2();
+  config.sim_func_rem = ResidualSimFunc();
+  return config;
+}
+
+}  // namespace configs
+}  // namespace tglink

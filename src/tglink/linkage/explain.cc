@@ -1,0 +1,83 @@
+#include "tglink/linkage/explain.h"
+
+#include <sstream>
+
+namespace tglink {
+
+LinkExplanation ExplainLink(const LinkageResult& result,
+                            const CensusDataset& old_dataset,
+                            const CensusDataset& new_dataset,
+                            const LinkageConfig& config, RecordId old_id) {
+  LinkExplanation explanation;
+  explanation.old_id = old_id;
+  explanation.old_household =
+      old_dataset.household(old_dataset.record(old_id).group).external_id;
+
+  const RecordId new_id = result.record_mapping.NewFor(old_id);
+  if (new_id == kInvalidRecord) return explanation;
+
+  explanation.linked = true;
+  explanation.new_id = new_id;
+  explanation.new_household =
+      new_dataset.household(new_dataset.record(new_id).group).external_id;
+  explanation.households_linked = result.group_mapping.Contains(
+      old_dataset.record(old_id).group, new_dataset.record(new_id).group);
+
+  // Find the link's position to read its provenance.
+  const auto& links = result.record_mapping.links();
+  for (size_t i = 0; i < links.size(); ++i) {
+    if (links[i].first == old_id) {
+      if (i < result.provenance.size()) {
+        explanation.phase = result.provenance[i].phase;
+        explanation.phase_delta = result.provenance[i].delta;
+      }
+      break;
+    }
+  }
+
+  SimilarityFunction sim_func = config.sim_func;
+  sim_func.set_year_gap(new_dataset.year() - old_dataset.year());
+  explanation.attribute_similarity = sim_func.AggregateSimilarity(
+      old_dataset.record(old_id), new_dataset.record(new_id));
+  explanation.attribute_values =
+      sim_func.Compare(old_dataset.record(old_id), new_dataset.record(new_id));
+  return explanation;
+}
+
+std::string LinkExplanation::ToString(const CensusDataset& old_dataset,
+                                      const CensusDataset& new_dataset,
+                                      const LinkageConfig& config) const {
+  std::ostringstream os;
+  const PersonRecord& old_rec = old_dataset.record(old_id);
+  os << old_rec.external_id << " (" << old_rec.DisplayName() << ", "
+     << old_rec.age << ", " << RoleName(old_rec.role) << " of "
+     << old_household << ")";
+  if (!linked) {
+    os << " -> UNLINKED (no candidate reached the thresholds; the person "
+          "may have died, emigrated, or be too corrupted to match)";
+    return os.str();
+  }
+  const PersonRecord& new_rec = new_dataset.record(new_id);
+  os << " -> " << new_rec.external_id << " (" << new_rec.DisplayName() << ", "
+     << new_rec.age << ", " << RoleName(new_rec.role) << " of "
+     << new_household << ")\n";
+  os << "  phase: " << LinkPhaseName(phase) << " at threshold "
+     << phase_delta << "\n";
+  os << "  attribute similarity (" << config.sim_func.ToString()
+     << "): " << attribute_similarity << "\n";
+  const auto& specs = config.sim_func.specs();
+  os << "  per attribute:";
+  for (size_t i = 0; i < specs.size() && i < attribute_values.size(); ++i) {
+    os << " " << FieldName(specs[i].field) << "=";
+    if (attribute_values[i] < 0) {
+      os << "n/a";
+    } else {
+      os << attribute_values[i];
+    }
+  }
+  os << "\n  households " << (households_linked ? "ARE" : "are NOT")
+     << " linked in the group mapping";
+  return os.str();
+}
+
+}  // namespace tglink

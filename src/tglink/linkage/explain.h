@@ -1,0 +1,44 @@
+// Link explanation: human-readable provenance for a linkage decision —
+// which phase produced a link, at what threshold, with which attribute
+// evidence, and between which households. A production linkage system has
+// to answer "why did you link these two records?" for manual review.
+
+#ifndef TGLINK_LINKAGE_EXPLAIN_H_
+#define TGLINK_LINKAGE_EXPLAIN_H_
+
+#include <string>
+
+#include "tglink/census/dataset.h"
+#include "tglink/linkage/config.h"
+#include "tglink/linkage/iterative.h"
+
+namespace tglink {
+
+struct LinkExplanation {
+  bool linked = false;
+  RecordId old_id = kInvalidRecord;
+  RecordId new_id = kInvalidRecord;
+  LinkPhase phase = LinkPhase::kSubgraph;
+  double phase_delta = 0.0;
+  double attribute_similarity = 0.0;  // under config.sim_func
+  /// Per-attribute similarity values, ordered as config.sim_func.specs().
+  std::vector<double> attribute_values;
+  std::string old_household;
+  std::string new_household;
+  bool households_linked = false;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(const CensusDataset& old_dataset,
+                       const CensusDataset& new_dataset,
+                       const LinkageConfig& config) const;
+};
+
+/// Explains the link (or non-link) of `old_id` in a finished result.
+LinkExplanation ExplainLink(const LinkageResult& result,
+                            const CensusDataset& old_dataset,
+                            const CensusDataset& new_dataset,
+                            const LinkageConfig& config, RecordId old_id);
+
+}  // namespace tglink
+
+#endif  // TGLINK_LINKAGE_EXPLAIN_H_

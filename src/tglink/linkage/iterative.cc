@@ -1,0 +1,164 @@
+#include "tglink/linkage/iterative.h"
+
+#include <sstream>
+
+#include "tglink/graph/enrichment.h"
+#include "tglink/linkage/prematching.h"
+#include "tglink/linkage/residual.h"
+#include "tglink/linkage/selection.h"
+#include "tglink/linkage/subgraph.h"
+#include "tglink/util/logging.h"
+
+namespace tglink {
+
+namespace {
+
+/// Ablation variant of enrichment: only the head-relative star of explicit
+/// role edges, no implicit member-member relationships (enrich_groups=false).
+std::vector<HouseholdGraph> BuildStarGraphs(const CensusDataset& dataset) {
+  std::vector<HouseholdGraph> graphs;
+  graphs.reserve(dataset.num_households());
+  for (GroupId g = 0; g < dataset.num_households(); ++g) {
+    const Household& hh = dataset.household(g);
+    HouseholdGraph graph(g, hh.members);
+    RecordId head = kInvalidRecord;
+    for (RecordId r : hh.members) {
+      if (dataset.record(r).role == Role::kHead) {
+        head = r;
+        break;
+      }
+    }
+    if (head == kInvalidRecord && !hh.members.empty()) head = hh.members[0];
+    for (RecordId r : hh.members) {
+      if (r == head) continue;
+      const PersonRecord& a = dataset.record(head);
+      const PersonRecord& b = dataset.record(r);
+      const bool ages = a.has_age() && b.has_age();
+      graph.AddEdge(head, r, DeriveRelType(a.role, b.role),
+                    ages ? a.age - b.age : 0, ages);
+    }
+    graphs.push_back(std::move(graph));
+  }
+  return graphs;
+}
+
+size_t CountPairsAtDelta(const std::vector<ScoredPair>& pairs, double delta,
+                         const std::vector<bool>& active_old,
+                         const std::vector<bool>& active_new) {
+  size_t count = 0;
+  for (const ScoredPair& p : pairs) {
+    if (p.sim + 1e-12 >= delta && active_old[p.old_id] && active_new[p.new_id])
+      ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+const char* LinkPhaseName(LinkPhase phase) {
+  switch (phase) {
+    case LinkPhase::kSubgraph:
+      return "subgraph";
+    case LinkPhase::kContextResidual:
+      return "context-residual";
+    case LinkPhase::kGlobalResidual:
+      return "global-residual";
+  }
+  return "?";
+}
+
+std::string LinkageResult::Summary() const {
+  std::ostringstream os;
+  os << "record links: " << record_mapping.size()
+     << " (context: " << context_record_links
+     << ", residual: " << residual_record_links << "), group links: "
+     << group_mapping.size() << ", iterations: " << iterations.size();
+  return os.str();
+}
+
+LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
+                             const CensusDataset& new_dataset,
+                             const LinkageConfig& config) {
+  LinkageResult result;
+  result.record_mapping =
+      RecordMapping(old_dataset.num_records(), new_dataset.num_records());
+
+  // Initialization: completeGroups — enrich the household graphs once; the
+  // groups themselves never change during linkage.
+  const std::vector<HouseholdGraph> old_graphs =
+      config.enrich_groups ? EnrichAllHouseholds(old_dataset)
+                           : BuildStarGraphs(old_dataset);
+  const std::vector<HouseholdGraph> new_graphs =
+      config.enrich_groups ? EnrichAllHouseholds(new_dataset)
+                           : BuildStarGraphs(new_dataset);
+
+  // Pre-score all candidate pairs once at the loosest threshold the
+  // schedule can reach (see PreMatcher docs).
+  SimilarityFunction sim_func = config.sim_func;
+  sim_func.set_year_gap(new_dataset.year() - old_dataset.year());
+  PreMatcher prematcher(old_dataset, new_dataset, sim_func, config.blocking,
+                        config.delta_low);
+
+  std::vector<bool> active_old(old_dataset.num_records(), true);
+  std::vector<bool> active_new(new_dataset.num_records(), true);
+
+  // Iterative subgraph matching: δ_high down to δ_low in steps of Δ.
+  double delta = config.delta_high;
+  while (delta + 1e-9 >= config.delta_low) {
+    const Clustering clustering =
+        prematcher.Cluster(delta, active_old, active_new);
+    std::vector<GroupPairSubgraph> subgraphs =
+        BuildAllSubgraphs(old_dataset, new_dataset, old_graphs, new_graphs,
+                          clustering, prematcher, config, delta);
+
+    IterationStats stats;
+    stats.delta = delta;
+    stats.scored_pairs = CountPairsAtDelta(prematcher.scored_pairs(), delta,
+                                           active_old, active_new);
+    stats.candidate_subgraphs = subgraphs.size();
+
+    const SelectionResult selection = SelectGroupLinks(
+        std::move(subgraphs), &result.group_mapping, &result.record_mapping,
+        &active_old, &active_new);
+    result.provenance.resize(result.record_mapping.size(),
+                             {LinkPhase::kSubgraph, delta});
+    stats.accepted_subgraphs = selection.accepted_subgraphs;
+    stats.new_group_links = selection.new_group_links;
+    stats.new_record_links = selection.new_record_links;
+    result.iterations.push_back(stats);
+
+    TGLINK_LOG(kInfo) << "iteration δ=" << delta << ": "
+                      << stats.accepted_subgraphs << " subgraphs, "
+                      << stats.new_record_links << " record links";
+
+    if (selection.accepted_subgraphs == 0) break;  // M_G^p = ∅
+    delta -= config.delta_step;
+  }
+
+  SimilarityFunction sim_func_rem = config.sim_func_rem;
+  sim_func_rem.set_year_gap(new_dataset.year() - old_dataset.year());
+
+  // Extension: place leftovers within already-linked household pairs first
+  // (see LinkageConfig::context_residual).
+  if (config.context_residual) {
+    result.context_record_links = MatchWithinLinkedHouseholds(
+        old_dataset, new_dataset, sim_func_rem,
+        config.context_residual_threshold, result.group_mapping,
+        &result.record_mapping, &active_old, &active_new);
+    result.provenance.resize(
+        result.record_mapping.size(),
+        {LinkPhase::kContextResidual, config.context_residual_threshold});
+  }
+
+  // Residual attribute-only matching for the leftovers (lines 17-19).
+  result.residual_record_links = MatchResidualRecords(
+      old_dataset, new_dataset, sim_func_rem, config.blocking,
+      &result.record_mapping, &result.group_mapping, &active_old, &active_new);
+  result.provenance.resize(result.record_mapping.size(),
+                           {LinkPhase::kGlobalResidual,
+                            sim_func_rem.threshold()});
+
+  return result;
+}
+
+}  // namespace tglink

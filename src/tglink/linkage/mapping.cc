@@ -1,0 +1,59 @@
+#include "tglink/linkage/mapping.h"
+
+#include <algorithm>
+
+namespace tglink {
+
+RecordMapping::RecordMapping(size_t num_old, size_t num_new)
+    : old_to_new_(num_old, kInvalidRecord),
+      new_to_old_(num_new, kInvalidRecord) {}
+
+Status RecordMapping::Add(RecordId old_id, RecordId new_id) {
+  if (old_id >= old_to_new_.size() || new_id >= new_to_old_.size()) {
+    return Status::InvalidArgument("record link endpoint out of range");
+  }
+  if (old_to_new_[old_id] != kInvalidRecord) {
+    return Status::InvalidArgument("old record already linked");
+  }
+  if (new_to_old_[new_id] != kInvalidRecord) {
+    return Status::InvalidArgument("new record already linked");
+  }
+  old_to_new_[old_id] = new_id;
+  new_to_old_[new_id] = old_id;
+  links_.emplace_back(old_id, new_id);
+  return Status::OK();
+}
+
+bool GroupMapping::Add(GroupId old_id, GroupId new_id) {
+  if (!present_.insert(Key(old_id, new_id)).second) return false;
+  links_.emplace_back(old_id, new_id);
+  return true;
+}
+
+bool GroupMapping::Contains(GroupId old_id, GroupId new_id) const {
+  return present_.count(Key(old_id, new_id)) > 0;
+}
+
+std::vector<GroupLink> GroupMapping::SortedLinks() const {
+  std::vector<GroupLink> sorted = links_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::vector<GroupId> GroupMapping::NewPartners(GroupId old_id) const {
+  std::vector<GroupId> out;
+  for (const GroupLink& link : links_) {
+    if (link.first == old_id) out.push_back(link.second);
+  }
+  return out;
+}
+
+std::vector<GroupId> GroupMapping::OldPartners(GroupId new_id) const {
+  std::vector<GroupId> out;
+  for (const GroupLink& link : links_) {
+    if (link.second == new_id) out.push_back(link.first);
+  }
+  return out;
+}
+
+}  // namespace tglink

@@ -1,0 +1,95 @@
+// Record and group mappings — the two outputs of temporal linkage
+// (Equations 1 and 2 of the paper). RecordMapping is strictly 1:1;
+// GroupMapping is N:M.
+
+#ifndef TGLINK_LINKAGE_MAPPING_H_
+#define TGLINK_LINKAGE_MAPPING_H_
+
+#include <unordered_set>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tglink/census/record.h"
+#include "tglink/util/status.h"
+
+namespace tglink {
+
+using RecordLink = std::pair<RecordId, RecordId>;  // (old, new)
+using GroupLink = std::pair<GroupId, GroupId>;     // (old, new)
+
+/// 1:1 mapping between the records of two successive snapshots, with O(1)
+/// bidirectional lookup.
+class RecordMapping {
+ public:
+  RecordMapping() = default;
+  RecordMapping(size_t num_old, size_t num_new);
+
+  /// Adds a link. Returns InvalidArgument if either endpoint is already
+  /// linked (1:1 violation) or out of range.
+  Status Add(RecordId old_id, RecordId new_id);
+
+  bool IsOldLinked(RecordId old_id) const {
+    return old_to_new_[old_id] != kInvalidRecord;
+  }
+  bool IsNewLinked(RecordId new_id) const {
+    return new_to_old_[new_id] != kInvalidRecord;
+  }
+
+  /// kInvalidRecord when unlinked.
+  RecordId NewFor(RecordId old_id) const { return old_to_new_[old_id]; }
+  RecordId OldFor(RecordId new_id) const { return new_to_old_[new_id]; }
+
+  const std::vector<RecordLink>& links() const { return links_; }
+  size_t size() const { return links_.size(); }
+
+  size_t num_old() const { return old_to_new_.size(); }
+  size_t num_new() const { return new_to_old_.size(); }
+
+ private:
+  std::vector<RecordLink> links_;
+  std::vector<RecordId> old_to_new_;
+  std::vector<RecordId> new_to_old_;
+};
+
+/// N:M mapping between households; duplicate links are ignored.
+class GroupMapping {
+ public:
+  /// Adds a link if not already present; returns true when inserted.
+  bool Add(GroupId old_id, GroupId new_id);
+
+  bool Contains(GroupId old_id, GroupId new_id) const;
+
+  const std::vector<GroupLink>& links() const { return links_; }
+  size_t size() const { return links_.size(); }
+
+  /// Links sorted by (old, new) for deterministic output.
+  std::vector<GroupLink> SortedLinks() const;
+
+  /// New-side partners of an old group (unsorted).
+  std::vector<GroupId> NewPartners(GroupId old_id) const;
+  /// Old-side partners of a new group (unsorted).
+  std::vector<GroupId> OldPartners(GroupId new_id) const;
+
+ private:
+  static uint64_t Key(GroupId a, GroupId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+  std::vector<GroupLink> links_;
+  // Membership test; kept flat-sorted lazily would complicate Add, so use a
+  // sorted-vector-free approach: linear structures are too slow at 10^4
+  // links, hence a hash set keyed by packed pair.
+  struct Hash {
+    size_t operator()(uint64_t v) const {
+      v ^= v >> 33;
+      v *= 0xFF51AFD7ED558CCDULL;
+      v ^= v >> 33;
+      return static_cast<size_t>(v);
+    }
+  };
+  std::unordered_set<uint64_t, Hash> present_;
+};
+
+}  // namespace tglink
+
+#endif  // TGLINK_LINKAGE_MAPPING_H_

@@ -1,0 +1,74 @@
+#include "tglink/linkage/prematching.h"
+
+#include <cassert>
+
+#include "tglink/graph/union_find.h"
+
+namespace tglink {
+
+PreMatcher::PreMatcher(const CensusDataset& old_dataset,
+                       const CensusDataset& new_dataset,
+                       const SimilarityFunction& sim_func,
+                       const BlockingConfig& blocking, double min_threshold)
+    : old_dataset_(old_dataset),
+      new_dataset_(new_dataset),
+      sim_func_(sim_func) {
+  const std::vector<CandidatePair> candidates =
+      GenerateCandidatePairs(old_dataset, new_dataset, blocking);
+  scored_pairs_.reserve(candidates.size() / 8);
+  for (const CandidatePair& cand : candidates) {
+    const double sim = sim_func.AggregateSimilarity(
+        old_dataset.record(cand.old_id), new_dataset.record(cand.new_id));
+    if (sim >= min_threshold) {
+      scored_pairs_.push_back({cand.old_id, cand.new_id, sim});
+      pair_sim_.emplace(Key(cand.old_id, cand.new_id), sim);
+    }
+  }
+}
+
+double PreMatcher::PairSimilarity(RecordId old_id, RecordId new_id) const {
+  auto it = pair_sim_.find(Key(old_id, new_id));
+  if (it != pair_sim_.end()) return it->second;
+  return sim_func_.AggregateSimilarity(old_dataset_.record(old_id),
+                                       new_dataset_.record(new_id));
+}
+
+Clustering PreMatcher::Cluster(double delta,
+                               const std::vector<bool>& active_old,
+                               const std::vector<bool>& active_new) const {
+  const size_t n_old = old_dataset_.num_records();
+  const size_t n_new = new_dataset_.num_records();
+  assert(active_old.size() == n_old && active_new.size() == n_new);
+
+  // Transitive closure over accepted pairs; node space is old records
+  // followed by new records.
+  UnionFind uf(n_old + n_new);
+  for (const ScoredPair& pair : scored_pairs_) {
+    if (pair.sim + 1e-12 < delta) continue;
+    if (!active_old[pair.old_id] || !active_new[pair.new_id]) continue;
+    uf.Union(pair.old_id, n_old + pair.new_id);
+  }
+  std::vector<uint32_t> labels = uf.ComponentLabels();
+
+  Clustering clustering;
+  clustering.old_labels.assign(n_old, Clustering::kNoLabel);
+  clustering.new_labels.assign(n_new, Clustering::kNoLabel);
+  clustering.num_labels = uf.num_components();
+  clustering.label_old_members.resize(clustering.num_labels);
+  clustering.label_new_members.resize(clustering.num_labels);
+  for (size_t r = 0; r < n_old; ++r) {
+    if (!active_old[r]) continue;
+    const uint32_t label = labels[r];
+    clustering.old_labels[r] = label;
+    clustering.label_old_members[label].push_back(static_cast<RecordId>(r));
+  }
+  for (size_t r = 0; r < n_new; ++r) {
+    if (!active_new[r]) continue;
+    const uint32_t label = labels[n_old + r];
+    clustering.new_labels[r] = label;
+    clustering.label_new_members[label].push_back(static_cast<RecordId>(r));
+  }
+  return clustering;
+}
+
+}  // namespace tglink

@@ -1,0 +1,88 @@
+// Pre-matching (Section 3.2): scores candidate record pairs with the
+// composite similarity function, then clusters records whose similarity
+// exceeds the current threshold δ via transitive closure, assigning the
+// cluster labels that drive subgraph matching.
+//
+// Because attribute similarities do not change across the iterations of
+// Algorithm 1 (only δ and the set of still-unmatched records do), PreMatcher
+// scores each candidate pair exactly once — at the lowest threshold the
+// schedule will ever use — and each iteration's clustering is a cheap filter
+// over the cached scores.
+
+#ifndef TGLINK_LINKAGE_PREMATCHING_H_
+#define TGLINK_LINKAGE_PREMATCHING_H_
+
+#include <unordered_map>
+#include <cstddef>
+#include <vector>
+
+#include "tglink/blocking/blocking.h"
+#include "tglink/census/dataset.h"
+#include "tglink/similarity/composite.h"
+
+namespace tglink {
+
+struct ScoredPair {
+  RecordId old_id;
+  RecordId new_id;
+  double sim;
+};
+
+/// The result of one clustering round: per-record cluster labels over both
+/// snapshots. Records marked inactive (already matched in an earlier
+/// iteration) carry kNoLabel and are absent from the member lists.
+struct Clustering {
+  static constexpr uint32_t kNoLabel = UINT32_MAX;
+
+  std::vector<uint32_t> old_labels;  // per old record
+  std::vector<uint32_t> new_labels;  // per new record
+  size_t num_labels = 0;
+
+  /// Active records per label, per side. Indexed by label.
+  std::vector<std::vector<RecordId>> label_old_members;
+  std::vector<std::vector<RecordId>> label_new_members;
+
+  /// |label(r)| of Eq. 7: number of active records (both snapshots) that
+  /// carry this label.
+  size_t LabelSize(uint32_t label) const {
+    return label_old_members[label].size() + label_new_members[label].size();
+  }
+};
+
+class PreMatcher {
+ public:
+  /// Scores all blocking candidates once; pairs below `min_threshold`
+  /// (normally δ_low) are discarded. The datasets and similarity function
+  /// must outlive the PreMatcher.
+  PreMatcher(const CensusDataset& old_dataset, const CensusDataset& new_dataset,
+             const SimilarityFunction& sim_func, const BlockingConfig& blocking,
+             double min_threshold);
+
+  /// Cached pairs with sim >= min_threshold, sorted by (old, new).
+  const std::vector<ScoredPair>& scored_pairs() const { return scored_pairs_; }
+
+  /// agg_sim for any record pair: cached when above min_threshold, computed
+  /// on demand otherwise (needed for transitively-clustered pairs).
+  double PairSimilarity(RecordId old_id, RecordId new_id) const;
+
+  /// Clusters active records using pairs with sim >= delta (the
+  /// `prematching` step of one Algorithm 1 iteration). `active_*[r]` is
+  /// false for records already matched.
+  Clustering Cluster(double delta, const std::vector<bool>& active_old,
+                     const std::vector<bool>& active_new) const;
+
+ private:
+  static uint64_t Key(RecordId o, RecordId n) {
+    return (static_cast<uint64_t>(o) << 32) | n;
+  }
+
+  const CensusDataset& old_dataset_;
+  const CensusDataset& new_dataset_;
+  const SimilarityFunction& sim_func_;
+  std::vector<ScoredPair> scored_pairs_;
+  std::unordered_map<uint64_t, double> pair_sim_;
+};
+
+}  // namespace tglink
+
+#endif  // TGLINK_LINKAGE_PREMATCHING_H_

@@ -1,0 +1,103 @@
+#include "tglink/linkage/residual.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tglink {
+
+std::vector<ScoredPair> GreedyOneToOneMatch(
+    const CensusDataset& old_dataset, const CensusDataset& new_dataset,
+    const SimilarityFunction& sim_func, const BlockingConfig& blocking,
+    const std::vector<bool>& active_old, const std::vector<bool>& active_new) {
+  std::vector<ScoredPair> scored;
+  for (const CandidatePair& cand :
+       GenerateCandidatePairs(old_dataset, new_dataset, blocking)) {
+    if (!active_old[cand.old_id] || !active_new[cand.new_id]) continue;
+    const double sim = sim_func.AggregateSimilarity(
+        old_dataset.record(cand.old_id), new_dataset.record(cand.new_id));
+    if (sim >= sim_func.threshold()) {
+      scored.push_back({cand.old_id, cand.new_id, sim});
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              if (a.sim != b.sim) return a.sim > b.sim;
+              if (a.old_id != b.old_id) return a.old_id < b.old_id;
+              return a.new_id < b.new_id;
+            });
+  std::vector<bool> used_old(old_dataset.num_records(), false);
+  std::vector<bool> used_new(new_dataset.num_records(), false);
+  std::vector<ScoredPair> accepted;
+  for (const ScoredPair& pair : scored) {
+    if (used_old[pair.old_id] || used_new[pair.new_id]) continue;
+    used_old[pair.old_id] = true;
+    used_new[pair.new_id] = true;
+    accepted.push_back(pair);
+  }
+  return accepted;
+}
+
+size_t MatchWithinLinkedHouseholds(const CensusDataset& old_dataset,
+                                   const CensusDataset& new_dataset,
+                                   const SimilarityFunction& sim_func,
+                                   double threshold,
+                                   const GroupMapping& group_mapping,
+                                   RecordMapping* record_mapping,
+                                   std::vector<bool>* active_old,
+                                   std::vector<bool>* active_new) {
+  std::vector<ScoredPair> scored;
+  for (const GroupLink& link : group_mapping.SortedLinks()) {
+    const Household& old_hh = old_dataset.household(link.first);
+    const Household& new_hh = new_dataset.household(link.second);
+    for (RecordId o : old_hh.members) {
+      if (!(*active_old)[o]) continue;
+      for (RecordId n : new_hh.members) {
+        if (!(*active_new)[n]) continue;
+        const double sim = sim_func.AggregateSimilarity(
+            old_dataset.record(o), new_dataset.record(n));
+        if (sim >= threshold) scored.push_back({o, n, sim});
+      }
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              if (a.sim != b.sim) return a.sim > b.sim;
+              if (a.old_id != b.old_id) return a.old_id < b.old_id;
+              return a.new_id < b.new_id;
+            });
+  size_t added = 0;
+  for (const ScoredPair& pair : scored) {
+    if (!(*active_old)[pair.old_id] || !(*active_new)[pair.new_id]) continue;
+    const Status st = record_mapping->Add(pair.old_id, pair.new_id);
+    assert(st.ok());
+    (void)st;
+    (*active_old)[pair.old_id] = false;
+    (*active_new)[pair.new_id] = false;
+    ++added;
+  }
+  return added;
+}
+
+size_t MatchResidualRecords(const CensusDataset& old_dataset,
+                            const CensusDataset& new_dataset,
+                            const SimilarityFunction& sim_func,
+                            const BlockingConfig& blocking,
+                            RecordMapping* record_mapping,
+                            GroupMapping* group_mapping,
+                            std::vector<bool>* active_old,
+                            std::vector<bool>* active_new) {
+  const std::vector<ScoredPair> links = GreedyOneToOneMatch(
+      old_dataset, new_dataset, sim_func, blocking, *active_old, *active_new);
+  for (const ScoredPair& link : links) {
+    const Status st = record_mapping->Add(link.old_id, link.new_id);
+    assert(st.ok());
+    (void)st;
+    (*active_old)[link.old_id] = false;
+    (*active_new)[link.new_id] = false;
+    group_mapping->Add(old_dataset.record(link.old_id).group,
+                       new_dataset.record(link.new_id).group);
+  }
+  return links.size();
+}
+
+}  // namespace tglink

@@ -1,0 +1,110 @@
+#include "tglink/linkage/result_io.h"
+
+#include <unordered_map>
+
+#include "tglink/util/csv.h"
+
+namespace tglink {
+
+namespace {
+std::unordered_map<std::string, uint32_t> IndexRecords(
+    const CensusDataset& dataset) {
+  std::unordered_map<std::string, uint32_t> index;
+  index.reserve(dataset.num_records());
+  for (uint32_t r = 0; r < dataset.num_records(); ++r) {
+    index.emplace(dataset.record(r).external_id, r);
+  }
+  return index;
+}
+
+std::unordered_map<std::string, uint32_t> IndexHouseholds(
+    const CensusDataset& dataset) {
+  std::unordered_map<std::string, uint32_t> index;
+  index.reserve(dataset.num_households());
+  for (uint32_t g = 0; g < dataset.num_households(); ++g) {
+    index.emplace(dataset.household(g).external_id, g);
+  }
+  return index;
+}
+}  // namespace
+
+std::string MappingsToCsv(const RecordMapping& records,
+                          const GroupMapping& groups,
+                          const CensusDataset& old_dataset,
+                          const CensusDataset& new_dataset) {
+  std::string out = FormatCsvRow({"kind", "old_id", "new_id"});
+  for (const RecordLink& link : records.links()) {
+    out += FormatCsvRow({"record", old_dataset.record(link.first).external_id,
+                         new_dataset.record(link.second).external_id});
+  }
+  for (const GroupLink& link : groups.SortedLinks()) {
+    out += FormatCsvRow({"group",
+                         old_dataset.household(link.first).external_id,
+                         new_dataset.household(link.second).external_id});
+  }
+  return out;
+}
+
+Result<LoadedMappings> MappingsFromCsv(const std::string& text,
+                                       const CensusDataset& old_dataset,
+                                       const CensusDataset& new_dataset) {
+  auto parsed = ParseCsv(text);
+  if (!parsed.ok()) return parsed.status();
+  const auto& rows = parsed.value();
+  if (rows.empty() || rows[0].size() != 3 || rows[0][0] != "kind") {
+    return Status::ParseError("unexpected mappings CSV header");
+  }
+  const auto old_records = IndexRecords(old_dataset);
+  const auto new_records = IndexRecords(new_dataset);
+  const auto old_groups = IndexHouseholds(old_dataset);
+  const auto new_groups = IndexHouseholds(new_dataset);
+
+  LoadedMappings loaded;
+  loaded.records =
+      RecordMapping(old_dataset.num_records(), new_dataset.num_records());
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const CsvRow& row = rows[i];
+    if (row.size() != 3) {
+      return Status::ParseError("mapping row " + std::to_string(i) +
+                                " has wrong arity");
+    }
+    if (row[0] == "record") {
+      auto io = old_records.find(row[1]);
+      auto in = new_records.find(row[2]);
+      if (io == old_records.end() || in == new_records.end()) {
+        return Status::NotFound("unknown record id in mapping: " + row[1] +
+                                " / " + row[2]);
+      }
+      TGLINK_RETURN_IF_ERROR(loaded.records.Add(io->second, in->second));
+    } else if (row[0] == "group") {
+      auto io = old_groups.find(row[1]);
+      auto in = new_groups.find(row[2]);
+      if (io == old_groups.end() || in == new_groups.end()) {
+        return Status::NotFound("unknown household id in mapping: " + row[1] +
+                                " / " + row[2]);
+      }
+      loaded.groups.Add(io->second, in->second);
+    } else {
+      return Status::ParseError("unknown mapping kind: " + row[0]);
+    }
+  }
+  return loaded;
+}
+
+Status SaveMappings(const RecordMapping& records, const GroupMapping& groups,
+                    const CensusDataset& old_dataset,
+                    const CensusDataset& new_dataset,
+                    const std::string& path) {
+  return WriteStringToFile(
+      path, MappingsToCsv(records, groups, old_dataset, new_dataset));
+}
+
+Result<LoadedMappings> LoadMappings(const std::string& path,
+                                    const CensusDataset& old_dataset,
+                                    const CensusDataset& new_dataset) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return MappingsFromCsv(text.value(), old_dataset, new_dataset);
+}
+
+}  // namespace tglink

@@ -1,0 +1,45 @@
+// CSV persistence for linkage results: record and group mappings on
+// external ids, so that a linkage run's output can be stored, diffed and
+// re-loaded against re-parsed datasets — the artifact a downstream
+// demographic study actually consumes.
+
+#ifndef TGLINK_LINKAGE_RESULT_IO_H_
+#define TGLINK_LINKAGE_RESULT_IO_H_
+
+#include <string>
+
+#include "tglink/census/dataset.h"
+#include "tglink/linkage/mapping.h"
+#include "tglink/util/status.h"
+
+namespace tglink {
+
+/// Serializes both mappings as CSV rows
+/// (`kind,old_id,new_id` with kind in {record, group}), using external ids.
+std::string MappingsToCsv(const RecordMapping& records,
+                          const GroupMapping& groups,
+                          const CensusDataset& old_dataset,
+                          const CensusDataset& new_dataset);
+
+struct LoadedMappings {
+  RecordMapping records;
+  GroupMapping groups;
+};
+
+/// Parses mappings back against the two datasets. Unknown external ids or
+/// 1:1 violations are errors.
+Result<LoadedMappings> MappingsFromCsv(const std::string& text,
+                                       const CensusDataset& old_dataset,
+                                       const CensusDataset& new_dataset);
+
+/// File convenience wrappers.
+Status SaveMappings(const RecordMapping& records, const GroupMapping& groups,
+                    const CensusDataset& old_dataset,
+                    const CensusDataset& new_dataset, const std::string& path);
+Result<LoadedMappings> LoadMappings(const std::string& path,
+                                    const CensusDataset& old_dataset,
+                                    const CensusDataset& new_dataset);
+
+}  // namespace tglink
+
+#endif  // TGLINK_LINKAGE_RESULT_IO_H_

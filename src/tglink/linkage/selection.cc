@@ -1,0 +1,58 @@
+#include "tglink/linkage/selection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tglink {
+
+SelectionResult SelectGroupLinks(std::vector<GroupPairSubgraph> subgraphs,
+                                 GroupMapping* group_mapping,
+                                 RecordMapping* record_mapping,
+                                 std::vector<bool>* active_old,
+                                 std::vector<bool>* active_new) {
+  // Descending g_sim is the priority-queue order of Algorithm 2; a total
+  // order on ties keeps runs reproducible.
+  std::sort(subgraphs.begin(), subgraphs.end(),
+            [](const GroupPairSubgraph& a, const GroupPairSubgraph& b) {
+              if (a.g_sim != b.g_sim) return a.g_sim > b.g_sim;
+              if (a.old_group != b.old_group) return a.old_group < b.old_group;
+              return a.new_group < b.new_group;
+            });
+
+  SelectionResult result;
+  // `linked` of Algorithm 2: records claimed by an accepted subgraph during
+  // this selection round. Because each record belongs to exactly one
+  // household, global per-record flags are equivalent to the per-group
+  // lookup sets in the paper's formulation.
+  std::vector<bool> linked_old(active_old->size(), false);
+  std::vector<bool> linked_new(active_new->size(), false);
+
+  for (const GroupPairSubgraph& subgraph : subgraphs) {
+    bool disjoint = true;
+    for (const SubgraphVertex& v : subgraph.vertices) {
+      if (linked_old[v.old_id] || linked_new[v.new_id]) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+
+    ++result.accepted_subgraphs;
+    if (group_mapping->Add(subgraph.old_group, subgraph.new_group)) {
+      ++result.new_group_links;
+    }
+    for (const SubgraphVertex& v : subgraph.vertices) {
+      linked_old[v.old_id] = true;
+      linked_new[v.new_id] = true;
+      const Status st = record_mapping->Add(v.old_id, v.new_id);
+      assert(st.ok() && "selection produced a non-1:1 record link");
+      (void)st;
+      (*active_old)[v.old_id] = false;
+      (*active_new)[v.new_id] = false;
+      ++result.new_record_links;
+    }
+  }
+  return result;
+}
+
+}  // namespace tglink

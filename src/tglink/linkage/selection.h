@@ -1,0 +1,37 @@
+// Selection of group links (Section 3.4, Algorithm 2): greedy over the
+// scored subgraphs in descending g_sim order, accepting a subgraph only if
+// none of its records has been linked yet, which both yields the N:M group
+// mapping and guarantees the 1:1 record mapping.
+
+#ifndef TGLINK_LINKAGE_SELECTION_H_
+#define TGLINK_LINKAGE_SELECTION_H_
+
+#include <vector>
+#include <cstddef>
+
+#include "tglink/linkage/mapping.h"
+#include "tglink/linkage/subgraph.h"
+
+namespace tglink {
+
+struct SelectionResult {
+  size_t accepted_subgraphs = 0;
+  size_t new_group_links = 0;
+  size_t new_record_links = 0;
+};
+
+/// Runs Algorithm 2 over `subgraphs`, extending `group_mapping` and
+/// `record_mapping` in place and flagging newly matched records in
+/// `active_old` / `active_new` (set to false). Records already inactive
+/// never occur in subgraph vertices (pre-matching excluded them).
+///
+/// Determinism: ties in g_sim break on (old_group, new_group).
+SelectionResult SelectGroupLinks(std::vector<GroupPairSubgraph> subgraphs,
+                                 GroupMapping* group_mapping,
+                                 RecordMapping* record_mapping,
+                                 std::vector<bool>* active_old,
+                                 std::vector<bool>* active_new);
+
+}  // namespace tglink
+
+#endif  // TGLINK_LINKAGE_SELECTION_H_

@@ -1,0 +1,28 @@
+#include "tglink/linkage/series.h"
+
+#include <cassert>
+
+namespace tglink {
+
+EvolutionGraph SeriesLinkageResult::BuildEvolutionGraph(
+    const std::vector<CensusDataset>& datasets) const {
+  return EvolutionGraph(datasets, record_mappings, group_mappings);
+}
+
+SeriesLinkageResult LinkCensusSeries(
+    const std::vector<CensusDataset>& datasets, const LinkageConfig& config) {
+  assert(datasets.size() >= 2);
+  SeriesLinkageResult series;
+  series.pair_results.reserve(datasets.size() - 1);
+  for (size_t i = 0; i + 1 < datasets.size(); ++i) {
+    assert(datasets[i].year() < datasets[i + 1].year());
+    series.pair_results.push_back(
+        LinkCensusPair(datasets[i], datasets[i + 1], config));
+    series.record_mappings.push_back(
+        series.pair_results.back().record_mapping);
+    series.group_mappings.push_back(series.pair_results.back().group_mapping);
+  }
+  return series;
+}
+
+}  // namespace tglink

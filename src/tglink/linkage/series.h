@@ -1,0 +1,35 @@
+// Series-level driver: link every successive pair of a census series and
+// assemble the evolution graph — the workflow of the paper's Section 5.4
+// as a single call.
+
+#ifndef TGLINK_LINKAGE_SERIES_H_
+#define TGLINK_LINKAGE_SERIES_H_
+
+#include <vector>
+
+#include "tglink/census/dataset.h"
+#include "tglink/evolution/evolution_graph.h"
+#include "tglink/linkage/config.h"
+#include "tglink/linkage/iterative.h"
+
+namespace tglink {
+
+struct SeriesLinkageResult {
+  std::vector<LinkageResult> pair_results;  // one per successive pair
+  std::vector<RecordMapping> record_mappings;
+  std::vector<GroupMapping> group_mappings;
+
+  /// Builds the evolution graph over `datasets` (which must be the same
+  /// series this result was computed from).
+  EvolutionGraph BuildEvolutionGraph(
+      const std::vector<CensusDataset>& datasets) const;
+};
+
+/// Links datasets[i] -> datasets[i+1] for every i with the same
+/// configuration. Requires at least two snapshots in ascending year order.
+SeriesLinkageResult LinkCensusSeries(
+    const std::vector<CensusDataset>& datasets, const LinkageConfig& config);
+
+}  // namespace tglink
+
+#endif  // TGLINK_LINKAGE_SERIES_H_

@@ -1,0 +1,185 @@
+#include "tglink/linkage/subgraph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tglink/similarity/numeric.h"
+
+namespace tglink {
+
+namespace {
+
+/// Relationship-property similarity of an old edge vs a new edge, oriented
+/// from vertex i to vertex j on both sides. Returns a negative value when
+/// the edges do not match (different type, or age differences deviating
+/// beyond the tolerance).
+double EdgePropertySimilarity(const HouseholdGraph& old_graph,
+                              const HouseholdGraph& new_graph,
+                              const SubgraphVertex& vi,
+                              const SubgraphVertex& vj,
+                              const LinkageConfig& config) {
+  const RelEdge* old_edge = old_graph.EdgeBetween(vi.old_id, vj.old_id);
+  const RelEdge* new_edge = new_graph.EdgeBetween(vi.new_id, vj.new_id);
+  if (old_edge == nullptr || new_edge == nullptr) return -1.0;
+  if (old_edge->type != new_edge->type) return -1.0;
+  if (old_edge->age_diff_known && new_edge->age_diff_known) {
+    const int d_old = old_graph.OrientedAgeDiff(*old_edge, vi.old_id, vj.old_id);
+    const int d_new = new_graph.OrientedAgeDiff(*new_edge, vi.new_id, vj.new_id);
+    const double rp_sim =
+        AgeDiffSimilarity(d_old, d_new, config.edge_age_tolerance);
+    return rp_sim > 0.0 ? rp_sim : -1.0;
+  }
+  // One of the age differences is unknown: the types agree, so accept the
+  // edge with an agnostic property similarity.
+  return 0.5;
+}
+
+}  // namespace
+
+GroupPairSubgraph BuildGroupPairSubgraph(
+    GroupId old_group, GroupId new_group, const HouseholdGraph& old_graph,
+    const HouseholdGraph& new_graph, const Clustering& clustering,
+    const PreMatcher& prematcher, const LinkageConfig& config,
+    const CensusDataset& old_dataset, const CensusDataset& new_dataset,
+    double delta) {
+  GroupPairSubgraph subgraph;
+  subgraph.old_group = old_group;
+  subgraph.new_group = new_group;
+  const int year_gap = new_dataset.year() - old_dataset.year();
+
+  // 1. Candidate vertices: equally labeled (old, new) member pairs whose
+  // recorded ages are temporally plausible (footnote 2 of the paper).
+  std::vector<SubgraphVertex> candidates;
+  for (RecordId o : old_graph.members()) {
+    const uint32_t label = clustering.old_labels[o];
+    if (label == Clustering::kNoLabel) continue;
+    const PersonRecord& old_rec = old_dataset.record(o);
+    for (RecordId n : new_graph.members()) {
+      if (clustering.new_labels[n] != label) continue;
+      const PersonRecord& new_rec = new_dataset.record(n);
+      double age_sim = 0.5;
+      if (old_rec.has_age() && new_rec.has_age()) {
+        const int gate = config.vertex_age_tolerance;
+        age_sim = TemporalAgeSimilarity(old_rec.age, new_rec.age, year_gap,
+                                        gate > 0 ? gate : 7);
+        if (gate > 0 && age_sim <= 0.0) continue;  // implausible ageing
+      }
+      const double sim = prematcher.PairSimilarity(o, n);
+      if (sim + 1e-12 < delta) continue;  // label by chaining only
+      candidates.push_back({o, n, sim, age_sim});
+    }
+  }
+  if (candidates.empty()) return subgraph;
+
+  // 2. Resolve within-pair ambiguity (two equally named brothers, say) by a
+  // greedy 1:1 assignment ordered by record similarity, breaking ties on
+  // the temporally stable evidence — age plausibility.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SubgraphVertex& a, const SubgraphVertex& b) {
+              if (a.sim != b.sim) return a.sim > b.sim;
+              if (a.age_sim != b.age_sim) return a.age_sim > b.age_sim;
+              if (a.old_id != b.old_id) return a.old_id < b.old_id;
+              return a.new_id < b.new_id;
+            });
+  std::unordered_set<RecordId> used_old, used_new;
+  std::vector<SubgraphVertex> vertices;
+  for (const SubgraphVertex& cand : candidates) {
+    if (used_old.count(cand.old_id) || used_new.count(cand.new_id)) continue;
+    used_old.insert(cand.old_id);
+    used_new.insert(cand.new_id);
+    vertices.push_back(cand);
+  }
+
+  // 3. Edges: vertex pairs whose old and new records are connected by
+  // relationships agreeing in unified type and age difference.
+  std::vector<SubgraphEdge> edges;
+  for (uint32_t i = 0; i < vertices.size(); ++i) {
+    for (uint32_t j = i + 1; j < vertices.size(); ++j) {
+      const double rp_sim = EdgePropertySimilarity(
+          old_graph, new_graph, vertices[i], vertices[j], config);
+      if (rp_sim >= 0.0) edges.push_back({i, j, rp_sim});
+    }
+  }
+
+  // 4. Prune vertices with no matching incident edge (Fig. 4), then
+  // re-index the surviving edges.
+  std::vector<bool> covered(vertices.size(), false);
+  for (const SubgraphEdge& e : edges) {
+    covered[e.v1] = covered[e.v2] = true;
+  }
+  std::vector<uint32_t> new_index(vertices.size(), UINT32_MAX);
+  for (uint32_t i = 0; i < vertices.size(); ++i) {
+    if (!covered[i]) continue;
+    new_index[i] = static_cast<uint32_t>(subgraph.vertices.size());
+    subgraph.vertices.push_back(vertices[i]);
+  }
+  subgraph.edges.reserve(edges.size());
+  for (const SubgraphEdge& e : edges) {
+    subgraph.edges.push_back({new_index[e.v1], new_index[e.v2], e.rp_sim});
+  }
+  if (subgraph.vertices.empty()) return subgraph;
+
+  // 5. Scores (Section 3.4).
+  double sim_sum = 0.0;
+  size_t label_size_sum = 0;
+  for (const SubgraphVertex& v : subgraph.vertices) {
+    sim_sum += v.sim;
+    label_size_sum += clustering.LabelSize(clustering.old_labels[v.old_id]);
+  }
+  subgraph.avg_sim = sim_sum / static_cast<double>(subgraph.vertices.size());
+
+  double rp_sum = 0.0;
+  for (const SubgraphEdge& e : subgraph.edges) rp_sum += e.rp_sim;
+  const size_t total_edges = old_graph.num_edges() + new_graph.num_edges();
+  subgraph.e_sim =
+      total_edges == 0 ? 0.0 : 2.0 * rp_sum / static_cast<double>(total_edges);
+
+  subgraph.uniqueness = 2.0 * static_cast<double>(subgraph.vertices.size()) /
+                        static_cast<double>(label_size_sum);
+
+  const GroupScoreWeights& w = config.group_weights;
+  subgraph.g_sim = w.alpha * subgraph.avg_sim + w.beta * subgraph.e_sim +
+                   w.uniqueness_weight() * subgraph.uniqueness;
+  return subgraph;
+}
+
+std::vector<GroupPairSubgraph> BuildAllSubgraphs(
+    const CensusDataset& old_dataset, const CensusDataset& new_dataset,
+    const std::vector<HouseholdGraph>& old_graphs,
+    const std::vector<HouseholdGraph>& new_graphs,
+    const Clustering& clustering, const PreMatcher& prematcher,
+    const LinkageConfig& config, double delta) {
+  // Candidate group pairs: every (old household, new household) combination
+  // sharing at least one cluster label.
+  std::vector<uint64_t> group_pair_keys;
+  for (uint32_t label = 0; label < clustering.num_labels; ++label) {
+    const auto& old_members = clustering.label_old_members[label];
+    const auto& new_members = clustering.label_new_members[label];
+    if (old_members.empty() || new_members.empty()) continue;
+    for (RecordId o : old_members) {
+      const GroupId go = old_dataset.record(o).group;
+      for (RecordId n : new_members) {
+        const GroupId gn = new_dataset.record(n).group;
+        group_pair_keys.push_back((static_cast<uint64_t>(go) << 32) | gn);
+      }
+    }
+  }
+  std::sort(group_pair_keys.begin(), group_pair_keys.end());
+  group_pair_keys.erase(
+      std::unique(group_pair_keys.begin(), group_pair_keys.end()),
+      group_pair_keys.end());
+
+  std::vector<GroupPairSubgraph> subgraphs;
+  for (uint64_t key : group_pair_keys) {
+    const GroupId go = static_cast<GroupId>(key >> 32);
+    const GroupId gn = static_cast<GroupId>(key & 0xFFFFFFFFu);
+    GroupPairSubgraph subgraph =
+        BuildGroupPairSubgraph(go, gn, old_graphs[go], new_graphs[gn],
+                               clustering, prematcher, config, old_dataset,
+                               new_dataset, delta);
+    if (!subgraph.empty()) subgraphs.push_back(std::move(subgraph));
+  }
+  return subgraphs;
+}
+
+}  // namespace tglink

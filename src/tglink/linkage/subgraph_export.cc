@@ -1,0 +1,82 @@
+#include "tglink/linkage/subgraph_export.h"
+
+#include <set>
+#include <sstream>
+
+namespace tglink {
+
+namespace {
+std::string PersonLabel(const PersonRecord& record) {
+  std::ostringstream os;
+  os << record.DisplayName() << "\\n";
+  if (record.has_age()) os << record.age << ", ";
+  os << RoleName(record.role);
+  return os.str();
+}
+
+std::string EdgeLabel(const RelEdge& edge) {
+  std::ostringstream os;
+  os << RelTypeName(edge.type);
+  if (edge.age_diff_known) os << "\\nΔ" << edge.age_diff;
+  return os.str();
+}
+}  // namespace
+
+std::string GroupPairSubgraphToDot(const GroupPairSubgraph& subgraph,
+                                   const CensusDataset& old_dataset,
+                                   const CensusDataset& new_dataset,
+                                   const HouseholdGraph& old_graph,
+                                   const HouseholdGraph& new_graph) {
+  std::ostringstream os;
+  os << "graph subgraph_match {\n";
+  os << "  label=\"" << old_dataset.household(subgraph.old_group).external_id
+     << " vs " << new_dataset.household(subgraph.new_group).external_id
+     << "\\navg_sim=" << subgraph.avg_sim << " e_sim=" << subgraph.e_sim
+     << " unique=" << subgraph.uniqueness << " g_sim=" << subgraph.g_sim
+     << "\";\n";
+  os << "  node [shape=ellipse, fontsize=10];\n";
+
+  // Which relationship edges participate in the common subgraph?
+  std::set<std::pair<RecordId, RecordId>> matched_old_edges, matched_new_edges;
+  for (const SubgraphEdge& edge : subgraph.edges) {
+    const SubgraphVertex& v1 = subgraph.vertices[edge.v1];
+    const SubgraphVertex& v2 = subgraph.vertices[edge.v2];
+    matched_old_edges.emplace(std::min(v1.old_id, v2.old_id),
+                              std::max(v1.old_id, v2.old_id));
+    matched_new_edges.emplace(std::min(v1.new_id, v2.new_id),
+                              std::max(v1.new_id, v2.new_id));
+  }
+
+  auto emit_household = [&os](const char* cluster, const char* prefix,
+                              const CensusDataset& dataset,
+                              const HouseholdGraph& graph,
+                              const std::set<std::pair<RecordId, RecordId>>&
+                                  matched_edges) {
+    os << "  subgraph cluster_" << cluster << " {\n    label=\""
+       << dataset.household(graph.group()).external_id << "\";\n";
+    for (RecordId member : graph.members()) {
+      os << "    " << prefix << member << " [label=\""
+         << PersonLabel(dataset.record(member)) << "\"];\n";
+    }
+    for (const RelEdge& edge : graph.edges()) {
+      const bool matched = matched_edges.count({edge.a, edge.b}) > 0;
+      os << "    " << prefix << edge.a << " -- " << prefix << edge.b
+         << " [label=\"" << EdgeLabel(edge) << "\", fontsize=8, "
+         << (matched ? "color=black, penwidth=2" : "color=gray70") << "];\n";
+    }
+    os << "  }\n";
+  };
+  emit_household("old", "o", old_dataset, old_graph, matched_old_edges);
+  emit_household("new", "n", new_dataset, new_graph, matched_new_edges);
+
+  // Cross edges: the matched vertex pairs.
+  for (const SubgraphVertex& vertex : subgraph.vertices) {
+    os << "  o" << vertex.old_id << " -- n" << vertex.new_id
+       << " [style=dashed, penwidth=2, color=blue, label=\"" << vertex.sim
+       << "\", fontsize=8];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tglink

@@ -1,0 +1,30 @@
+// Graphviz rendering of one candidate group pair and its common subgraph —
+// a faithful rendering of the paper's Fig. 4 for any pair, used to inspect
+// why a household match was (or wasn't) accepted.
+
+#ifndef TGLINK_LINKAGE_SUBGRAPH_EXPORT_H_
+#define TGLINK_LINKAGE_SUBGRAPH_EXPORT_H_
+
+#include <string>
+
+#include "tglink/census/dataset.h"
+#include "tglink/graph/household_graph.h"
+#include "tglink/linkage/subgraph.h"
+
+namespace tglink {
+
+/// Renders the two enriched household graphs side by side: person vertices
+/// labeled with name/age/role, relationship edges labeled with unified type
+/// and age difference. Matched vertex pairs (the common subgraph) are
+/// connected by bold dashed cross edges; matching relationship edges are
+/// drawn solid, unmatched ones gray. The subgraph's scores are printed in
+/// the graph label.
+std::string GroupPairSubgraphToDot(const GroupPairSubgraph& subgraph,
+                                   const CensusDataset& old_dataset,
+                                   const CensusDataset& new_dataset,
+                                   const HouseholdGraph& old_graph,
+                                   const HouseholdGraph& new_graph);
+
+}  // namespace tglink
+
+#endif  // TGLINK_LINKAGE_SUBGRAPH_EXPORT_H_

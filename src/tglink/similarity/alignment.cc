@@ -1,0 +1,87 @@
+#include "tglink/similarity/alignment.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace tglink {
+
+double SmithWatermanScore(std::string_view a, std::string_view b,
+                          const SmithWatermanParams& params) {
+  if (a.empty() || b.empty()) return 0.0;
+  // Rolling single row; track the global maximum (local alignment).
+  std::vector<double> row(b.size() + 1, 0.0);
+  double best = 0.0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    double diag = 0.0;  // row[i-1][j-1]
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const double up = row[j];
+      const double score =
+          diag + (a[i - 1] == b[j - 1] ? params.match : params.mismatch);
+      double cell = std::max(0.0, score);
+      cell = std::max(cell, up + params.gap);
+      cell = std::max(cell, row[j - 1] + params.gap);
+      row[j] = cell;
+      best = std::max(best, cell);
+      diag = up;
+    }
+  }
+  return best;
+}
+
+double SmithWatermanSimilarity(std::string_view a, std::string_view b,
+                               const SmithWatermanParams& params) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const double denom =
+      params.match * static_cast<double>(std::min(a.size(), b.size()));
+  if (denom <= 0.0) return 0.0;
+  return SmithWatermanScore(a, b, params) / denom;
+}
+
+size_t LongestCommonSubstring(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<size_t> row(b.size() + 1, 0);
+  size_t best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = 0;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];
+      row[j] = (a[i - 1] == b[j - 1]) ? diag + 1 : 0;
+      best = std::max(best, row[j]);
+      diag = up;
+    }
+  }
+  return best;
+}
+
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<size_t> row(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = 0;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];
+      row[j] = (a[i - 1] == b[j - 1]) ? diag + 1
+                                      : std::max(row[j], row[j - 1]);
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+namespace {
+double Normalize2(size_t common, size_t la, size_t lb) {
+  if (la + lb == 0) return 1.0;
+  return 2.0 * static_cast<double>(common) / static_cast<double>(la + lb);
+}
+}  // namespace
+
+double LcsSubstringSimilarity(std::string_view a, std::string_view b) {
+  return Normalize2(LongestCommonSubstring(a, b), a.size(), b.size());
+}
+
+double LcsSubsequenceSimilarity(std::string_view a, std::string_view b) {
+  return Normalize2(LongestCommonSubsequence(a, b), a.size(), b.size());
+}
+
+}  // namespace tglink

@@ -1,0 +1,44 @@
+// Local-alignment string similarities: Smith-Waterman and longest common
+// substring / subsequence. Useful for census values with embedded tokens
+// ("mill st" vs "12 mill street") where edit distance over-penalizes the
+// unmatched remainder.
+
+#ifndef TGLINK_SIMILARITY_ALIGNMENT_H_
+#define TGLINK_SIMILARITY_ALIGNMENT_H_
+
+#include <string_view>
+
+namespace tglink {
+
+/// Scoring scheme for Smith-Waterman local alignment.
+struct SmithWatermanParams {
+  double match = 2.0;
+  double mismatch = -1.0;
+  double gap = -1.0;  // linear gap cost
+};
+
+/// Raw Smith-Waterman local-alignment score (>= 0).
+double SmithWatermanScore(std::string_view a, std::string_view b,
+                          const SmithWatermanParams& params = {});
+
+/// Smith-Waterman similarity normalized to [0,1]: score divided by the
+/// best achievable score for the shorter string (full self-match).
+/// Both empty -> 1, one empty -> 0.
+double SmithWatermanSimilarity(std::string_view a, std::string_view b,
+                               const SmithWatermanParams& params = {});
+
+/// Length of the longest common (contiguous) substring.
+size_t LongestCommonSubstring(std::string_view a, std::string_view b);
+
+/// Length of the longest common subsequence (not necessarily contiguous).
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b);
+
+/// 2*LCSstr / (|a|+|b|), the common normalization. Both empty -> 1.
+double LcsSubstringSimilarity(std::string_view a, std::string_view b);
+
+/// 2*LCSseq / (|a|+|b|).
+double LcsSubsequenceSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace tglink
+
+#endif  // TGLINK_SIMILARITY_ALIGNMENT_H_

@@ -1,0 +1,118 @@
+#include "tglink/similarity/composite.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "tglink/similarity/numeric.h"
+
+namespace tglink {
+
+SimilarityFunction::SimilarityFunction(std::vector<AttributeSpec> specs,
+                                       double threshold)
+    : specs_(std::move(specs)), threshold_(threshold) {
+  assert(!specs_.empty());
+}
+
+double SimilarityFunction::ComponentSimilarity(const AttributeSpec& spec,
+                                               const PersonRecord& a,
+                                               const PersonRecord& b,
+                                               bool* missing_one,
+                                               bool* missing_both) const {
+  const bool ma = IsFieldMissing(a, spec.field);
+  const bool mb = IsFieldMissing(b, spec.field);
+  *missing_both = ma && mb;
+  *missing_one = (ma || mb) && !*missing_both;
+  if (ma || mb) return 0.0;
+  if (spec.field == Field::kAge) {
+    return TemporalAgeSimilarity(a.age, b.age, year_gap_, age_tolerance_);
+  }
+  return ComputeMeasure(spec.measure, GetFieldValue(a, spec.field),
+                        GetFieldValue(b, spec.field));
+}
+
+std::vector<double> SimilarityFunction::Compare(const PersonRecord& a,
+                                                const PersonRecord& b) const {
+  std::vector<double> sims;
+  sims.reserve(specs_.size());
+  for (const AttributeSpec& spec : specs_) {
+    bool missing_one = false, missing_both = false;
+    const double s = ComponentSimilarity(spec, a, b, &missing_one,
+                                         &missing_both);
+    if (missing_one || missing_both) {
+      switch (missing_policy_) {
+        case MissingPolicy::kRedistribute:
+          // Both missing: excluded (sentinel); one-sided: scored 0.
+          sims.push_back(missing_both ? -1.0 : 0.0);
+          break;
+        case MissingPolicy::kZero:
+          sims.push_back(0.0);
+          break;
+        case MissingPolicy::kNeutral:
+          sims.push_back(0.5);
+          break;
+      }
+    } else {
+      sims.push_back(s);
+    }
+  }
+  return sims;
+}
+
+double SimilarityFunction::AggregateSimilarity(const PersonRecord& a,
+                                               const PersonRecord& b) const {
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;    // full weight mass, for normalization
+  double weight_counted = 0.0;  // weight mass entering the denominator
+  double weight_covered = 0.0;  // weight of attributes present on BOTH sides
+  for (const AttributeSpec& spec : specs_) {
+    weight_total += spec.weight;
+    bool missing_one = false, missing_both = false;
+    const double s = ComponentSimilarity(spec, a, b, &missing_one,
+                                         &missing_both);
+    if (missing_one || missing_both) {
+      switch (missing_policy_) {
+        case MissingPolicy::kRedistribute:
+          if (missing_both) continue;  // no evidence either way: excluded
+          weight_counted += spec.weight;  // one-sided: disagreement, s = 0
+          continue;
+        case MissingPolicy::kZero:
+          weight_counted += spec.weight;
+          continue;
+        case MissingPolicy::kNeutral:
+          weight_counted += spec.weight;
+          weighted_sum += spec.weight * 0.5;
+          continue;
+      }
+    }
+    weight_counted += spec.weight;
+    weight_covered += spec.weight;
+    weighted_sum += spec.weight * s;
+  }
+  if (weight_counted <= 0.0) return 0.0;  // every attribute missing
+  if (missing_policy_ == MissingPolicy::kRedistribute) {
+    // Coverage floor: refuse to call two records similar when most of the
+    // weight mass was unobservable on both sides.
+    if (weight_covered < 0.5 * weight_total) return 0.0;
+    return weighted_sum / weight_counted;
+  }
+  return weighted_sum / weight_total;
+}
+
+bool SimilarityFunction::Matches(const PersonRecord& a,
+                                 const PersonRecord& b) const {
+  return AggregateSimilarity(a, b) >= threshold_;
+}
+
+std::string SimilarityFunction::ToString() const {
+  std::ostringstream os;
+  os << "SimFunc(δ=" << threshold_ << ", ";
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << FieldName(specs_[i].field) << ":" << MeasureName(specs_[i].measure)
+       << "*" << specs_[i].weight;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tglink

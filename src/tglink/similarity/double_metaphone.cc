@@ -1,0 +1,615 @@
+#include "tglink/similarity/double_metaphone.h"
+
+#include <cctype>
+
+#include "tglink/util/strings.h"
+
+namespace tglink {
+
+namespace {
+
+/// Working state: the upper-cased input padded with sentinels, a cursor,
+/// and the two output codes.
+class Encoder {
+ public:
+  Encoder(std::string_view name, size_t max_length)
+      : max_length_(max_length) {
+    word_.reserve(name.size());
+    for (char c : name) {
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        word_.push_back(
+            static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+      }
+    }
+    length_ = word_.size();
+  }
+
+  MetaphoneCodes Run();
+
+ private:
+  char At(size_t i) const { return i < length_ ? word_[i] : '\0'; }
+
+  bool IsVowelAt(size_t i) const {
+    const char c = At(i);
+    return c == 'A' || c == 'E' || c == 'I' || c == 'O' || c == 'U' ||
+           c == 'Y';
+  }
+
+  /// True if word_[start..] begins with any of the given strings.
+  bool StringAt(size_t start, std::initializer_list<const char*> options)
+      const {
+    if (start > length_) return false;
+    const std::string_view rest =
+        std::string_view(word_).substr(start);
+    for (const char* option : options) {
+      const std::string_view o(option);
+      if (rest.size() >= o.size() && rest.substr(0, o.size()) == o) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Contains(std::initializer_list<const char*> options) const {
+    for (const char* option : options) {
+      if (word_.find(option) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  bool IsSlavoGermanic() const {
+    return Contains({"W", "K", "CZ", "WITZ"});
+  }
+
+  void Add(const char* primary, const char* secondary) {
+    primary_ += primary;
+    secondary_ += secondary;
+  }
+  void Add(const char* both) { Add(both, both); }
+
+  bool Done() const {
+    return primary_.size() >= max_length_ &&
+           secondary_.size() >= max_length_;
+  }
+
+  size_t max_length_;
+  std::string word_;
+  size_t length_ = 0;
+  size_t pos_ = 0;
+  std::string primary_;
+  std::string secondary_;
+};
+
+MetaphoneCodes Encoder::Run() {
+  if (length_ == 0) return {};
+
+  // Skip silent letters at the start.
+  if (StringAt(0, {"GN", "KN", "PN", "WR", "PS"})) pos_ = 1;
+
+  // Initial 'X' is pronounced 'Z' (e.g. "Xavier") which maps to 'S'.
+  if (At(0) == 'X') {
+    Add("S");
+    pos_ = 1;
+  }
+
+  while (pos_ < length_ && !Done()) {
+    const char c = At(pos_);
+    switch (c) {
+      case 'A':
+      case 'E':
+      case 'I':
+      case 'O':
+      case 'U':
+      case 'Y':
+        if (pos_ == 0) Add("A");  // initial vowels map to 'A'
+        ++pos_;
+        break;
+
+      case 'B':
+        Add("P");
+        pos_ += (At(pos_ + 1) == 'B') ? 2 : 1;
+        break;
+
+      case 'C': {
+        // Various Germanic "-ACH-" pronunciations.
+        if (pos_ > 1 && !IsVowelAt(pos_ - 2) && StringAt(pos_ - 1, {"ACH"}) &&
+            At(pos_ + 2) != 'I' &&
+            (At(pos_ + 2) != 'E' || StringAt(pos_ - 2, {"BACHER", "MACHER"}))) {
+          Add("K");
+          pos_ += 2;
+          break;
+        }
+        if (pos_ == 0 && StringAt(0, {"CAESAR"})) {
+          Add("S");
+          pos_ += 2;
+          break;
+        }
+        if (StringAt(pos_, {"CHIA"})) {  // italian "chianti"
+          Add("K");
+          pos_ += 2;
+          break;
+        }
+        if (StringAt(pos_, {"CH"})) {
+          if (pos_ > 0 && StringAt(pos_, {"CHAE"})) {  // "michael"
+            Add("K", "X");
+            pos_ += 2;
+            break;
+          }
+          // Greek roots pronounced 'K'.
+          if (pos_ == 0 &&
+              (StringAt(1, {"HARAC", "HARIS", "HOR", "HYM", "HIA", "HEM"})) &&
+              !StringAt(0, {"CHORE"})) {
+            Add("K");
+            pos_ += 2;
+            break;
+          }
+          // Germanic/Greek contexts: 'CH' as 'K'.
+          if (Contains({"VAN ", "VON ", "SCH"}) ||
+              StringAt(pos_ > 2 ? pos_ - 2 : 0,
+                       {"ORCHES", "ARCHIT", "ORCHID"}) ||
+              At(pos_ + 2) == 'T' || At(pos_ + 2) == 'S' ||
+              ((pos_ == 0 || At(pos_ - 1) == 'A' || At(pos_ - 1) == 'O' ||
+                At(pos_ - 1) == 'U' || At(pos_ - 1) == 'E') &&
+               StringAt(pos_ + 2,
+                        {"L", "R", "N", "M", "B", "H", "F", "V", "W"}))) {
+            Add("K");
+          } else if (pos_ > 0) {
+            if (StringAt(0, {"MC"})) {
+              Add("K");  // "mcHugh"
+            } else {
+              Add("X", "K");
+            }
+          } else {
+            Add("X");
+          }
+          pos_ += 2;
+          break;
+        }
+        if (StringAt(pos_, {"CZ"}) && !StringAt(pos_ >= 2 ? pos_ - 2 : 0,
+                                                 {"WICZ"})) {
+          Add("S", "X");
+          pos_ += 2;
+          break;
+        }
+        if (StringAt(pos_, {"CIA"})) {  // "focaccia"
+          Add("X");
+          pos_ += 3;
+          break;
+        }
+        if (StringAt(pos_, {"CC"}) && !(pos_ == 1 && At(0) == 'M')) {
+          // "bellocchio" vs "bacchus"
+          if (StringAt(pos_ + 2, {"I", "E", "H"}) &&
+              !StringAt(pos_ + 2, {"HU"})) {
+            if ((pos_ == 1 && At(0) == 'A') ||
+                StringAt(pos_ >= 1 ? pos_ - 1 : 0, {"UCCEE", "UCCES"})) {
+              Add("KS");
+            } else {
+              Add("X");
+            }
+            pos_ += 3;
+            break;
+          }
+          Add("K");
+          pos_ += 2;
+          break;
+        }
+        if (StringAt(pos_, {"CK", "CG", "CQ"})) {
+          Add("K");
+          pos_ += 2;
+          break;
+        }
+        if (StringAt(pos_, {"CI", "CE", "CY"})) {
+          if (StringAt(pos_, {"CIO", "CIE", "CIA"})) {
+            Add("S", "X");
+          } else {
+            Add("S");
+          }
+          pos_ += 2;
+          break;
+        }
+        Add("K");
+        if (StringAt(pos_ + 1, {" C", " Q", " G"})) {
+          pos_ += 3;
+        } else if (StringAt(pos_ + 1, {"C", "K", "Q"}) &&
+                   !StringAt(pos_ + 1, {"CE", "CI"})) {
+          pos_ += 2;
+        } else {
+          ++pos_;
+        }
+        break;
+      }
+
+      case 'D':
+        if (StringAt(pos_, {"DG"})) {
+          if (StringAt(pos_ + 2, {"I", "E", "Y"})) {  // "edge"
+            Add("J");
+            pos_ += 3;
+          } else {  // "edgar"
+            Add("TK");
+            pos_ += 2;
+          }
+          break;
+        }
+        Add("T");
+        pos_ += StringAt(pos_, {"DT", "DD"}) ? 2 : 1;
+        break;
+
+      case 'F':
+        Add("F");
+        pos_ += (At(pos_ + 1) == 'F') ? 2 : 1;
+        break;
+
+      case 'G': {
+        if (At(pos_ + 1) == 'H') {
+          if (pos_ > 0 && !IsVowelAt(pos_ - 1)) {
+            Add("K");
+            pos_ += 2;
+            break;
+          }
+          if (pos_ == 0) {
+            if (At(pos_ + 2) == 'I') {  // "ghislane"
+              Add("J");
+            } else {  // "ghoul"
+              Add("K");
+            }
+            pos_ += 2;
+            break;
+          }
+          // Silent GH ("light", "brough").
+          if ((pos_ > 1 && StringAt(pos_ - 2, {"B", "H", "D"})) ||
+              (pos_ > 2 && StringAt(pos_ - 3, {"B", "H", "D"})) ||
+              (pos_ > 3 && StringAt(pos_ - 4, {"B", "H"}))) {
+            pos_ += 2;
+            break;
+          }
+          if (pos_ > 2 && At(pos_ - 1) == 'U' &&
+              StringAt(pos_ - 3, {"C", "G", "L", "R", "T"})) {
+            Add("F");  // "laugh", "cough"
+          } else if (pos_ > 0 && At(pos_ - 1) != 'I') {
+            Add("K");
+          }
+          pos_ += 2;
+          break;
+        }
+        if (At(pos_ + 1) == 'N') {
+          if (pos_ == 1 && IsVowelAt(0) && !IsSlavoGermanic()) {
+            Add("KN", "N");
+          } else if (!StringAt(pos_ + 2, {"EY"}) && At(pos_ + 1) != 'Y' &&
+                     !IsSlavoGermanic()) {
+            Add("N", "KN");
+          } else {
+            Add("KN");
+          }
+          pos_ += 2;
+          break;
+        }
+        if (StringAt(pos_ + 1, {"LI"}) && !IsSlavoGermanic()) {
+          Add("KL", "L");  // "tagliaro"
+          pos_ += 2;
+          break;
+        }
+        // -ges-, -gep-, etc. at the start.
+        if (pos_ == 0 &&
+            (At(pos_ + 1) == 'Y' ||
+             StringAt(pos_ + 1, {"ES", "EP", "EB", "EL", "EY", "IB", "IL",
+                                 "IN", "IE", "EI", "ER"}))) {
+          Add("K", "J");
+          pos_ += 2;
+          break;
+        }
+        if ((StringAt(pos_ + 1, {"ER"}) || At(pos_ + 1) == 'Y') &&
+            !StringAt(0, {"DANGER", "RANGER", "MANGER"}) &&
+            !(pos_ > 0 && (At(pos_ - 1) == 'E' || At(pos_ - 1) == 'I')) &&
+            !(pos_ > 0 && StringAt(pos_ - 1, {"RGY", "OGY"}))) {
+          Add("K", "J");
+          pos_ += 2;
+          break;
+        }
+        if (StringAt(pos_ + 1, {"E", "I", "Y"}) ||
+            (pos_ > 0 && StringAt(pos_ - 1, {"AGGI", "OGGI"}))) {
+          if (Contains({"VAN ", "VON ", "SCH"}) ||
+              StringAt(pos_ + 1, {"ET"})) {
+            Add("K");
+          } else if (StringAt(pos_ + 1, {"IER "}) ||
+                     (pos_ + 4 == length_ && StringAt(pos_ + 1, {"IER"}))) {
+            Add("J");
+          } else {
+            Add("J", "K");
+          }
+          pos_ += 2;
+          break;
+        }
+        Add("K");
+        pos_ += (At(pos_ + 1) == 'G') ? 2 : 1;
+        break;
+      }
+
+      case 'H':
+        // Only keep H between vowels or at the start before a vowel.
+        if ((pos_ == 0 || IsVowelAt(pos_ - 1)) && IsVowelAt(pos_ + 1)) {
+          Add("H");
+          pos_ += 2;
+        } else {
+          ++pos_;
+        }
+        break;
+
+      case 'J': {
+        if (StringAt(pos_, {"JOSE"}) || Contains({"SAN "})) {
+          if ((pos_ == 0 && At(pos_ + 4) == ' ') || Contains({"SAN "})) {
+            Add("H");
+          } else {
+            Add("J", "H");
+          }
+          ++pos_;
+          break;
+        }
+        if (pos_ == 0 && !StringAt(pos_, {"JOSE"})) {
+          Add("J", "A");  // "Yankelovich" / "Jankelowicz"
+        } else if (IsVowelAt(pos_ - 1) && !IsSlavoGermanic() &&
+                   (At(pos_ + 1) == 'A' || At(pos_ + 1) == 'O')) {
+          Add("J", "H");
+        } else if (pos_ + 1 == length_) {
+          Add("J", "");
+        } else if (!StringAt(pos_ + 1,
+                             {"L", "T", "K", "S", "N", "M", "B", "Z"}) &&
+                   !(pos_ > 0 &&
+                     StringAt(pos_ - 1, {"S", "K", "L"}))) {
+          Add("J");
+        }
+        pos_ += (At(pos_ + 1) == 'J') ? 2 : 1;
+        break;
+      }
+
+      case 'K':
+        Add("K");
+        pos_ += (At(pos_ + 1) == 'K') ? 2 : 1;
+        break;
+
+      case 'L':
+        if (At(pos_ + 1) == 'L') {
+          // Spanish "-illo/-illa" endings: L is dropped in the secondary.
+          if ((pos_ + 3 == length_ &&
+               (StringAt(pos_ >= 1 ? pos_ - 1 : 0, {"ILLO", "ILLA", "ALLE"}))) ||
+              ((StringAt(length_ >= 2 ? length_ - 2 : 0, {"AS", "OS"}) ||
+                StringAt(length_ >= 1 ? length_ - 1 : 0, {"A", "O"})) &&
+               StringAt(pos_ >= 1 ? pos_ - 1 : 0, {"ALLE"}))) {
+            Add("L", "");
+            pos_ += 2;
+            break;
+          }
+          Add("L");
+          pos_ += 2;
+          break;
+        }
+        Add("L");
+        ++pos_;
+        break;
+
+      case 'M':
+        Add("M");
+        if ((StringAt(pos_ >= 1 ? pos_ - 1 : 0, {"UMB"}) &&
+             (pos_ + 2 == length_ || StringAt(pos_ + 2, {"ER"}))) ||
+            At(pos_ + 1) == 'M') {
+          pos_ += 2;  // "dumb", "thumb"
+        } else {
+          ++pos_;
+        }
+        break;
+
+      case 'N':
+        Add("N");
+        pos_ += (At(pos_ + 1) == 'N') ? 2 : 1;
+        break;
+
+      case 'P':
+        if (At(pos_ + 1) == 'H') {
+          Add("F");
+          pos_ += 2;
+          break;
+        }
+        Add("P");
+        pos_ += (At(pos_ + 1) == 'P' || At(pos_ + 1) == 'B') ? 2 : 1;
+        break;
+
+      case 'Q':
+        Add("K");
+        pos_ += (At(pos_ + 1) == 'Q') ? 2 : 1;
+        break;
+
+      case 'R':
+        // French "-rier" endings: R silent in primary.
+        if (pos_ + 1 == length_ && !IsSlavoGermanic() &&
+            StringAt(pos_ >= 2 ? pos_ - 2 : 0, {"IER"}) &&
+            !StringAt(pos_ >= 4 ? pos_ - 4 : 0, {"MEYER", "MAIER"})) {
+          Add("", "R");
+        } else {
+          Add("R");
+        }
+        pos_ += (At(pos_ + 1) == 'R') ? 2 : 1;
+        break;
+
+      case 'S': {
+        // Silent S in "isle", "carlisle".
+        if (pos_ > 0 && StringAt(pos_ - 1, {"ISL", "YSL"})) {
+          ++pos_;
+          break;
+        }
+        if (pos_ == 0 && StringAt(pos_, {"SUGAR"})) {
+          Add("X", "S");
+          ++pos_;
+          break;
+        }
+        if (StringAt(pos_, {"SH"})) {
+          if (StringAt(pos_ + 1, {"HEIM", "HOEK", "HOLM", "HOLZ"})) {
+            Add("S");  // Germanic
+          } else {
+            Add("X");
+          }
+          pos_ += 2;
+          break;
+        }
+        if (StringAt(pos_, {"SIO", "SIA"}) || StringAt(pos_, {"SIAN"})) {
+          if (!IsSlavoGermanic()) {
+            Add("S", "X");
+          } else {
+            Add("S");
+          }
+          pos_ += 3;
+          break;
+        }
+        if ((pos_ == 0 && StringAt(pos_ + 1, {"M", "N", "L", "W"})) ||
+            StringAt(pos_ + 1, {"Z"})) {
+          Add("S", "X");  // "smith" -> SM(X)
+          pos_ += StringAt(pos_ + 1, {"Z"}) ? 2 : 1;
+          break;
+        }
+        if (StringAt(pos_, {"SC"})) {
+          if (At(pos_ + 2) == 'H') {
+            if (StringAt(pos_ + 3,
+                         {"OO", "ER", "EN", "UY", "ED", "EM"})) {
+              // "school", "schooner"
+              if (StringAt(pos_ + 3, {"ER", "EN"})) {
+                Add("X", "SK");
+              } else {
+                Add("SK");
+              }
+            } else if (pos_ == 0 && !IsVowelAt(3) && At(3) != 'W') {
+              Add("X", "S");
+            } else {
+              Add("X");
+            }
+            pos_ += 3;
+            break;
+          }
+          if (StringAt(pos_ + 2, {"I", "E", "Y"})) {
+            Add("S");
+          } else {
+            Add("SK");
+          }
+          pos_ += 3;
+          break;
+        }
+        // French "-ais", "-ois" endings.
+        if (pos_ + 1 == length_ &&
+            StringAt(pos_ >= 2 ? pos_ - 2 : 0, {"AIS", "OIS"})) {
+          Add("", "S");
+        } else {
+          Add("S");
+        }
+        pos_ += (At(pos_ + 1) == 'S' || At(pos_ + 1) == 'Z') ? 2 : 1;
+        break;
+      }
+
+      case 'T':
+        if (StringAt(pos_, {"TION", "TIA", "TCH"})) {
+          Add("X");
+          pos_ += 3;
+          break;
+        }
+        if (StringAt(pos_, {"TH"}) || StringAt(pos_, {"TTH"})) {
+          if (StringAt(pos_ + 2, {"OM", "AM"}) ||
+              Contains({"VAN ", "VON ", "SCH"})) {
+            Add("T");  // "thomas"
+          } else {
+            Add("0", "T");  // '0' encodes the th sound
+          }
+          pos_ += 2;
+          break;
+        }
+        Add("T");
+        pos_ += (At(pos_ + 1) == 'T' || At(pos_ + 1) == 'D') ? 2 : 1;
+        break;
+
+      case 'V':
+        Add("F");
+        pos_ += (At(pos_ + 1) == 'V') ? 2 : 1;
+        break;
+
+      case 'W': {
+        if (StringAt(pos_, {"WR"})) {
+          Add("R");
+          pos_ += 2;
+          break;
+        }
+        if (pos_ == 0 && (IsVowelAt(1) || StringAt(pos_, {"WH"}))) {
+          if (IsVowelAt(1)) {
+            Add("A", "F");  // "Wasserman" / "Vasserman"
+          } else {
+            Add("A");
+          }
+        }
+        // "-owski" etc.: W -> F in the secondary.
+        if ((pos_ + 1 == length_ && pos_ > 0 && IsVowelAt(pos_ - 1)) ||
+            (pos_ > 0 && StringAt(pos_ - 1, {"EWSKI", "EWSKY", "OWSKI",
+                                             "OWSKY"})) ||
+            StringAt(0, {"SCH"})) {
+          Add("", "F");
+          ++pos_;
+          break;
+        }
+        if (StringAt(pos_, {"WICZ", "WITZ"})) {
+          Add("TS", "FX");
+          pos_ += 4;
+          break;
+        }
+        ++pos_;  // otherwise silent
+        break;
+      }
+
+      case 'X':
+        // French "-aux", "-eux": silent.
+        if (!(pos_ + 1 == length_ &&
+              (StringAt(pos_ >= 3 ? pos_ - 3 : 0, {"IAU", "EAU"}) ||
+               StringAt(pos_ >= 2 ? pos_ - 2 : 0, {"AU", "OU"})))) {
+          Add("KS");
+        }
+        pos_ += (At(pos_ + 1) == 'C' || At(pos_ + 1) == 'X') ? 2 : 1;
+        break;
+
+      case 'Z':
+        if (At(pos_ + 1) == 'H') {  // Chinese pinyin "zh"
+          Add("J");
+          pos_ += 2;
+          break;
+        }
+        if (StringAt(pos_ + 1, {"ZO", "ZI", "ZA"}) ||
+            (IsSlavoGermanic() && pos_ > 0 && At(pos_ - 1) != 'T')) {
+          Add("S", "TS");
+        } else {
+          Add("S");
+        }
+        pos_ += (At(pos_ + 1) == 'Z') ? 2 : 1;
+        break;
+
+      default:
+        ++pos_;
+        break;
+    }
+  }
+
+  if (primary_.size() > max_length_) primary_.resize(max_length_);
+  if (secondary_.size() > max_length_) secondary_.resize(max_length_);
+  if (secondary_.empty()) secondary_ = primary_;
+  return {primary_, secondary_};
+}
+
+}  // namespace
+
+MetaphoneCodes DoubleMetaphone(std::string_view name, size_t max_length) {
+  return Encoder(name, max_length).Run();
+}
+
+double DoubleMetaphoneSimilarity(std::string_view a, std::string_view b) {
+  const MetaphoneCodes ca = DoubleMetaphone(a);
+  const MetaphoneCodes cb = DoubleMetaphone(b);
+  if (ca.primary.empty() || cb.primary.empty()) return 0.0;
+  if (ca.primary == cb.primary) return 1.0;
+  if (ca.primary == cb.secondary || ca.secondary == cb.primary ||
+      ca.secondary == cb.secondary) {
+    return 0.8;
+  }
+  return 0.0;
+}
+
+}  // namespace tglink

@@ -1,0 +1,34 @@
+// Double Metaphone (Lawrence Philips, 2000): a phonetic encoding that is
+// considerably more accurate than Soundex for the mixed Anglo/Irish/
+// continental surname stock of 19th-century England, and that produces a
+// *secondary* code for names with ambiguous pronunciation (e.g. "schmidt").
+// Used as an alternative blocking key and as a similarity measure
+// (codes-equal), complementing Soundex/NYSIIS in phonetic.h.
+
+#ifndef TGLINK_SIMILARITY_DOUBLE_METAPHONE_H_
+#define TGLINK_SIMILARITY_DOUBLE_METAPHONE_H_
+
+#include <string>
+#include <string_view>
+
+namespace tglink {
+
+struct MetaphoneCodes {
+  std::string primary;
+  std::string secondary;  // equals primary when unambiguous
+
+  bool operator==(const MetaphoneCodes&) const = default;
+};
+
+/// Computes the primary and secondary Double Metaphone codes, truncated to
+/// `max_length` characters (4 is the conventional default). Non-alphabetic
+/// characters are ignored; empty input yields empty codes.
+MetaphoneCodes DoubleMetaphone(std::string_view name, size_t max_length = 4);
+
+/// 1.0 if the primary codes match, 0.8 if any primary/secondary cross pair
+/// matches, else 0.0 — the conventional phonetic similarity grading.
+double DoubleMetaphoneSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace tglink
+
+#endif  // TGLINK_SIMILARITY_DOUBLE_METAPHONE_H_

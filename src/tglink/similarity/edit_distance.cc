@@ -1,0 +1,66 @@
+#include "tglink/similarity/edit_distance.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace tglink {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return static_cast<int>(a.size());
+  std::vector<int> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    int diag = row[0];  // row[i-1][j-1]
+    row[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const int up = row[j];
+      const int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+int DamerauDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  // Three rolling rows (need i-2 for transpositions).
+  std::vector<int> prev2(m + 1), prev(m + 1), cur(m + 1);
+  std::iota(prev.begin(), prev.end(), 0);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], prev2[j - 2] + 1);
+      }
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+namespace {
+double NormalizedSimilarity(int dist, size_t la, size_t lb) {
+  const size_t longest = std::max(la, lb);
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+}  // namespace
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  return NormalizedSimilarity(LevenshteinDistance(a, b), a.size(), b.size());
+}
+
+double DamerauSimilarity(std::string_view a, std::string_view b) {
+  return NormalizedSimilarity(DamerauDistance(a, b), a.size(), b.size());
+}
+
+}  // namespace tglink

@@ -1,0 +1,26 @@
+// Edit-distance family: Levenshtein and Damerau–Levenshtein (optimal string
+// alignment variant), plus normalized similarities in [0,1].
+
+#ifndef TGLINK_SIMILARITY_EDIT_DISTANCE_H_
+#define TGLINK_SIMILARITY_EDIT_DISTANCE_H_
+
+#include <string_view>
+
+namespace tglink {
+
+/// Classic Levenshtein distance (insert/delete/substitute, unit costs).
+/// O(|a|·|b|) time, O(min(|a|,|b|)) space.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Optimal-string-alignment Damerau–Levenshtein: additionally counts a
+/// transposition of adjacent characters as one edit (no substring may be
+/// edited twice).
+int DamerauDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance / max(|a|,|b|); two empty strings score 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+double DamerauSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace tglink
+
+#endif  // TGLINK_SIMILARITY_EDIT_DISTANCE_H_

@@ -1,0 +1,79 @@
+#include "tglink/similarity/field_similarity.h"
+
+#include "tglink/similarity/alignment.h"
+#include "tglink/similarity/double_metaphone.h"
+#include "tglink/similarity/edit_distance.h"
+#include "tglink/similarity/jaro.h"
+#include "tglink/similarity/phonetic.h"
+#include "tglink/similarity/qgram.h"
+#include "tglink/similarity/token.h"
+
+namespace tglink {
+
+const char* MeasureName(Measure measure) {
+  switch (measure) {
+    case Measure::kExact:
+      return "exact";
+    case Measure::kQGramDice:
+      return "q-gram";
+    case Measure::kTrigramDice:
+      return "trigram";
+    case Measure::kLevenshtein:
+      return "levenshtein";
+    case Measure::kDamerau:
+      return "damerau";
+    case Measure::kJaro:
+      return "jaro";
+    case Measure::kJaroWinkler:
+      return "jaro-winkler";
+    case Measure::kMongeElkan:
+      return "monge-elkan";
+    case Measure::kSoundexEqual:
+      return "soundex";
+    case Measure::kDoubleMetaphone:
+      return "double-metaphone";
+    case Measure::kSmithWaterman:
+      return "smith-waterman";
+    case Measure::kLcsSubstring:
+      return "lcs";
+  }
+  return "?";
+}
+
+double ComputeMeasure(Measure measure, std::string_view a,
+                      std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  switch (measure) {
+    case Measure::kExact:
+      return a == b ? 1.0 : 0.0;
+    case Measure::kQGramDice:
+      return BigramDice(a, b);
+    case Measure::kTrigramDice: {
+      QGramOptions opts;
+      opts.q = 3;
+      return QGramSimilarity(a, b, opts);
+    }
+    case Measure::kLevenshtein:
+      return LevenshteinSimilarity(a, b);
+    case Measure::kDamerau:
+      return DamerauSimilarity(a, b);
+    case Measure::kJaro:
+      return JaroSimilarity(a, b);
+    case Measure::kJaroWinkler:
+      return JaroWinklerSimilarity(a, b);
+    case Measure::kMongeElkan:
+      return MongeElkanJaroWinkler(a, b);
+    case Measure::kSoundexEqual:
+      return Soundex(a) == Soundex(b) ? 1.0 : 0.0;
+    case Measure::kDoubleMetaphone:
+      return DoubleMetaphoneSimilarity(a, b);
+    case Measure::kSmithWaterman:
+      return SmithWatermanSimilarity(a, b);
+    case Measure::kLcsSubstring:
+      return LcsSubstringSimilarity(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace tglink

@@ -1,0 +1,36 @@
+// Per-attribute similarity dispatch: pairs a census Field with one of the
+// concrete string measures. This is the unit a SimilarityFunction (Eq. 3 of
+// the paper) is assembled from.
+
+#ifndef TGLINK_SIMILARITY_FIELD_SIMILARITY_H_
+#define TGLINK_SIMILARITY_FIELD_SIMILARITY_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tglink {
+
+enum class Measure : uint8_t {
+  kExact,        // 1 iff equal
+  kQGramDice,    // padded bigram Dice (the paper's "q-gram")
+  kTrigramDice,  // padded trigram Dice
+  kLevenshtein,  // normalized edit similarity
+  kDamerau,      // normalized OSA similarity
+  kJaro,
+  kJaroWinkler,
+  kMongeElkan,       // token-level with Jaro-Winkler inner (addresses)
+  kSoundexEqual,     // 1 iff Soundex codes match
+  kDoubleMetaphone,  // graded phonetic agreement (1 / 0.8 / 0)
+  kSmithWaterman,    // local alignment, normalized
+  kLcsSubstring,     // longest common substring, normalized
+};
+
+const char* MeasureName(Measure measure);
+
+/// Computes the chosen measure on two already-normalized values.
+/// Conventions shared by all measures: both empty -> 1, one empty -> 0.
+double ComputeMeasure(Measure measure, std::string_view a, std::string_view b);
+
+}  // namespace tglink
+
+#endif  // TGLINK_SIMILARITY_FIELD_SIMILARITY_H_

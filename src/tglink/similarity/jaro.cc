@@ -1,0 +1,55 @@
+#include "tglink/similarity/jaro.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace tglink {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  const int window = std::max(0, std::max(la, lb) / 2 - 1);
+
+  std::vector<bool> matched_a(a.size(), false), matched_b(b.size(), false);
+  int matches = 0;
+  for (int i = 0; i < la; ++i) {
+    const int lo = std::max(0, i - window);
+    const int hi = std::min(lb - 1, i + window);
+    for (int j = lo; j <= hi; ++j) {
+      if (!matched_b[j] && a[i] == b[j]) {
+        matched_a[i] = matched_b[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among the matched characters in order.
+  int transpositions = 0;
+  int j = 0;
+  for (int i = 0; i < la; ++i) {
+    if (!matched_a[i]) continue;
+    while (!matched_b[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = matches;
+  return (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  prefix_scale = std::clamp(prefix_scale, 0.0, 0.25);
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+}  // namespace tglink

@@ -1,0 +1,22 @@
+// Jaro and Jaro–Winkler similarity — the standard matcher family for short
+// personal names; used by the collective-linkage baseline and available as a
+// FieldMeasure everywhere.
+
+#ifndef TGLINK_SIMILARITY_JARO_H_
+#define TGLINK_SIMILARITY_JARO_H_
+
+#include <string_view>
+
+namespace tglink {
+
+/// Jaro similarity in [0,1]. Two empty strings score 1.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro–Winkler: boosts Jaro by up to 4 characters of common prefix.
+/// `prefix_scale` is clamped to [0, 0.25] to keep the result within [0,1].
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace tglink
+
+#endif  // TGLINK_SIMILARITY_JARO_H_

@@ -1,0 +1,26 @@
+// Phonetic encodings used as blocking keys: two names that sound alike get
+// the same code even when spelled differently ("smith"/"smyth" -> S530),
+// which is exactly the property blocking needs so that transcription noise
+// does not separate true matches into different blocks.
+
+#ifndef TGLINK_SIMILARITY_PHONETIC_H_
+#define TGLINK_SIMILARITY_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace tglink {
+
+/// American Soundex: first letter + 3 digits (e.g. "ashworth" -> "A263").
+/// Non-alphabetic characters are ignored; an empty / all-symbol input yields
+/// the empty string.
+std::string Soundex(std::string_view name);
+
+/// NYSIIS (New York State Identification and Intelligence System) code,
+/// truncated to 6 characters as is conventional. More discriminating than
+/// Soundex for Anglo-Saxon surnames.
+std::string Nysiis(std::string_view name);
+
+}  // namespace tglink
+
+#endif  // TGLINK_SIMILARITY_PHONETIC_H_

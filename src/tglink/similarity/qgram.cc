@@ -1,0 +1,114 @@
+#include "tglink/similarity/qgram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace tglink {
+
+std::vector<std::string> QGrams(std::string_view s, const QGramOptions& opts) {
+  assert(opts.q >= 1);
+  std::string padded;
+  std::string_view src = s;
+  if (opts.padded && opts.q > 1) {
+    padded.reserve(s.size() + 2 * (opts.q - 1));
+    padded.append(static_cast<size_t>(opts.q - 1), '#');
+    padded.append(s);
+    padded.append(static_cast<size_t>(opts.q - 1), '$');
+    src = padded;
+  }
+  std::vector<std::string> grams;
+  if (src.size() < static_cast<size_t>(opts.q)) {
+    if (!src.empty()) grams.emplace_back(src);
+    return grams;
+  }
+  grams.reserve(src.size() - opts.q + 1);
+  for (size_t i = 0; i + opts.q <= src.size(); ++i) {
+    grams.emplace_back(src.substr(i, opts.q));
+  }
+  std::sort(grams.begin(), grams.end());
+  return grams;
+}
+
+namespace {
+/// |A ∩ B| for two sorted multisets.
+size_t MultisetIntersectionSize(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b) {
+  size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+}  // namespace
+
+double QGramSimilarity(std::string_view a, std::string_view b,
+                       const QGramOptions& opts) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+  const std::vector<std::string> ga = QGrams(a, opts);
+  const std::vector<std::string> gb = QGrams(b, opts);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  const double common =
+      static_cast<double>(MultisetIntersectionSize(ga, gb));
+  switch (opts.coefficient) {
+    case QGramCoefficient::kDice:
+      return 2.0 * common / static_cast<double>(ga.size() + gb.size());
+    case QGramCoefficient::kJaccard:
+      return common / static_cast<double>(ga.size() + gb.size() - common);
+    case QGramCoefficient::kOverlap:
+      return common / static_cast<double>(std::min(ga.size(), gb.size()));
+  }
+  return 0.0;
+}
+
+namespace {
+/// Census attribute values come from a small, heavily repeated vocabulary
+/// (Zipf-distributed names, a few dozen occupations, a few thousand
+/// addresses), so the padded-bigram decomposition is memoized. The cache is
+/// thread-local (no locking). References into the map stay valid across
+/// rehashes; the capacity bound is enforced by the caller *before* taking
+/// references.
+using BigramCache = std::unordered_map<std::string, std::vector<std::string>>;
+
+BigramCache& ThreadBigramCache() {
+  thread_local BigramCache cache;
+  return cache;
+}
+
+const std::vector<std::string>& CachedBigrams(BigramCache& cache,
+                                              std::string_view s) {
+  auto it = cache.find(std::string(s));
+  if (it != cache.end()) return it->second;
+  return cache.emplace(std::string(s), QGrams(s, QGramOptions{}))
+      .first->second;
+}
+}  // namespace
+
+double BigramDice(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+  BigramCache& cache = ThreadBigramCache();
+  // Safety valve against unbounded vocabularies; checked before taking
+  // references so the two lookups below stay valid.
+  if (cache.size() >= (1u << 18)) cache.clear();
+  const std::vector<std::string>& ga = CachedBigrams(cache, a);
+  const std::vector<std::string>& gb = CachedBigrams(cache, b);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  const double common = static_cast<double>(MultisetIntersectionSize(ga, gb));
+  return 2.0 * common / static_cast<double>(ga.size() + gb.size());
+}
+
+}  // namespace tglink

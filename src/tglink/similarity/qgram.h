@@ -1,0 +1,49 @@
+// q-gram string similarity — the paper's primary attribute matcher
+// (Table 2 uses "q-gram" for first name, surname, address and occupation).
+//
+// A string is decomposed into its multiset of overlapping substrings of
+// length q (optionally padded with sentinel characters so that prefixes and
+// suffixes carry extra weight, as in Christen's "Data Matching" book), and
+// two strings are compared by a set-overlap coefficient over their q-gram
+// multisets.
+
+#ifndef TGLINK_SIMILARITY_QGRAM_H_
+#define TGLINK_SIMILARITY_QGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tglink {
+
+enum class QGramCoefficient {
+  kDice,     // 2|A∩B| / (|A|+|B|)     — the default used throughout tglink
+  kJaccard,  // |A∩B| / |A∪B|
+  kOverlap,  // |A∩B| / min(|A|,|B|)
+};
+
+struct QGramOptions {
+  int q = 2;
+  /// Pad with q-1 leading '#' and trailing '$' sentinels so that the first
+  /// and last characters participate in q grams, improving discrimination
+  /// for short names.
+  bool padded = true;
+  QGramCoefficient coefficient = QGramCoefficient::kDice;
+};
+
+/// Returns the (sorted) multiset of q-grams of `s` under `opts`. A string
+/// shorter than q (after padding) yields a single gram containing the whole
+/// string, so that very short values still compare non-trivially.
+std::vector<std::string> QGrams(std::string_view s, const QGramOptions& opts);
+
+/// Multiset-overlap similarity in [0,1]. Two empty strings score 1; an empty
+/// vs non-empty string scores 0.
+double QGramSimilarity(std::string_view a, std::string_view b,
+                       const QGramOptions& opts = {});
+
+/// Bigram Dice convenience wrapper (the library-wide default).
+double BigramDice(std::string_view a, std::string_view b);
+
+}  // namespace tglink
+
+#endif  // TGLINK_SIMILARITY_QGRAM_H_

@@ -1,0 +1,26 @@
+// Token-level similarity for multi-word values (addresses, occupations):
+// Monge–Elkan with a configurable inner character-level measure.
+
+#ifndef TGLINK_SIMILARITY_TOKEN_H_
+#define TGLINK_SIMILARITY_TOKEN_H_
+
+#include <functional>
+#include <string_view>
+
+namespace tglink {
+
+using CharSimilarityFn =
+    std::function<double(std::string_view, std::string_view)>;
+
+/// Symmetric Monge–Elkan: each token of one string is aligned to its best
+/// counterpart in the other, averaged; the two directions are averaged to
+/// make the result symmetric. Empty-vs-empty scores 1, empty-vs-non-empty 0.
+double MongeElkanSimilarity(std::string_view a, std::string_view b,
+                            const CharSimilarityFn& inner);
+
+/// Monge–Elkan with Jaro–Winkler inner similarity (the usual pairing).
+double MongeElkanJaroWinkler(std::string_view a, std::string_view b);
+
+}  // namespace tglink
+
+#endif  // TGLINK_SIMILARITY_TOKEN_H_

@@ -1,0 +1,87 @@
+#include "tglink/synth/corruption.h"
+
+#include <algorithm>
+
+#include "tglink/synth/name_pools.h"
+
+namespace tglink {
+
+namespace {
+/// Frequent hand-writing / OCR confusion pairs in transcribed census data.
+constexpr std::pair<char, char> kConfusions[] = {
+    {'a', 'o'}, {'e', 'c'}, {'i', 'l'}, {'u', 'v'}, {'m', 'n'},
+    {'h', 'b'}, {'t', 'f'}, {'r', 'n'}, {'s', 'z'}, {'g', 'q'},
+};
+}  // namespace
+
+std::string CorruptionModel::ApplyTypo(const std::string& value,
+                                       Rng* rng) const {
+  if (value.size() < 2) return value;
+  std::string out = value;
+  const size_t pos = rng->NextBounded(out.size());
+  switch (rng->NextBounded(5)) {
+    case 0: {  // substitution with a random letter
+      out[pos] = static_cast<char>('a' + rng->NextBounded(26));
+      break;
+    }
+    case 1: {  // deletion
+      out.erase(pos, 1);
+      break;
+    }
+    case 2: {  // insertion
+      out.insert(pos, 1, static_cast<char>('a' + rng->NextBounded(26)));
+      break;
+    }
+    case 3: {  // transposition of adjacent characters
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+    }
+    case 4: {  // OCR confusion (either direction)
+      const auto& conf = kConfusions[rng->NextBounded(std::size(kConfusions))];
+      for (char& c : out) {
+        if (c == conf.first) {
+          c = conf.second;
+          break;
+        }
+        if (c == conf.second) {
+          c = conf.first;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void CorruptionModel::CorruptRecord(PersonRecord* record, Rng* rng) const {
+  // Nickname substitution before typos (a nickname can itself be mangled).
+  if (!record->first_name.empty() && Hit(config_.nickname_prob, rng)) {
+    const auto& nicknames = NicknamesFor(record->first_name);
+    if (!nicknames.empty()) {
+      record->first_name = nicknames[rng->NextBounded(nicknames.size())];
+    }
+  }
+  if (!record->first_name.empty() && Hit(config_.name_typo_prob, rng)) {
+    record->first_name = ApplyTypo(record->first_name, rng);
+  }
+  if (!record->surname.empty() && Hit(config_.name_typo_prob, rng)) {
+    record->surname = ApplyTypo(record->surname, rng);
+  }
+  if (record->has_age() && Hit(config_.age_error_prob, rng)) {
+    const int magnitude =
+        1 + static_cast<int>(rng->NextBounded(
+                static_cast<uint64_t>(std::max(1, config_.age_error_max))));
+    record->age += rng->Bernoulli(0.5) ? magnitude : -magnitude;
+    record->age = std::max(0, record->age);
+  }
+
+  if (Hit(config_.missing_first_name, rng)) record->first_name.clear();
+  if (Hit(config_.missing_surname, rng)) record->surname.clear();
+  if (Hit(config_.missing_sex, rng)) record->sex = Sex::kUnknown;
+  if (Hit(config_.missing_age, rng)) record->age = -1;
+  if (Hit(config_.missing_address, rng)) record->address.clear();
+  if (Hit(config_.missing_occupation, rng)) record->occupation.clear();
+}
+
+}  // namespace tglink

@@ -1,0 +1,86 @@
+#include "tglink/synth/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace tglink {
+
+namespace {
+
+/// Gold mapping between two snapshots: persons present in both, plus the
+/// household pairs induced by those person links.
+GoldMapping BuildGold(const Population::Snapshot& old_snapshot,
+                      const Population::Snapshot& new_snapshot) {
+  std::unordered_map<uint64_t, RecordId> new_by_pid;
+  new_by_pid.reserve(new_snapshot.record_pids.size());
+  for (RecordId r = 0; r < new_snapshot.record_pids.size(); ++r) {
+    new_by_pid.emplace(new_snapshot.record_pids[r], r);
+  }
+  GoldMapping gold;
+  std::vector<std::pair<std::string, std::string>> group_links;
+  for (RecordId r_old = 0; r_old < old_snapshot.record_pids.size(); ++r_old) {
+    auto it = new_by_pid.find(old_snapshot.record_pids[r_old]);
+    if (it == new_by_pid.end()) continue;
+    const RecordId r_new = it->second;
+    gold.record_links.emplace_back(
+        old_snapshot.dataset.record(r_old).external_id,
+        new_snapshot.dataset.record(r_new).external_id);
+    const GroupId g_old = old_snapshot.dataset.record(r_old).group;
+    const GroupId g_new = new_snapshot.dataset.record(r_new).group;
+    group_links.emplace_back(
+        old_snapshot.dataset.household(g_old).external_id,
+        new_snapshot.dataset.household(g_new).external_id);
+  }
+  std::sort(group_links.begin(), group_links.end());
+  group_links.erase(std::unique(group_links.begin(), group_links.end()),
+                    group_links.end());
+  gold.group_links = std::move(group_links);
+  return gold;
+}
+
+PopulationConfig ScaledPopulationConfig(const GeneratorConfig& config) {
+  PopulationConfig population = config.population;
+  population.start_year = config.start_year;
+  for (size_t& target : population.household_targets) {
+    target = static_cast<size_t>(
+        std::max(1.0, static_cast<double>(target) * config.scale));
+  }
+  return population;
+}
+
+}  // namespace
+
+SyntheticSeries GenerateCensusSeries(const GeneratorConfig& config) {
+  assert(config.num_censuses >= 1);
+  Rng rng(config.seed);
+  const CorruptionModel corruption(config.corruption);
+  Population population(ScaledPopulationConfig(config), &rng);
+
+  SyntheticSeries series;
+  Population::Snapshot previous;
+  for (int i = 0; i < config.num_censuses; ++i) {
+    if (i > 0) population.AdvanceDecade(&rng);
+    Population::Snapshot snapshot = population.TakeSnapshot(corruption, &rng);
+    if (i > 0) series.gold.push_back(BuildGold(previous, snapshot));
+    series.snapshots.push_back(snapshot.dataset);
+    series.record_pids.push_back(snapshot.record_pids);
+    previous = std::move(snapshot);
+  }
+  return series;
+}
+
+SyntheticPair GenerateCensusPair(const GeneratorConfig& config,
+                                 int pair_index) {
+  assert(pair_index >= 0 && pair_index + 1 < config.num_censuses);
+  GeneratorConfig trimmed = config;
+  trimmed.num_censuses = pair_index + 2;
+  SyntheticSeries series = GenerateCensusSeries(trimmed);
+  SyntheticPair pair;
+  pair.old_dataset = std::move(series.snapshots[pair_index]);
+  pair.new_dataset = std::move(series.snapshots[pair_index + 1]);
+  pair.gold = std::move(series.gold[pair_index]);
+  return pair;
+}
+
+}  // namespace tglink

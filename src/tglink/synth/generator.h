@@ -1,0 +1,54 @@
+// End-to-end synthetic census series generation: runs the population
+// simulator, takes a corrupted snapshot per census year, and derives the
+// ground-truth record and group mappings between every successive pair.
+// This is the substitute for the paper's restricted Rawtenstall data (see
+// DESIGN.md, Section 1).
+
+#ifndef TGLINK_SYNTH_GENERATOR_H_
+#define TGLINK_SYNTH_GENERATOR_H_
+
+#include <vector>
+
+#include "tglink/census/dataset.h"
+#include "tglink/eval/gold.h"
+#include "tglink/synth/corruption.h"
+#include "tglink/synth/population.h"
+
+namespace tglink {
+
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  int start_year = 1851;
+  int num_censuses = 6;
+
+  /// Scales the Table-1 household targets (0.25 → quarter-size datasets;
+  /// used to keep multi-configuration experiment sweeps fast).
+  double scale = 1.0;
+
+  PopulationConfig population;
+  CorruptionConfig corruption;
+};
+
+struct SyntheticSeries {
+  std::vector<CensusDataset> snapshots;           // num_censuses entries
+  std::vector<GoldMapping> gold;                  // per successive pair
+  std::vector<std::vector<uint64_t>> record_pids; // per snapshot, by RecordId
+};
+
+/// Generates the full series deterministically from the seed.
+SyntheticSeries GenerateCensusSeries(const GeneratorConfig& config);
+
+/// Convenience: generates only snapshots i and i+1 of the series (still
+/// simulating from the start year so that the population has realistic
+/// history), returning the two datasets and their gold mapping.
+struct SyntheticPair {
+  CensusDataset old_dataset;
+  CensusDataset new_dataset;
+  GoldMapping gold;
+};
+SyntheticPair GenerateCensusPair(const GeneratorConfig& config,
+                                 int pair_index);
+
+}  // namespace tglink
+
+#endif  // TGLINK_SYNTH_GENERATOR_H_

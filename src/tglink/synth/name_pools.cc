@@ -1,0 +1,236 @@
+#include "tglink/synth/name_pools.h"
+
+#include <unordered_map>
+
+namespace tglink {
+
+const std::vector<std::string>& MaleFirstNames() {
+  static const std::vector<std::string> kNames = {
+      "john",     "william",  "thomas",   "james",    "george",   "joseph",
+      "henry",    "robert",   "samuel",   "edward",   "charles",  "richard",
+      "david",    "peter",    "daniel",   "matthew",  "mark",     "luke",
+      "albert",   "alfred",   "arthur",   "ernest",   "fred",     "frank",
+      "harry",    "walter",   "herbert",  "sidney",   "percy",    "stanley",
+      "leonard",  "horace",   "wilfred",  "cecil",    "clifford", "norman",
+      "reginald", "hugh",     "edwin",    "edgar",    "isaac",    "abraham",
+      "benjamin", "levi",     "eli",      "moses",    "aaron",    "jacob",
+      "adam",     "andrew",   "stephen",  "philip",   "simon",    "nathan",
+      "jesse",    "seth",     "caleb",    "joshua",   "elijah",   "amos",
+      "lawrence", "oliver",   "ralph",    "roger",    "hubert",   "gilbert",
+      "steve",    "michael",  "patrick",  "dennis",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& FemaleFirstNames() {
+  static const std::vector<std::string> kNames = {
+      "mary",      "elizabeth", "sarah",     "ann",       "jane",
+      "alice",     "emma",      "ellen",     "margaret",  "hannah",
+      "martha",    "harriet",   "emily",     "esther",    "eliza",
+      "charlotte", "caroline",  "louisa",    "fanny",     "agnes",
+      "ada",       "edith",     "florence",  "annie",     "bertha",
+      "clara",     "dora",      "ethel",     "gertrude",  "hilda",
+      "ivy",       "jessie",    "kate",      "lily",      "mabel",
+      "maud",      "nellie",    "olive",     "rose",      "ruth",
+      "susan",     "sophia",    "rachel",    "rebecca",   "lucy",
+      "grace",     "frances",   "amelia",    "betsy",     "nancy",
+      "selina",    "priscilla", "phoebe",    "dinah",     "leah",
+      "miriam",    "naomi",     "abigail",   "dorcas",    "tabitha",
+      "catherine", "isabella",  "matilda",   "henrietta", "rosanna",
+      "bridget",   "winifred",  "constance", "beatrice",  "violet",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& Surnames() {
+  // Lancashire-heavy: the first entries get the Zipf head, reproducing the
+  // frequent-surname skew (ashworth, smith, ...) the paper highlights.
+  static const std::vector<std::string> kNames = {
+      "ashworth",    "smith",      "taylor",      "holt",        "lord",
+      "hargreaves",  "pickup",     "heys",        "barnes",      "whittaker",
+      "nuttall",     "rothwell",   "haworth",     "duckworth",   "ormerod",
+      "ramsbottom",  "kershaw",    "schofield",   "greenwood",   "sutcliffe",
+      "butterworth", "clegg",      "crabtree",    "dearden",     "entwistle",
+      "fielden",     "gregson",    "hacking",     "ingham",      "jackson",
+      "kenyon",      "lonsdale",   "metcalfe",    "nowell",      "openshaw",
+      "pilkington",  "riley",      "stansfield",  "tattersall",  "uttley",
+      "varley",      "walmsley",   "yates",       "jones",       "brown",
+      "wilson",      "thompson",   "walker",      "wright",      "robinson",
+      "white",       "hall",       "green",       "wood",        "turner",
+      "hill",        "moore",      "clark",       "harrison",    "lewis",
+      "baker",       "carter",     "shaw",        "bennett",     "booth",
+      "bradley",     "brierley",   "buckley",     "chadwick",    "collinge",
+      "cronshaw",    "dewhurst",   "eastwood",    "farnworth",   "gorton",
+      "grimshaw",    "halstead",   "hamer",       "hindle",      "hoyle",
+      "hudson",      "kay",        "law",         "leach",       "lees",
+      "livesey",     "marsden",    "mitchell",    "parker",      "pollard",
+      "proctor",     "radcliffe",  "rawsthorne",  "redman",      "rigby",
+      "rushton",     "scholes",    "slater",      "stott",       "tomlinson",
+      "townsend",    "wadsworth",  "warburton",   "whitehead",   "whitworth",
+      "wilkinson",   "windle",     "wolstenholme","worsley",     "barcroft",
+      "birtwistle",  "cockerill",  "cunliffe",    "dugdale",     "emmett",
+      "foulds",      "garsden",    "hartley",     "horrocks",    "ogden",
+  };
+  // The curated Lancashire list carries the Zipf head (frequent, ambiguous
+  // surnames); a generated long tail of plausible English compound surnames
+  // supplies the diversity that makes the unique-name counts of Table 1
+  // grow with dataset size.
+  static const std::vector<std::string> kAll = [] {
+    std::vector<std::string> all = kNames;
+    static const char* kRoots[] = {
+        "ash",   "black", "brad",  "bram",  "brook", "burn",  "carl",
+        "chad",  "clay",  "cross", "dal",   "dew",   "east",  "fair",
+        "farn",  "grim",  "had",   "hard",  "hart",  "haw",   "hazel",
+        "heath", "high",  "holl",  "holm",  "kirk",  "lang",  "leigh",
+        "lock",  "long",  "mar",   "mead",  "mill",  "moss",  "nor",
+        "oak",   "old",   "pen",   "pick",  "rams",  "red",   "ridge",
+        "rush",  "short", "small", "spring","stan",  "stone", "sud",
+        "sun",   "thorn", "town",  "under", "wald",  "ward",  "west",
+        "whit",  "wild",  "win",   "wool",  "wor",   "york",
+    };
+    static const char* kSuffixes[] = {
+        "ley", "worth", "field", "ham",    "ton",  "son",
+        "croft", "shaw", "well",  "den",   "head", "stall",
+        "ford", "gate",
+    };
+    // Interleave so consecutive Zipf ranks vary in both root and suffix.
+    for (size_t s = 0; s < std::size(kSuffixes); ++s) {
+      for (size_t r = 0; r < std::size(kRoots); ++r) {
+        all.push_back(std::string(kRoots[(r * 7 + s) % std::size(kRoots)]) +
+                      kSuffixes[(s + r) % std::size(kSuffixes)]);
+      }
+    }
+    // Deduplicate while preserving order (rank = frequency).
+    std::vector<std::string> unique;
+    std::unordered_map<std::string, bool> seen;
+    for (std::string& name : all) {
+      if (!seen.emplace(name, true).second) continue;
+      unique.push_back(std::move(name));
+    }
+    return unique;
+  }();
+  return kAll;
+}
+
+const std::vector<std::string>& Occupations() {
+  static const std::vector<std::string> kOccupations = {
+      "cotton weaver",     "cotton spinner",   "power loom weaver",
+      "woollen weaver",    "farmer",           "farm labourer",
+      "coal miner",        "stone mason",      "blacksmith",
+      "carpenter",         "joiner",           "shoemaker",
+      "tailor",            "dressmaker",       "seamstress",
+      "domestic servant",  "housekeeper",      "charwoman",
+      "laundress",         "grocer",           "butcher",
+      "baker",             "publican",         "innkeeper",
+      "clerk",             "teacher",          "schoolmaster",
+      "minister",          "physician",        "engine driver",
+      "mechanic",          "iron moulder",     "bricklayer",
+      "plasterer",         "painter",          "plumber",
+      "wheelwright",       "saddler",          "cooper",
+      "printer",           "bookkeeper",       "warehouseman",
+      "carter",            "carrier",          "railway porter",
+      "gardener",          "shepherd",         "quarryman",
+      "slater",            "bleacher",         "dyer",
+      "overlooker",        "mill manager",     "cotton piecer",
+      "bobbin winder",     "reeler",           "throstle spinner",
+      "cardroom hand",     "sizer",            "twister",
+  };
+  return kOccupations;
+}
+
+const std::vector<std::string>& StreetNames() {
+  static const std::vector<std::string> kStreets = {
+      "mill street",       "bury road",         "bank street",
+      "newchurch road",    "burnley road",      "haslingden road",
+      "market street",     "church street",     "bridge street",
+      "dale street",       "hall carr lane",    "cloughfold road",
+      "waterfoot lane",    "crawshawbooth road","goodshaw lane",
+      "schofield street",  "peel street",       "albert terrace",
+      "victoria street",   "queen street",      "king street",
+      "prince street",     "spring gardens",    "holly mount",
+      "hurst lane",        "lime street",       "oak street",
+      "ash street",        "beech street",      "cherry tree lane",
+      "back lane",         "chapel street",     "commercial street",
+      "cooperative street","crow wood lane",    "daisy hill",
+      "fall barn road",    "fern hill",         "grange street",
+      "hareholme lane",    "height side",       "higher cloughfold",
+      "hollin lane",       "kay street",        "longholme road",
+      "lower mill street", "moss side",         "new hall hey",
+      "north street",      "old street",        "prospect terrace",
+      "rakefoot lane",     "reeds holme",       "south street",
+      "staghills road",    "townsend street",   "tup bridge",
+      "water street",      "whitewell bottom",  "woodlea road",
+  };
+  return kStreets;
+}
+
+const std::vector<std::string>& NicknamesFor(const std::string& first_name) {
+  static const std::unordered_map<std::string, std::vector<std::string>>
+      kNicknames = {
+          {"john", {"jack", "johnny"}},
+          {"william", {"will", "bill", "willie"}},
+          {"elizabeth", {"betsy", "bessie", "eliza", "lizzie", "beth"}},
+          {"margaret", {"maggie", "peggy", "madge"}},
+          {"mary", {"polly", "molly"}},
+          {"sarah", {"sally"}},
+          {"robert", {"bob", "bobby", "rob"}},
+          {"richard", {"dick"}},
+          {"thomas", {"tom", "tommy"}},
+          {"james", {"jim", "jimmy", "jem"}},
+          {"joseph", {"joe"}},
+          {"edward", {"ted", "ned", "ed"}},
+          {"henry", {"harry", "hal"}},
+          {"ann", {"annie", "nan"}},
+          {"catherine", {"kate", "kitty", "cathy"}},
+          {"hannah", {"annie"}},
+          {"charles", {"charlie"}},
+          {"george", {"georgie"}},
+          {"samuel", {"sam"}},
+          {"daniel", {"dan", "danny"}},
+          {"benjamin", {"ben"}},
+          {"frances", {"fanny"}},
+          {"ellen", {"nellie", "nell"}},
+          {"martha", {"mattie", "patty"}},
+          {"susan", {"susie", "sukey"}},
+          {"isabella", {"bella"}},
+          {"matilda", {"tilly"}},
+      };
+  static const std::vector<std::string> kEmpty;
+  auto it = kNicknames.find(first_name);
+  return it == kNicknames.end() ? kEmpty : it->second;
+}
+
+NameSampler::NameSampler(double first_name_skew, double surname_skew)
+    : male_first_(MaleFirstNames().size(), first_name_skew),
+      female_first_(FemaleFirstNames().size(), first_name_skew),
+      surname_(Surnames().size(), surname_skew),
+      surname_diverse_(Surnames().size(), 0.4),
+      occupation_(Occupations().size(), 0.6) {}
+
+std::string NameSampler::SampleFirstName(Sex sex, Rng* rng) const {
+  if (sex == Sex::kFemale) {
+    return FemaleFirstNames()[female_first_.Sample(rng)];
+  }
+  return MaleFirstNames()[male_first_.Sample(rng)];
+}
+
+std::string NameSampler::SampleSurname(Rng* rng) const {
+  return Surnames()[surname_.Sample(rng)];
+}
+
+std::string NameSampler::SampleSurnameDiverse(Rng* rng) const {
+  return Surnames()[surname_diverse_.Sample(rng)];
+}
+
+std::string NameSampler::SampleOccupation(Rng* rng) const {
+  return Occupations()[occupation_.Sample(rng)];
+}
+
+std::string NameSampler::SampleAddress(Rng* rng) const {
+  const auto& streets = StreetNames();
+  const size_t street = rng->NextBounded(streets.size());
+  const int number = static_cast<int>(rng->NextBounded(120)) + 1;
+  return std::to_string(number) + " " + streets[street];
+}
+
+}  // namespace tglink

@@ -1,0 +1,54 @@
+// Era-appropriate name, occupation and street pools for the synthetic
+// census generator, with Zipf-skewed sampling so that the name-frequency
+// distribution matches the ambiguity profile the paper reports for the
+// Rawtenstall data (~2.2 persons per first-name+surname combination, with
+// a heavy head of frequent surnames).
+
+#ifndef TGLINK_SYNTH_NAME_POOLS_H_
+#define TGLINK_SYNTH_NAME_POOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "tglink/census/roles.h"
+#include "tglink/util/random.h"
+
+namespace tglink {
+
+/// Raw pools (normalized, lower-case).
+const std::vector<std::string>& MaleFirstNames();
+const std::vector<std::string>& FemaleFirstNames();
+const std::vector<std::string>& Surnames();
+const std::vector<std::string>& Occupations();
+const std::vector<std::string>& StreetNames();
+
+/// Common Victorian nickname variants: returns the variants recorded in
+/// census data for a canonical first name (empty if none).
+const std::vector<std::string>& NicknamesFor(const std::string& first_name);
+
+/// Zipf-skewed samplers over the pools.
+class NameSampler {
+ public:
+  explicit NameSampler(double first_name_skew = 0.8,
+                       double surname_skew = 0.95);
+
+  std::string SampleFirstName(Sex sex, Rng* rng) const;
+  std::string SampleSurname(Rng* rng) const;
+  /// Flatter surname distribution, used for later-decade immigrants: real
+  /// census regions diversify over time (Table 1's unique-name counts grow
+  /// faster than the population), because arrivals bring new surnames.
+  std::string SampleSurnameDiverse(Rng* rng) const;
+  std::string SampleOccupation(Rng* rng) const;
+  std::string SampleAddress(Rng* rng) const;  // "<number> <street>"
+
+ private:
+  ZipfSampler male_first_;
+  ZipfSampler female_first_;
+  ZipfSampler surname_;
+  ZipfSampler surname_diverse_;
+  ZipfSampler occupation_;
+};
+
+}  // namespace tglink
+
+#endif  // TGLINK_SYNTH_NAME_POOLS_H_

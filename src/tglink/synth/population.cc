@@ -1,0 +1,640 @@
+#include "tglink/synth/population.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace tglink {
+
+namespace {
+constexpr int kDecade = 10;
+}  // namespace
+
+Population::Population(const PopulationConfig& config, Rng* rng)
+    : config_(config), current_year_(config.start_year) {
+  assert(!config_.household_targets.empty());
+  const size_t initial = config_.household_targets[0];
+  for (size_t i = 0; i < initial; ++i) CreateFoundingHousehold(rng);
+}
+
+uint64_t Population::NewPerson(std::string first_name, std::string surname,
+                               Sex sex, int birth_year) {
+  const uint64_t pid = next_pid_++;
+  SimPerson person;
+  person.pid = pid;
+  person.first_name = std::move(first_name);
+  person.surname = std::move(surname);
+  person.sex = sex;
+  person.birth_year = birth_year;
+  persons_.emplace(pid, std::move(person));
+  return pid;
+}
+
+uint64_t Population::NewHousehold(Rng* rng) {
+  const uint64_t hid = next_hid_++;
+  SimHousehold household;
+  household.hid = hid;
+  household.address = names_.SampleAddress(rng);
+  households_.emplace(hid, std::move(household));
+  return hid;
+}
+
+void Population::AddToHousehold(uint64_t pid, uint64_t hid) {
+  SimPerson& person = persons_.at(pid);
+  assert(person.household == 0);
+  person.household = hid;
+  households_.at(hid).members.push_back(pid);
+}
+
+void Population::RemoveFromHousehold(uint64_t pid) {
+  SimPerson& person = persons_.at(pid);
+  if (person.household == 0) return;
+  SimHousehold& household = households_.at(person.household);
+  auto it =
+      std::find(household.members.begin(), household.members.end(), pid);
+  assert(it != household.members.end());
+  household.members.erase(it);
+  person.household = 0;
+  if (household.members.empty()) {
+    household.present = false;
+    household.head = 0;
+  } else if (household.head == pid) {
+    // Promote the spouse of the departed head if co-resident, otherwise the
+    // eldest remaining member.
+    uint64_t successor = 0;
+    const uint64_t spouse = persons_.at(pid).spouse;
+    for (uint64_t member : household.members) {
+      if (member == spouse) {
+        successor = member;
+        break;
+      }
+    }
+    if (successor == 0) {
+      // Eldest male by the era's convention, falling back to the eldest
+      // member of any sex. Without the male preference, a deceased head's
+      // daughter-in-law could outrank her own husband and the snapshot
+      // would record a male "wife".
+      int eldest_birth = INT32_MAX;
+      for (uint64_t member : household.members) {
+        const SimPerson& person = persons_.at(member);
+        if (person.sex == Sex::kMale && person.birth_year < eldest_birth) {
+          eldest_birth = person.birth_year;
+          successor = member;
+        }
+      }
+      if (successor == 0) {
+        for (uint64_t member : household.members) {
+          const int by = persons_.at(member).birth_year;
+          if (by < eldest_birth) {
+            eldest_birth = by;
+            successor = member;
+          }
+        }
+      }
+    }
+    household.head = successor;
+  }
+}
+
+void Population::EnsureOccupation(SimPerson* person, Rng* rng) {
+  if (!person->occupation.empty()) return;
+  if (person->is_servant) {
+    person->occupation = "domestic servant";
+    return;
+  }
+  if (person->sex == Sex::kFemale &&
+      !rng->Bernoulli(config_.female_occupation_prob)) {
+    return;
+  }
+  person->occupation = names_.SampleOccupation(rng);
+}
+
+void Population::CreateFoundingHousehold(Rng* rng) {
+  const uint64_t hid = NewHousehold(rng);
+  SimHousehold& household = households_.at(hid);
+
+  // Founding-era households draw from the skewed local surname stock;
+  // later-decade immigrants bring a flatter surname mix (Table 1's
+  // unique-name growth).
+  const std::string surname = decade_index_ == 0
+                                  ? names_.SampleSurname(rng)
+                                  : names_.SampleSurnameDiverse(rng);
+  const int head_age = static_cast<int>(rng->NextInt(24, 55));
+  const uint64_t head = NewPerson(names_.SampleFirstName(Sex::kMale, rng),
+                                  surname, Sex::kMale,
+                                  current_year_ - head_age);
+  household.head = head;
+  AddToHousehold(head, hid);
+  EnsureOccupation(&persons_.at(head), rng);
+
+  uint64_t wife = 0;
+  if (rng->Bernoulli(0.88)) {
+    const int wife_age =
+        std::max<int>(19, head_age + static_cast<int>(rng->NextInt(-8, 2)));
+    wife = NewPerson(names_.SampleFirstName(Sex::kFemale, rng), surname,
+                     Sex::kFemale, current_year_ - wife_age);
+    persons_.at(wife).spouse = head;
+    persons_.at(head).spouse = wife;
+    AddToHousehold(wife, hid);
+    EnsureOccupation(&persons_.at(wife), rng);
+  }
+
+  if (wife != 0) {
+    const int wife_age = current_year_ - persons_.at(wife).birth_year;
+    const int max_child_age = std::min(16, wife_age - 19);
+    if (max_child_age >= 0) {
+      const int num_children = rng->NextPoisson(config_.initial_children_mean);
+      for (int c = 0; c < num_children; ++c) {
+        const Sex sex = rng->Bernoulli(0.5) ? Sex::kMale : Sex::kFemale;
+        const int age = static_cast<int>(rng->NextInt(0, max_child_age));
+        const uint64_t child = NewPerson(names_.SampleFirstName(sex, rng),
+                                         surname, sex, current_year_ - age);
+        persons_.at(child).father = head;
+        persons_.at(child).mother = wife;
+        AddToHousehold(child, hid);
+        if (age >= 13) EnsureOccupation(&persons_.at(child), rng);
+      }
+    }
+  }
+
+  if (rng->Bernoulli(config_.parent_coresident_prob)) {
+    const int mother_age = head_age + static_cast<int>(rng->NextInt(24, 32));
+    const uint64_t mother =
+        NewPerson(names_.SampleFirstName(Sex::kFemale, rng), surname,
+                  Sex::kFemale, current_year_ - mother_age);
+    persons_.at(head).mother = mother;
+    AddToHousehold(mother, hid);
+  }
+
+  if (rng->Bernoulli(config_.servant_prob)) {
+    const Sex sex = rng->Bernoulli(0.7) ? Sex::kFemale : Sex::kMale;
+    const int age = static_cast<int>(rng->NextInt(14, 25));
+    const uint64_t servant =
+        NewPerson(names_.SampleFirstName(sex, rng), names_.SampleSurname(rng),
+                  sex, current_year_ - age);
+    persons_.at(servant).is_servant = true;
+    AddToHousehold(servant, hid);
+    EnsureOccupation(&persons_.at(servant), rng);
+  }
+
+  if (rng->Bernoulli(config_.lodger_prob)) {
+    const Sex sex = rng->Bernoulli(0.6) ? Sex::kMale : Sex::kFemale;
+    const int age = static_cast<int>(rng->NextInt(18, 50));
+    const uint64_t lodger =
+        NewPerson(names_.SampleFirstName(sex, rng), names_.SampleSurname(rng),
+                  sex, current_year_ - age);
+    persons_.at(lodger).is_lodger = true;
+    AddToHousehold(lodger, hid);
+    EnsureOccupation(&persons_.at(lodger), rng);
+  }
+}
+
+bool Population::AreCloseKin(const SimPerson& a, const SimPerson& b) const {
+  if ((a.father != 0 && a.father == b.father) ||
+      (a.mother != 0 && a.mother == b.mother)) {
+    return true;  // siblings
+  }
+  return a.father == b.pid || a.mother == b.pid || b.father == a.pid ||
+         b.mother == a.pid;
+}
+
+void Population::ApplyDeaths(Rng* rng) {
+  std::vector<uint64_t> deaths;
+  for (const auto& [pid, person] : persons_) {
+    if (!person.present) continue;
+    const int age = current_year_ - person.birth_year;
+    double prob;
+    if (age < 10) {
+      prob = config_.death_prob_child;
+    } else if (age < 40) {
+      prob = config_.death_prob_young;
+    } else if (age < 60) {
+      prob = config_.death_prob_mid;
+    } else if (age < 70) {
+      prob = config_.death_prob_old;
+    } else {
+      prob = config_.death_prob_elder;
+    }
+    if (rng->Bernoulli(prob)) deaths.push_back(pid);
+  }
+  for (uint64_t pid : deaths) {
+    SimPerson& person = persons_.at(pid);
+    person.present = false;
+    if (person.spouse != 0) {
+      persons_.at(person.spouse).spouse = 0;  // widowed
+      person.spouse = 0;
+    }
+    RemoveFromHousehold(pid);
+  }
+}
+
+void Population::ApplyMarriages(Rng* rng) {
+  std::vector<uint64_t> bachelors, spinsters;
+  for (const auto& [pid, person] : persons_) {
+    if (!person.present || person.spouse != 0) continue;
+    const int age = current_year_ - person.birth_year;
+    if (age < 18 || age > 45) continue;
+    (person.sex == Sex::kMale ? bachelors : spinsters).push_back(pid);
+  }
+  const std::vector<size_t> perm_m = rng->Permutation(bachelors.size());
+  const std::vector<size_t> perm_f = rng->Permutation(spinsters.size());
+  const size_t pairs = std::min(bachelors.size(), spinsters.size());
+  for (size_t i = 0; i < pairs; ++i) {
+    if (!rng->Bernoulli(config_.marriage_prob)) continue;
+    SimPerson& groom = persons_.at(bachelors[perm_m[i]]);
+    SimPerson& bride = persons_.at(spinsters[perm_f[i]]);
+    if (AreCloseKin(groom, bride)) continue;
+    groom.spouse = bride.pid;
+    bride.spouse = groom.pid;
+    bride.surname = groom.surname;  // the census convention of the era
+    groom.is_servant = groom.is_lodger = false;
+    bride.is_servant = bride.is_lodger = false;
+    EnsureOccupation(&groom, rng);
+    // A groom already heading a multi-person household (e.g. a widower with
+    // children) keeps it; the bride moves in.
+    const bool groom_is_settled_head =
+        groom.household != 0 &&
+        households_.at(groom.household).head == groom.pid &&
+        households_.at(groom.household).members.size() > 1;
+    if (!groom_is_settled_head &&
+        rng->Bernoulli(config_.couple_new_household_prob)) {
+      RemoveFromHousehold(groom.pid);
+      RemoveFromHousehold(bride.pid);
+      const uint64_t hid = NewHousehold(rng);
+      households_.at(hid).head = groom.pid;
+      AddToHousehold(groom.pid, hid);
+      AddToHousehold(bride.pid, hid);
+    } else {
+      // The bride moves into the groom's household.
+      RemoveFromHousehold(bride.pid);
+      AddToHousehold(bride.pid, groom.household);
+    }
+  }
+}
+
+void Population::ApplyLeavingHome(Rng* rng) {
+  std::vector<uint64_t> leavers;
+  for (const auto& [pid, person] : persons_) {
+    if (!person.present || person.spouse != 0) continue;
+    if (person.household == 0) continue;
+    const SimHousehold& household = households_.at(person.household);
+    if (household.head == pid) continue;
+    const int age = current_year_ - person.birth_year;
+    if (age < 21 || age > 40) continue;
+    // Only children of the household leave "home"; servants/lodgers are
+    // handled by turnover.
+    if (person.is_servant || person.is_lodger) continue;
+    leavers.push_back(pid);
+  }
+  // Collect lodging destinations once (present households).
+  std::vector<uint64_t> hids;
+  for (const auto& [hid, household] : households_) {
+    if (household.present) hids.push_back(hid);
+  }
+  for (uint64_t pid : leavers) {
+    SimPerson& person = persons_.at(pid);
+    if (rng->Bernoulli(config_.leave_home_prob)) {
+      RemoveFromHousehold(pid);
+      const uint64_t hid = NewHousehold(rng);
+      households_.at(hid).head = pid;
+      AddToHousehold(pid, hid);
+      EnsureOccupation(&person, rng);
+    } else if (rng->Bernoulli(config_.leave_as_lodger_prob) && !hids.empty()) {
+      const uint64_t dest = hids[rng->NextBounded(hids.size())];
+      if (dest == person.household || !households_.at(dest).present) continue;
+      RemoveFromHousehold(pid);
+      person.is_lodger = true;
+      AddToHousehold(pid, dest);
+      EnsureOccupation(&person, rng);
+    }
+  }
+}
+
+void Population::ApplyBirths(Rng* rng) {
+  std::vector<uint64_t> mothers;
+  for (const auto& [pid, person] : persons_) {
+    if (!person.present || person.sex != Sex::kFemale) continue;
+    if (person.spouse == 0 || person.household == 0) continue;
+    const SimPerson& husband = persons_.at(person.spouse);
+    if (!husband.present || husband.household != person.household) continue;
+    const int age = current_year_ - person.birth_year;
+    if (age < 20 || age > 50) continue;  // fertile during some of the decade
+    mothers.push_back(pid);
+  }
+  for (uint64_t pid : mothers) {
+    // Copy the links we need before persons_ may rehash on insert.
+    const uint64_t father = persons_.at(pid).spouse;
+    const uint64_t household = persons_.at(pid).household;
+    const std::string surname = persons_.at(father).surname;
+    const int mother_birth = persons_.at(pid).birth_year;
+    const int births = rng->NextPoisson(config_.birth_mean);
+    for (int b = 0; b < births; ++b) {
+      const int birth_year =
+          static_cast<int>(rng->NextInt(current_year_ - 9, current_year_));
+      const int mother_age = birth_year - mother_birth;
+      if (mother_age < 18 || mother_age > 45) continue;
+      const Sex sex = rng->Bernoulli(0.5) ? Sex::kMale : Sex::kFemale;
+      const uint64_t child =
+          NewPerson(names_.SampleFirstName(sex, rng), surname, sex,
+                    birth_year);
+      persons_.at(child).father = father;
+      persons_.at(child).mother = pid;
+      AddToHousehold(child, household);
+    }
+  }
+}
+
+void Population::ApplyWidowMerges(Rng* rng) {
+  // Index: parent pid -> pids of present children heading a household.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> heads_by_parent;
+  for (const auto& [hid, household] : households_) {
+    if (!household.present || household.head == 0) continue;
+    const SimPerson& head = persons_.at(household.head);
+    if (head.father != 0) heads_by_parent[head.father].push_back(head.pid);
+    if (head.mother != 0) heads_by_parent[head.mother].push_back(head.pid);
+  }
+  std::vector<uint64_t> candidates;
+  for (const auto& [hid, household] : households_) {
+    if (!household.present || household.members.size() > 2) continue;
+    if (household.head == 0) continue;
+    const SimPerson& head = persons_.at(household.head);
+    if (head.spouse != 0) continue;  // only widowed/single small households
+    if (heads_by_parent.count(head.pid)) candidates.push_back(hid);
+  }
+  for (uint64_t hid : candidates) {
+    if (!rng->Bernoulli(config_.widow_merge_prob)) continue;
+    SimHousehold& household = households_.at(hid);
+    if (!household.present) continue;
+    const auto& child_heads = heads_by_parent.at(household.head);
+    const uint64_t target_head = child_heads[rng->NextBounded(
+        child_heads.size())];
+    const uint64_t target_hid = persons_.at(target_head).household;
+    if (target_hid == 0 || target_hid == hid) continue;
+    const std::vector<uint64_t> members = household.members;  // copy
+    for (uint64_t pid : members) {
+      RemoveFromHousehold(pid);
+      AddToHousehold(pid, target_hid);
+    }
+  }
+}
+
+void Population::ApplyServantTurnover(Rng* rng) {
+  std::vector<uint64_t> servants;
+  for (const auto& [pid, person] : persons_) {
+    if (person.present && person.is_servant && person.household != 0) {
+      servants.push_back(pid);
+    }
+  }
+  std::vector<uint64_t> hids;
+  for (const auto& [hid, household] : households_) {
+    if (household.present) hids.push_back(hid);
+  }
+  if (hids.empty()) return;
+  for (uint64_t pid : servants) {
+    if (!rng->Bernoulli(config_.servant_turnover_prob)) continue;
+    const uint64_t dest = hids[rng->NextBounded(hids.size())];
+    SimPerson& person = persons_.at(pid);
+    if (dest == person.household || !households_.at(dest).present) continue;
+    RemoveFromHousehold(pid);
+    AddToHousehold(pid, dest);
+  }
+}
+
+void Population::ApplyOccupationChurn(Rng* rng) {
+  for (auto& [pid, person] : persons_) {
+    if (!person.present) continue;
+    const int age = current_year_ - person.birth_year;
+    if (age < 13) continue;
+    if (person.occupation.empty()) {
+      EnsureOccupation(&person, rng);
+    } else if (rng->Bernoulli(config_.occupation_change_prob)) {
+      person.occupation = person.is_servant ? "domestic servant"
+                                            : names_.SampleOccupation(rng);
+    }
+  }
+}
+
+void Population::ApplyHouseholdMoves(Rng* rng) {
+  for (auto& [hid, household] : households_) {
+    if (!household.present) continue;
+    if (rng->Bernoulli(config_.household_move_prob)) {
+      household.address = names_.SampleAddress(rng);
+    }
+  }
+}
+
+void Population::ApplyEmigration(Rng* rng) {
+  std::vector<uint64_t> leaving;
+  for (const auto& [hid, household] : households_) {
+    if (household.present && rng->Bernoulli(config_.emigration_prob)) {
+      leaving.push_back(hid);
+    }
+  }
+  for (uint64_t hid : leaving) {
+    SimHousehold& household = households_.at(hid);
+    for (uint64_t pid : household.members) {
+      SimPerson& person = persons_.at(pid);
+      person.present = false;
+      person.household = 0;
+    }
+    household.members.clear();
+    household.present = false;
+    household.head = 0;
+  }
+}
+
+void Population::ApplyImmigration(Rng* rng) {
+  size_t target;
+  if (decade_index_ < config_.household_targets.size()) {
+    target = config_.household_targets[decade_index_];
+  } else {
+    // Extrapolate the last observed growth ratio.
+    const auto& t = config_.household_targets;
+    const double ratio =
+        t.size() >= 2 ? static_cast<double>(t[t.size() - 1]) / t[t.size() - 2]
+                      : 1.07;
+    target = static_cast<size_t>(
+        static_cast<double>(t.back()) *
+        std::pow(ratio, static_cast<double>(decade_index_ - t.size() + 1)));
+  }
+  size_t present = PresentHouseholds();
+  while (present < target) {
+    CreateFoundingHousehold(rng);
+    ++present;
+  }
+  // Endogenous growth (marriages, splits) can also overshoot the target; the
+  // surplus emigrates — whole households leaving the region, exactly the
+  // high remove_G counts the paper observes for 1891-1901.
+  if (present > target) {
+    std::vector<uint64_t> hids;
+    for (const auto& [hid, household] : households_) {
+      if (household.present && !household.members.empty()) {
+        hids.push_back(hid);
+      }
+    }
+    const std::vector<size_t> order = rng->Permutation(hids.size());
+    for (size_t i = 0; i < order.size() && present > target; ++i) {
+      SimHousehold& household = households_.at(hids[order[i]]);
+      for (uint64_t pid : household.members) {
+        SimPerson& person = persons_.at(pid);
+        person.present = false;
+        person.household = 0;
+      }
+      household.members.clear();
+      household.present = false;
+      household.head = 0;
+      --present;
+    }
+  }
+}
+
+void Population::AdvanceDecade(Rng* rng) {
+  current_year_ += kDecade;
+  ++decade_index_;
+  ApplyDeaths(rng);
+  ApplyMarriages(rng);
+  ApplyLeavingHome(rng);
+  ApplyBirths(rng);
+  ApplyWidowMerges(rng);
+  ApplyServantTurnover(rng);
+  ApplyOccupationChurn(rng);
+  ApplyHouseholdMoves(rng);
+  ApplyEmigration(rng);
+  ApplyImmigration(rng);
+}
+
+size_t Population::PresentHouseholds() const {
+  size_t count = 0;
+  for (const auto& [hid, household] : households_) {
+    if (household.present && !household.members.empty()) ++count;
+  }
+  return count;
+}
+
+size_t Population::PresentPersons() const {
+  size_t count = 0;
+  for (const auto& [pid, person] : persons_) {
+    if (person.present) ++count;
+  }
+  return count;
+}
+
+Role Population::RoleOf(const SimPerson& person,
+                        const SimHousehold& household) const {
+  const uint64_t head_pid = household.head;
+  if (person.pid == head_pid) return Role::kHead;
+  const SimPerson& head = persons_.at(head_pid);
+  // Only a female spouse is recorded as "wife"; a male spouse of a female
+  // head (possible only in exotic promotion corner cases) falls through to
+  // the kinship rules below.
+  if (person.spouse == head_pid && person.sex == Sex::kFemale) {
+    return Role::kWife;
+  }
+  if (head.father == person.pid) return Role::kFather;
+  if (head.mother == person.pid) return Role::kMother;
+
+  auto is_child_of = [this](const SimPerson& child, uint64_t parent) {
+    return parent != 0 && (child.father == parent || child.mother == parent);
+  };
+  // Children of the head or of the head's spouse.
+  if (is_child_of(person, head_pid) ||
+      (head.spouse != 0 && is_child_of(person, head.spouse))) {
+    return person.sex == Sex::kFemale ? Role::kDaughter : Role::kSon;
+  }
+  // Siblings: shared parent.
+  if ((person.father != 0 && person.father == head.father) ||
+      (person.mother != 0 && person.mother == head.mother)) {
+    return person.sex == Sex::kFemale ? Role::kSister : Role::kBrother;
+  }
+  // Grandchildren: a parent of this person is a child of the head.
+  for (uint64_t parent : {person.father, person.mother}) {
+    if (parent == 0) continue;
+    auto it = persons_.find(parent);
+    if (it != persons_.end() && is_child_of(it->second, head_pid)) {
+      return person.sex == Sex::kFemale ? Role::kGranddaughter
+                                        : Role::kGrandson;
+    }
+  }
+  // Nephews/nieces: a parent of this person is a sibling of the head.
+  for (uint64_t parent : {person.father, person.mother}) {
+    if (parent == 0) continue;
+    auto it = persons_.find(parent);
+    if (it == persons_.end()) continue;
+    const SimPerson& p = it->second;
+    if ((p.father != 0 && p.father == head.father) ||
+        (p.mother != 0 && p.mother == head.mother)) {
+      return person.sex == Sex::kFemale ? Role::kNiece : Role::kNephew;
+    }
+  }
+  if (person.is_servant) return Role::kServant;
+  if (person.is_lodger) return Role::kLodger;
+  return Role::kBoarder;
+}
+
+Population::Snapshot Population::TakeSnapshot(const CorruptionModel& corruption,
+                                              Rng* rng) const {
+  Snapshot snapshot;
+  snapshot.dataset.set_year(current_year_);
+  size_t household_seq = 0;
+  for (const auto& [hid, household] : households_) {
+    if (!household.present || household.members.empty()) continue;
+
+    // Enumeration order: head, spouse, then by age (eldest first).
+    std::vector<uint64_t> ordered = household.members;
+    const uint64_t head = household.head;
+    const uint64_t spouse = head != 0 ? persons_.at(head).spouse : 0;
+    std::sort(ordered.begin(), ordered.end(),
+              [&](uint64_t a, uint64_t b) {
+                auto rank = [&](uint64_t pid) {
+                  if (pid == head) return 0;
+                  if (pid != 0 && pid == spouse) return 1;
+                  return 2;
+                };
+                if (rank(a) != rank(b)) return rank(a) < rank(b);
+                const SimPerson& pa = persons_.at(a);
+                const SimPerson& pb = persons_.at(b);
+                if (pa.birth_year != pb.birth_year) {
+                  return pa.birth_year < pb.birth_year;
+                }
+                return a < b;
+              });
+
+    std::vector<PersonRecord> records;
+    records.reserve(ordered.size());
+    std::vector<uint64_t> pids;
+    for (uint64_t pid : ordered) {
+      const SimPerson& person = persons_.at(pid);
+      PersonRecord record;
+      record.external_id = "r" + std::to_string(current_year_) + "_" +
+                           std::to_string(snapshot.record_pids.size() +
+                                          pids.size());
+      record.first_name = person.first_name;
+      record.surname = person.surname;
+      record.sex = person.sex;
+      record.age = current_year_ - person.birth_year;
+      record.address = household.address;
+      const int age = record.age;
+      if (age < 3) {
+        record.occupation.clear();
+      } else if (age < 13) {
+        record.occupation = "scholar";
+      } else {
+        record.occupation = person.occupation;
+      }
+      record.role = RoleOf(person, household);
+      corruption.CorruptRecord(&record, rng);
+      records.push_back(std::move(record));
+      pids.push_back(pid);
+    }
+    snapshot.dataset.AddHousehold(
+        "h" + std::to_string(current_year_) + "_" +
+            std::to_string(household_seq++),
+        std::move(records));
+    snapshot.household_hids.push_back(hid);
+    for (uint64_t pid : pids) snapshot.record_pids.push_back(pid);
+  }
+  return snapshot;
+}
+
+}  // namespace tglink

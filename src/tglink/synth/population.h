@@ -1,0 +1,155 @@
+// Longitudinal population simulator: advances a synthetic population in
+// ten-year steps through the demographic events that drive the paper's
+// linkage difficulty and its evolution patterns — deaths (remove_R),
+// births/immigration (add_R/add_G), marriages with surname change and new
+// household formation (split/add_G), children leaving home (split/move),
+// widow households merging into a child's household (merge), servants and
+// lodgers changing households (move), and whole-household emigration
+// (remove_G). Every person keeps a stable identity (pid), which is what the
+// ground-truth mappings are derived from.
+
+#ifndef TGLINK_SYNTH_POPULATION_H_
+#define TGLINK_SYNTH_POPULATION_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tglink/census/dataset.h"
+#include "tglink/synth/corruption.h"
+#include "tglink/synth/name_pools.h"
+#include "tglink/util/random.h"
+
+namespace tglink {
+
+/// Per-decade event probabilities / rates. Calibrated so that the resulting
+/// snapshot series matches the shape of the paper's Table 1 and the pattern
+/// frequencies of its Fig. 6.
+struct PopulationConfig {
+  int start_year = 1851;
+
+  /// Present-household targets per census (immigration tops the population
+  /// up to these). Defaults to the paper's Table 1 row |G_t|, optionally
+  /// scaled by the generator.
+  std::vector<size_t> household_targets = {3298, 4570, 5576,
+                                           6025, 6378, 6842};
+
+  // Mortality per decade by age band.
+  double death_prob_child = 0.055;  // 0-9
+  double death_prob_young = 0.065;  // 10-39
+  double death_prob_mid = 0.15;     // 40-59
+  double death_prob_old = 0.38;     // 60-69
+  double death_prob_elder = 0.65;   // 70+
+
+  double marriage_prob = 0.55;             // per eligible pairing
+  double couple_new_household_prob = 0.60; // newlyweds found a household
+  double leave_home_prob = 0.15;           // unmarried adult founds own home
+  double leave_as_lodger_prob = 0.04;      // ... or lodges elsewhere
+  double birth_mean = 2.2;                 // surviving births per couple
+  double initial_children_mean = 3.2;      // founding-household family size
+  double household_move_prob = 0.15;       // address change
+  double occupation_change_prob = 0.25;
+  double female_occupation_prob = 0.85;
+  double emigration_prob = 0.10;           // whole household leaves region
+  double widow_merge_prob = 0.5;           // small household joins a child's
+  double servant_prob = 0.10;              // founding households employ one
+  double lodger_prob = 0.04;
+  double parent_coresident_prob = 0.06;    // founding head houses a parent
+  double servant_turnover_prob = 0.20;
+};
+
+/// One simulated person. pids are stable across the whole series; persons
+/// are never erased (kinship lookups need ancestors), only marked absent.
+struct SimPerson {
+  uint64_t pid = 0;
+  std::string first_name;
+  std::string surname;
+  Sex sex = Sex::kUnknown;
+  int birth_year = 0;
+  std::string occupation;
+  uint64_t spouse = 0;  // pid, 0 = none/widowed
+  uint64_t father = 0;
+  uint64_t mother = 0;
+  uint64_t household = 0;  // hid, 0 = not in region
+  bool present = true;     // alive and in the region
+  bool is_servant = false;
+  bool is_lodger = false;
+};
+
+struct SimHousehold {
+  uint64_t hid = 0;
+  uint64_t head = 0;  // pid
+  std::string address;
+  std::vector<uint64_t> members;  // pids, unordered
+  bool present = true;
+};
+
+class Population {
+ public:
+  Population(const PopulationConfig& config, Rng* rng);
+
+  int current_year() const { return current_year_; }
+  size_t decade_index() const { return decade_index_; }
+
+  /// Advances the simulation by ten years, applying all demographic events.
+  void AdvanceDecade(Rng* rng);
+
+  /// A census snapshot with per-record / per-household ground-truth ids.
+  struct Snapshot {
+    CensusDataset dataset;
+    std::vector<uint64_t> record_pids;     // by RecordId
+    std::vector<uint64_t> household_hids;  // by GroupId
+  };
+
+  /// Takes the census: builds records with enumeration-time corruption.
+  Snapshot TakeSnapshot(const CorruptionModel& corruption, Rng* rng) const;
+
+  /// Present-household count (for calibration assertions in tests).
+  size_t PresentHouseholds() const;
+  size_t PresentPersons() const;
+
+  const std::map<uint64_t, SimPerson>& persons() const { return persons_; }
+  const std::map<uint64_t, SimHousehold>& households() const {
+    return households_;
+  }
+
+ private:
+  uint64_t NewPerson(std::string first_name, std::string surname, Sex sex,
+                     int birth_year);
+  uint64_t NewHousehold(Rng* rng);
+  void AddToHousehold(uint64_t pid, uint64_t hid);
+  void RemoveFromHousehold(uint64_t pid);
+  /// Creates a complete founding family (used for the initial population
+  /// and for immigration).
+  void CreateFoundingHousehold(Rng* rng);
+  void EnsureOccupation(SimPerson* person, Rng* rng);
+  Role RoleOf(const SimPerson& person, const SimHousehold& household) const;
+  bool AreCloseKin(const SimPerson& a, const SimPerson& b) const;
+
+  // Event phases of AdvanceDecade.
+  void ApplyDeaths(Rng* rng);
+  void ApplyMarriages(Rng* rng);
+  void ApplyLeavingHome(Rng* rng);
+  void ApplyBirths(Rng* rng);
+  void ApplyWidowMerges(Rng* rng);
+  void ApplyServantTurnover(Rng* rng);
+  void ApplyOccupationChurn(Rng* rng);
+  void ApplyHouseholdMoves(Rng* rng);
+  void ApplyEmigration(Rng* rng);
+  void ApplyImmigration(Rng* rng);
+
+  PopulationConfig config_;
+  NameSampler names_;
+  int current_year_;
+  size_t decade_index_ = 0;
+  uint64_t next_pid_ = 1;
+  uint64_t next_hid_ = 1;
+  std::map<uint64_t, SimPerson> persons_;
+  std::map<uint64_t, SimHousehold> households_;
+};
+
+}  // namespace tglink
+
+#endif  // TGLINK_SYNTH_POPULATION_H_

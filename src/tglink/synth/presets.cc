@@ -1,0 +1,52 @@
+#include "tglink/synth/presets.h"
+
+namespace tglink {
+namespace presets {
+
+GeneratorConfig Rawtenstall() {
+  return GeneratorConfig{};  // the defaults ARE the Rawtenstall calibration
+}
+
+GeneratorConfig HighMobilityTown() {
+  GeneratorConfig config;
+  config.population.emigration_prob = 0.20;
+  config.population.household_move_prob = 0.30;
+  config.population.leave_home_prob = 0.30;
+  config.population.leave_as_lodger_prob = 0.12;
+  config.population.servant_turnover_prob = 0.6;
+  config.population.occupation_change_prob = 0.40;
+  // Faster growth than the Rawtenstall targets.
+  for (size_t i = 0; i < config.population.household_targets.size(); ++i) {
+    config.population.household_targets[i] = static_cast<size_t>(
+        config.population.household_targets[i] * (1.0 + 0.05 * i));
+  }
+  return config;
+}
+
+GeneratorConfig StableRuralParish() {
+  GeneratorConfig config;
+  config.population.emigration_prob = 0.01;
+  config.population.household_move_prob = 0.05;
+  config.population.leave_home_prob = 0.12;
+  config.population.leave_as_lodger_prob = 0.03;
+  config.population.servant_turnover_prob = 0.2;
+  config.population.occupation_change_prob = 0.10;
+  // A parish barely grows.
+  config.population.household_targets = {800, 830, 860, 890, 915, 940};
+  return config;
+}
+
+GeneratorConfig PoorTranscription() {
+  GeneratorConfig config;
+  config.corruption.noise_scale = 2.0;
+  return config;
+}
+
+GeneratorConfig CleanTranscription() {
+  GeneratorConfig config;
+  config.corruption.noise_scale = 0.0;
+  return config;
+}
+
+}  // namespace presets
+}  // namespace tglink

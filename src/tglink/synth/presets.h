@@ -1,0 +1,36 @@
+// Named generator presets: calibrated starting points for different
+// regional and transcription regimes, so that studies (and tests) can vary
+// exactly one regime at a time instead of hand-tuning a dozen rates.
+
+#ifndef TGLINK_SYNTH_PRESETS_H_
+#define TGLINK_SYNTH_PRESETS_H_
+
+#include "tglink/synth/generator.h"
+
+namespace tglink {
+namespace presets {
+
+/// The default calibration: mirrors the paper's Rawtenstall observables
+/// (Table 1 sizes, 3-6.5% missing values, skewed names).
+GeneratorConfig Rawtenstall();
+
+/// An industrializing boom town: high in/out migration, frequent moves,
+/// high servant/lodger turnover — more add/remove/move patterns, harder
+/// linkage.
+GeneratorConfig HighMobilityTown();
+
+/// A stable rural parish: little migration, households persist — easy
+/// linkage, dominated by preserve_G chains.
+GeneratorConfig StableRuralParish();
+
+/// Badly transcribed sources: double the typo/nickname/age noise and
+/// missing rates of the default.
+GeneratorConfig PoorTranscription();
+
+/// Near-perfect records: corruption off, only real-world change remains.
+GeneratorConfig CleanTranscription();
+
+}  // namespace presets
+}  // namespace tglink
+
+#endif  // TGLINK_SYNTH_PRESETS_H_

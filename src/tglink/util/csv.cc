@@ -1,0 +1,126 @@
+#include "tglink/util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tglink {
+
+Result<CsvRow> ParseCsvLine(std::string_view line, char sep) {
+  CsvRow fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else {
+      if (c == '"' && current.empty()) {
+        in_quotes = true;
+      } else if (c == sep) {
+        fields.push_back(std::move(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text, char sep) {
+  std::vector<CsvRow> rows;
+  size_t start = 0;
+  bool in_quotes = false;
+  // Split on newlines, but only outside quoted fields (quoted fields may
+  // contain newlines).
+  for (size_t i = 0; i <= text.size(); ++i) {
+    const bool at_end = (i == text.size());
+    const char c = at_end ? '\n' : text[i];
+    if (!at_end && c == '"') in_quotes = !in_quotes;
+    if ((c == '\n' && !in_quotes) || at_end) {
+      std::string_view line = text.substr(start, i - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = i + 1;
+      if (line.empty()) continue;
+      auto row = ParseCsvLine(line, sep);
+      if (!row.ok()) return row.status();
+      rows.push_back(std::move(row).value());
+    }
+  }
+  return rows;
+}
+
+std::string EscapeCsvField(std::string_view field, char sep) {
+  const bool needs_quotes =
+      field.find(sep) != std::string_view::npos ||
+      field.find('"') != std::string_view::npos ||
+      field.find('\n') != std::string_view::npos ||
+      field.find('\r') != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string FormatCsvRow(const CsvRow& row, char sep) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += EscapeCsvField(row[i], sep);
+  }
+  out.push_back('\n');
+  return out;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path, char sep) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParseCsv(text.value(), sep);
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
+                    char sep) {
+  std::string out;
+  for (const CsvRow& row : rows) out += FormatCsvRow(row, sep);
+  return WriteStringToFile(path, out);
+}
+
+}  // namespace tglink

@@ -1,0 +1,47 @@
+// RFC-4180-style CSV reading and writing, used to persist census snapshots
+// and linkage results. Handles quoted fields, embedded separators, embedded
+// quotes ("" escaping) and both \n and \r\n line endings.
+
+#ifndef TGLINK_UTIL_CSV_H_
+#define TGLINK_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tglink/util/status.h"
+
+namespace tglink {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parses one CSV line (no trailing newline) into fields.
+/// Returns ParseError on an unterminated quoted field.
+Result<CsvRow> ParseCsvLine(std::string_view line, char sep = ',');
+
+/// Parses a whole CSV document. Empty lines are skipped.
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text, char sep = ',');
+
+/// Quotes a field if it contains the separator, a quote, or a newline.
+std::string EscapeCsvField(std::string_view field, char sep = ',');
+
+/// Serializes one row (with trailing '\n').
+std::string FormatCsvRow(const CsvRow& row, char sep = ',');
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes (truncating) a string to a file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+/// Convenience: reads and parses a CSV file.
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
+                                        char sep = ',');
+
+/// Convenience: serializes and writes rows to a CSV file.
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
+                    char sep = ',');
+
+}  // namespace tglink
+
+#endif  // TGLINK_UTIL_CSV_H_

@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr. Off by default above kWarning so that
+// library users and benchmarks control verbosity explicitly.
+
+#ifndef TGLINK_UTIL_LOGGING_H_
+#define TGLINK_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tglink {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& message);
+
+/// Stream-style one-shot logger; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tglink
+
+#define TGLINK_LOG(level) \
+  ::tglink::internal::LogMessage(::tglink::LogLevel::level)
+
+#endif  // TGLINK_UTIL_LOGGING_H_

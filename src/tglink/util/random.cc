@@ -1,0 +1,128 @@
+#include "tglink/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tglink {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller; guard against log(0).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+int Rng::NextPoisson(double mean) {
+  if (mean <= 0.0) return 0;
+  const double limit = std::exp(-mean);
+  double product = NextDouble();
+  int count = 0;
+  while (product > limit) {
+    ++count;
+    product *= NextDouble();
+  }
+  return count;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fell off due to rounding
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  for (size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[NextBounded(i)]);
+  }
+  return perm;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace tglink

@@ -1,0 +1,117 @@
+// Minimal Status / Result error-handling primitives.
+//
+// Library code in tglink never throws across module boundaries. Fallible
+// operations (mostly I/O and parsing) return Status or Result<T>; pure
+// algorithmic code takes validated inputs and returns values directly.
+
+#ifndef TGLINK_UTIL_STATUS_H_
+#define TGLINK_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tglink {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kParseError,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("OK", "IoError"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. The OK state carries no
+/// allocation; error states carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status::OK() for success");
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status union. `ok()` implies the value is present.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result from Status requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace tglink
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define TGLINK_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::tglink::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#endif  // TGLINK_UTIL_STATUS_H_

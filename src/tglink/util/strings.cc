@@ -1,0 +1,113 @@
+#include "tglink/util/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tglink {
+
+namespace {
+inline char LowerChar(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+inline char UpperChar(char c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+}
+inline bool IsSpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+}  // namespace
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), LowerChar);
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), UpperChar);
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && IsSpaceChar(s[b])) ++b;
+  while (e > b && IsSpaceChar(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsSpaceChar(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && !IsSpaceChar(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string NormalizeValue(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool pending_space = false;
+  for (char raw : s) {
+    char c = LowerChar(raw);
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+    if (keep) {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      out.push_back(c);
+    } else {
+      pending_space = true;  // punctuation and whitespace both separate
+    }
+  }
+  return out;
+}
+
+bool IsMissing(std::string_view s) {
+  std::string v = ToLower(std::string(Trim(s)));
+  return v.empty() || v == "-" || v == "n/a" || v == "na" || v == "unknown" ||
+         v == "nk" || v == "?";
+}
+
+int ParseNonNegativeInt(std::string_view s) {
+  std::string_view t = Trim(s);
+  if (t.empty() || t.size() > 9) return -1;
+  long value = 0;
+  for (char c : t) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace tglink

@@ -1,0 +1,50 @@
+// String helpers used across the library: ASCII case folding, trimming,
+// splitting/joining, and the normalization applied to census attribute
+// values before any similarity computation.
+
+#ifndef TGLINK_UTIL_STRINGS_H_
+#define TGLINK_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tglink {
+
+/// ASCII lower-casing (census data in scope is Latin-script).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on `sep`; empty fields are preserved ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; no empty tokens are produced.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Canonical form used for matching: lower-cased, punctuation mapped to
+/// spaces, whitespace runs collapsed to single spaces, trimmed.
+/// "  O'Brien-Smith " -> "o brien smith".
+std::string NormalizeValue(std::string_view s);
+
+/// True if the value is semantically missing: empty after trimming, or one
+/// of the conventional census placeholders ("-", "n/a", "na", "unknown",
+/// "nk", "?") case-insensitively.
+bool IsMissing(std::string_view s);
+
+/// Parses a non-negative integer; returns -1 on any malformed input.
+int ParseNonNegativeInt(std::string_view s);
+
+}  // namespace tglink
+
+#endif  // TGLINK_UTIL_STRINGS_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for experiment harness timing output.
+
+#ifndef TGLINK_UTIL_TIMER_H_
+#define TGLINK_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace tglink {
+
+/// Starts on construction; ElapsedSeconds/Millis read without stopping.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tglink
+
+#endif  // TGLINK_UTIL_TIMER_H_

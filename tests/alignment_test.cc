@@ -1,0 +1,87 @@
+#include "tglink/similarity/alignment.h"
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+TEST(SmithWatermanTest, ScoreBasics) {
+  SmithWatermanParams params;  // match 2, mismatch -1, gap -1
+  EXPECT_DOUBLE_EQ(SmithWatermanScore("abc", "abc", params), 6.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanScore("abc", "xyz", params), 0.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanScore("", "abc", params), 0.0);
+  // Local alignment: the shared core scores regardless of flanks.
+  EXPECT_DOUBLE_EQ(SmithWatermanScore("xxmillxx", "yymillyy", params), 8.0);
+}
+
+TEST(SmithWatermanTest, GapHandling) {
+  SmithWatermanParams params;
+  // "abcd" vs "abxcd": align abcd with one gap: 4 matches * 2 - 1 gap = 7.
+  EXPECT_DOUBLE_EQ(SmithWatermanScore("abcd", "abxcd", params), 7.0);
+}
+
+TEST(SmithWatermanTest, SimilarityNormalized) {
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("", "a"), 0.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("abc", "abc"), 1.0);
+  // Substring containment scores 1 under the shorter-string normalization.
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("mill", "12 mill street"), 1.0);
+  const double partial = SmithWatermanSimilarity("smith", "smyth");
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(LcsTest, SubstringLengths) {
+  EXPECT_EQ(LongestCommonSubstring("ashworth", "ashword"), 6u);  // "ashwor"
+  EXPECT_EQ(LongestCommonSubstring("abc", "abc"), 3u);
+  EXPECT_EQ(LongestCommonSubstring("abc", "xyz"), 0u);
+  EXPECT_EQ(LongestCommonSubstring("", "abc"), 0u);
+  EXPECT_EQ(LongestCommonSubstring("xabcy", "zabcw"), 3u);
+}
+
+TEST(LcsTest, SubsequenceLengths) {
+  EXPECT_EQ(LongestCommonSubsequence("abcde", "ace"), 3u);
+  EXPECT_EQ(LongestCommonSubsequence("abc", "abc"), 3u);
+  EXPECT_EQ(LongestCommonSubsequence("abc", "cba"), 1u);
+  EXPECT_EQ(LongestCommonSubsequence("", ""), 0u);
+  // Subsequence >= substring always.
+  EXPECT_GE(LongestCommonSubsequence("elizabeth", "elisabeth"),
+            LongestCommonSubstring("elizabeth", "elisabeth"));
+}
+
+TEST(LcsTest, NormalizedSimilarities) {
+  EXPECT_DOUBLE_EQ(LcsSubstringSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LcsSubstringSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LcsSubstringSimilarity("abcd", "ab"), 2.0 * 2 / 6);
+  EXPECT_DOUBLE_EQ(LcsSubsequenceSimilarity("abcde", "ace"), 2.0 * 3 / 8);
+}
+
+class AlignmentPropertyTest
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(AlignmentPropertyTest, SymmetryAndBounds) {
+  const auto& [a, b] = GetParam();
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity(a, b),
+                   SmithWatermanSimilarity(b, a));
+  EXPECT_EQ(LongestCommonSubstring(a, b), LongestCommonSubstring(b, a));
+  EXPECT_EQ(LongestCommonSubsequence(a, b), LongestCommonSubsequence(b, a));
+  for (double sim : {SmithWatermanSimilarity(a, b),
+                     LcsSubstringSimilarity(a, b),
+                     LcsSubsequenceSimilarity(a, b)}) {
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity(a, a), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NamePairs, AlignmentPropertyTest,
+    ::testing::Values(std::make_pair("ashworth", "ashword"),
+                      std::make_pair("12 mill street", "mill st"),
+                      std::make_pair("cotton weaver", "weaver"),
+                      std::make_pair("", "x"),
+                      std::make_pair("riley", "reilly"),
+                      std::make_pair("aaaa", "aa")));
+
+}  // namespace
+}  // namespace tglink

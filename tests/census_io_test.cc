@@ -1,0 +1,106 @@
+#include "tglink/census/io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+TEST(CensusIoTest, CsvRoundTripPreservesEverything) {
+  const CensusDataset original = testing_example::MakeCensus1871();
+  const std::string csv = DatasetToCsv(original);
+  auto loaded = DatasetFromCsv(csv, 1871);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const CensusDataset& d = loaded.value();
+  ASSERT_EQ(d.num_records(), original.num_records());
+  ASSERT_EQ(d.num_households(), original.num_households());
+  for (RecordId r = 0; r < d.num_records(); ++r) {
+    const PersonRecord& a = original.record(r);
+    const PersonRecord& b = d.record(r);
+    EXPECT_EQ(a.external_id, b.external_id);
+    EXPECT_EQ(a.first_name, b.first_name);
+    EXPECT_EQ(a.surname, b.surname);
+    EXPECT_EQ(a.sex, b.sex);
+    EXPECT_EQ(a.age, b.age);
+    EXPECT_EQ(a.role, b.role);
+    EXPECT_EQ(a.address, b.address);
+    EXPECT_EQ(a.occupation, b.occupation);
+    EXPECT_EQ(a.group, b.group);
+  }
+  for (GroupId g = 0; g < d.num_households(); ++g) {
+    EXPECT_EQ(d.household(g).external_id, original.household(g).external_id);
+    EXPECT_EQ(d.household(g).members, original.household(g).members);
+  }
+}
+
+TEST(CensusIoTest, NormalizesRawValuesOnLoad) {
+  const std::string csv =
+      "record_id,household_id,first_name,surname,sex,age,role,address,"
+      "occupation\n"
+      "r1,h1,John,O'Brien,M,39,head,\"12, Mill St.\",Cotton Weaver\n";
+  auto loaded = DatasetFromCsv(csv, 1871);
+  ASSERT_TRUE(loaded.ok());
+  const PersonRecord& r = loaded.value().record(0);
+  EXPECT_EQ(r.first_name, "john");
+  EXPECT_EQ(r.surname, "o brien");
+  EXPECT_EQ(r.address, "12 mill st");
+  EXPECT_EQ(r.occupation, "cotton weaver");
+  EXPECT_EQ(r.sex, Sex::kMale);
+}
+
+TEST(CensusIoTest, MissingPlaceholdersBecomeEmpty) {
+  const std::string csv =
+      "record_id,household_id,first_name,surname,sex,age,role,address,"
+      "occupation\n"
+      "r1,h1,john,smith,m,-,head,unknown,n/a\n";
+  auto loaded = DatasetFromCsv(csv, 1871);
+  ASSERT_TRUE(loaded.ok());
+  const PersonRecord& r = loaded.value().record(0);
+  EXPECT_FALSE(r.has_age());
+  EXPECT_TRUE(r.address.empty());
+  EXPECT_TRUE(r.occupation.empty());
+}
+
+TEST(CensusIoTest, RejectsBadHeader) {
+  EXPECT_FALSE(DatasetFromCsv("a,b,c\n1,2,3\n", 1871).ok());
+  EXPECT_FALSE(DatasetFromCsv("", 1871).ok());
+}
+
+TEST(CensusIoTest, RejectsWrongArity) {
+  const std::string csv =
+      "record_id,household_id,first_name,surname,sex,age,role,address,"
+      "occupation\n"
+      "r1,h1,john\n";
+  EXPECT_FALSE(DatasetFromCsv(csv, 1871).ok());
+}
+
+TEST(CensusIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tglink_census.csv";
+  const CensusDataset original = testing_example::MakeCensus1881();
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  auto loaded = LoadDataset(path, 1881);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_records(), original.num_records());
+  EXPECT_EQ(loaded.value().num_households(), original.num_households());
+  std::remove(path.c_str());
+}
+
+TEST(CensusIoTest, HouseholdsReassembledFromInterleavedRows) {
+  const std::string csv =
+      "record_id,household_id,first_name,surname,sex,age,role,address,"
+      "occupation\n"
+      "r1,h1,a,x,m,30,head,,\n"
+      "r2,h2,b,y,m,40,head,,\n"
+      "r3,h1,c,x,f,28,wife,,\n";
+  auto loaded = DatasetFromCsv(csv, 1871);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().num_households(), 2u);
+  EXPECT_EQ(loaded.value().household(0).members.size(), 2u);  // h1 first seen
+  EXPECT_EQ(loaded.value().household(1).members.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tglink

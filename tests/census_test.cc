@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "tglink/census/dataset.h"
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using testing_example::MakeCensus1871;
+using testing_example::MakeRecord;
+
+TEST(RolesTest, ParseRoundTripsEveryRole) {
+  for (int i = 0; i <= static_cast<int>(Role::kVisitor); ++i) {
+    const Role role = static_cast<Role>(i);
+    EXPECT_EQ(ParseRole(RoleName(role)), role);
+  }
+  EXPECT_EQ(ParseRole("HEAD"), Role::kHead);
+  EXPECT_EQ(ParseRole("  daughter "), Role::kDaughter);
+  EXPECT_EQ(ParseRole("gibberish"), Role::kUnknown);
+}
+
+TEST(RolesTest, ParseSex) {
+  EXPECT_EQ(ParseSex("m"), Sex::kMale);
+  EXPECT_EQ(ParseSex("Female"), Sex::kFemale);
+  EXPECT_EQ(ParseSex(""), Sex::kUnknown);
+  EXPECT_EQ(ParseSex("x"), Sex::kUnknown);
+}
+
+TEST(RolesTest, FamilyAndGenerationStructure) {
+  EXPECT_TRUE(IsFamilyRole(Role::kHead));
+  EXPECT_TRUE(IsFamilyRole(Role::kGranddaughter));
+  EXPECT_FALSE(IsFamilyRole(Role::kServant));
+  EXPECT_FALSE(IsFamilyRole(Role::kUnknown));
+  EXPECT_EQ(GenerationOffset(Role::kHead), 0);
+  EXPECT_EQ(GenerationOffset(Role::kMother), -1);
+  EXPECT_EQ(GenerationOffset(Role::kSon), 1);
+  EXPECT_EQ(GenerationOffset(Role::kGrandson), 2);
+}
+
+TEST(RecordTest, FieldAccess) {
+  const PersonRecord r = MakeRecord("id", "john", "ashworth", Sex::kMale, 39,
+                                    Role::kHead, "12 mill street", "weaver");
+  EXPECT_EQ(GetFieldValue(r, Field::kFirstName), "john");
+  EXPECT_EQ(GetFieldValue(r, Field::kSurname), "ashworth");
+  EXPECT_EQ(GetFieldValue(r, Field::kSex), "m");
+  EXPECT_EQ(GetFieldValue(r, Field::kAge), "39");
+  EXPECT_EQ(GetFieldValue(r, Field::kAddress), "12 mill street");
+  EXPECT_EQ(GetFieldValue(r, Field::kOccupation), "weaver");
+  EXPECT_EQ(r.DisplayName(), "john ashworth");
+}
+
+TEST(RecordTest, MissingFieldDetection) {
+  PersonRecord r = MakeRecord("id", "", "ashworth", Sex::kUnknown, -1,
+                              Role::kHead, "", "");
+  EXPECT_TRUE(IsFieldMissing(r, Field::kFirstName));
+  EXPECT_FALSE(IsFieldMissing(r, Field::kSurname));
+  EXPECT_TRUE(IsFieldMissing(r, Field::kSex));
+  EXPECT_TRUE(IsFieldMissing(r, Field::kAge));
+  EXPECT_TRUE(IsFieldMissing(r, Field::kAddress));
+  EXPECT_TRUE(IsFieldMissing(r, Field::kOccupation));
+  EXPECT_EQ(GetFieldValue(r, Field::kAge), "");
+  EXPECT_FALSE(r.has_age());
+}
+
+TEST(DatasetTest, AddHouseholdAssignsDenseIdsAndGroups) {
+  const CensusDataset d = MakeCensus1871();
+  EXPECT_EQ(d.year(), 1871);
+  EXPECT_EQ(d.num_records(), 8u);
+  EXPECT_EQ(d.num_households(), 2u);
+  EXPECT_EQ(d.household(0).members.size(), 5u);
+  EXPECT_EQ(d.household(1).members.size(), 3u);
+  for (GroupId g = 0; g < d.num_households(); ++g) {
+    for (RecordId r : d.household(g).members) {
+      EXPECT_EQ(d.record(r).group, g);
+    }
+  }
+}
+
+TEST(DatasetTest, ValidatePassesOnWellFormedData) {
+  EXPECT_TRUE(MakeCensus1871().Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesDuplicateExternalIds) {
+  CensusDataset d(1871);
+  d.AddHousehold("h1", {MakeRecord("dup", "a", "b", Sex::kMale, 1,
+                                   Role::kHead, "", "")});
+  d.AddHousehold("h2", {MakeRecord("dup", "c", "d", Sex::kMale, 2,
+                                   Role::kHead, "", "")});
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesInconsistentGroupField) {
+  CensusDataset d(1871);
+  d.AddHousehold("h1", {MakeRecord("r1", "a", "b", Sex::kMale, 1, Role::kHead,
+                                   "", "")});
+  d.mutable_record(0)->group = 7;  // corrupt
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, StatsCountNamesAndMissing) {
+  CensusDataset d(1871);
+  d.AddHousehold("h1",
+                 {MakeRecord("r1", "john", "smith", Sex::kMale, 30,
+                             Role::kHead, "x", "weaver"),
+                  MakeRecord("r2", "john", "smith", Sex::kMale, 3, Role::kSon,
+                             "x", "")});
+  d.AddHousehold("h2", {MakeRecord("r3", "mary", "holt", Sex::kFemale, 25,
+                                   Role::kHead, "", "")});
+  const DatasetStats stats = d.Stats();
+  EXPECT_EQ(stats.year, 1871);
+  EXPECT_EQ(stats.num_records, 3u);
+  EXPECT_EQ(stats.num_households, 2u);
+  EXPECT_EQ(stats.unique_name_combinations, 2u);  // john smith, mary holt
+  // Missing cells: r2 occupation, r3 address + occupation = 3 of 15.
+  EXPECT_NEAR(stats.missing_value_ratio, 3.0 / 15.0, 1e-12);
+  EXPECT_NEAR(stats.avg_household_size, 1.5, 1e-12);
+}
+
+TEST(DatasetTest, EmptyDatasetStats) {
+  const CensusDataset d(1901);
+  const DatasetStats stats = d.Stats();
+  EXPECT_EQ(stats.num_records, 0u);
+  EXPECT_DOUBLE_EQ(stats.missing_value_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(stats.avg_household_size, 0.0);
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,45 @@
+#!/bin/sh
+# End-to-end smoke test of tglink_cli: generate -> stats/profile -> link ->
+# evaluate -> analyze, checking exit codes and that artifacts materialize.
+set -eu
+
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" generate --out-dir "$DIR" --scale 0.03 --censuses 3 --seed 5 > /dev/null
+
+test -s "$DIR/census_1851.csv"
+test -s "$DIR/census_1861.csv"
+test -s "$DIR/census_1871.csv"
+test -s "$DIR/gold_1851_1861.csv"
+
+"$CLI" stats --census "$DIR/census_1851.csv" --year 1851 | grep -q 1851
+"$CLI" profile --census "$DIR/census_1851.csv" --year 1851 \
+    --max-warnings 5 | grep -q "attributes:"
+
+"$CLI" link --old "$DIR/census_1851.csv" --old-year 1851 \
+    --new "$DIR/census_1861.csv" --new-year 1861 \
+    --out "$DIR/map.csv" > /dev/null
+test -s "$DIR/map.csv"
+
+"$CLI" evaluate --old "$DIR/census_1851.csv" --old-year 1851 \
+    --new "$DIR/census_1861.csv" --new-year 1861 \
+    --mappings "$DIR/map.csv" --gold "$DIR/gold_1851_1861.csv" \
+    --protocol verified | grep -q "record mapping"
+"$CLI" evaluate --old "$DIR/census_1851.csv" --old-year 1851 \
+    --new "$DIR/census_1861.csv" --new-year 1861 \
+    --mappings "$DIR/map.csv" --gold "$DIR/gold_1851_1861.csv" \
+    --protocol full | grep -q "record mapping"
+
+"$CLI" analyze --dir "$DIR" --years 1851,1861,1871 \
+    --dot "$DIR/evo.dot" --csv "$DIR/evo.csv" > /dev/null
+test -s "$DIR/evo.dot"
+grep -q "digraph evolution" "$DIR/evo.dot"
+test -s "$DIR/evo.csv"
+
+# Unknown commands and missing options fail loudly.
+if "$CLI" frobnicate > /dev/null 2>&1; then exit 1; fi
+if "$CLI" link > /dev/null 2>&1; then exit 1; fi
+
+echo "cli smoke OK"

@@ -1,0 +1,90 @@
+// Behavioural tests of the collective-linkage baseline's knobs: seed
+// threshold, relational weight and accept threshold must move the outcome
+// in the documented directions.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tglink/baselines/collective.h"
+#include "tglink/eval/metrics.h"
+#include "tglink/linkage/config.h"
+#include "tglink/synth/generator.h"
+
+namespace tglink {
+namespace {
+
+struct Fixture {
+  SyntheticPair pair;
+  ResolvedGold gold;
+
+  Fixture() {
+    GeneratorConfig gen;
+    gen.seed = 55;
+    gen.scale = 0.05;
+    gen.num_censuses = 2;
+    pair = GenerateCensusPair(gen, 0);
+    gold = ResolveGold(pair.gold, pair.old_dataset, pair.new_dataset).value();
+  }
+
+  RecordMapping Run(CollectiveConfig config) {
+    config.sim_func = configs::Omega2();
+    return CollectiveLink(pair.old_dataset, pair.new_dataset, config);
+  }
+};
+
+TEST(CollectiveConfigTest, HigherAcceptThresholdTradesRecallForPrecision) {
+  Fixture fx;
+  CollectiveConfig loose;
+  loose.accept_threshold = 0.6;
+  CollectiveConfig strict;
+  strict.accept_threshold = 0.9;
+  const RecordMapping loose_map = fx.Run(loose);
+  const RecordMapping strict_map = fx.Run(strict);
+  const PrecisionRecall loose_pr = EvaluateRecordMapping(loose_map, fx.gold);
+  const PrecisionRecall strict_pr = EvaluateRecordMapping(strict_map, fx.gold);
+  // Precision is not strictly monotone under collective feedback (accepted
+  // links change later relational scores), so allow a small tolerance; the
+  // recall/volume direction is strict.
+  EXPECT_GE(strict_pr.precision(), loose_pr.precision() - 0.01);
+  EXPECT_LE(strict_pr.recall(), loose_pr.recall() + 1e-9);
+  EXPECT_LE(strict_map.size(), loose_map.size());
+}
+
+TEST(CollectiveConfigTest, RelationalWeightChangesDecisions) {
+  Fixture fx;
+  CollectiveConfig attribute_only;
+  attribute_only.relational_weight = 0.0;
+  CollectiveConfig relational;
+  relational.relational_weight = 0.6;
+  const RecordMapping a = fx.Run(attribute_only);
+  const RecordMapping b = fx.Run(relational);
+  // The configurations must not be observationally identical.
+  EXPECT_NE(a.links(), b.links());
+}
+
+TEST(CollectiveConfigTest, AgeFilterStrictnessReducesLinks) {
+  Fixture fx;
+  CollectiveConfig permissive;
+  permissive.max_age_difference = 10;
+  CollectiveConfig strict;
+  strict.max_age_difference = 1;
+  EXPECT_GE(fx.Run(permissive).size(), fx.Run(strict).size());
+}
+
+TEST(CollectiveConfigTest, SeedsAreSubsetOfHighSimilarityPairs) {
+  Fixture fx;
+  CollectiveConfig config;
+  config.accept_threshold = 2.0;  // nothing but seeds can be accepted
+  const RecordMapping seeds_only = fx.Run(config);
+  SimilarityFunction f = configs::Omega2();
+  f.set_year_gap(10);
+  for (const RecordLink& link : seeds_only.links()) {
+    EXPECT_GE(f.AggregateSimilarity(fx.pair.old_dataset.record(link.first),
+                                    fx.pair.new_dataset.record(link.second)),
+              config.seed_threshold - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tglink

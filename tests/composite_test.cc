@@ -1,0 +1,205 @@
+#include "tglink/similarity/composite.h"
+
+#include <gtest/gtest.h>
+
+#include "tglink/linkage/config.h"
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using testing_example::MakeRecord;
+
+PersonRecord Base() {
+  return MakeRecord("x", "john", "ashworth", Sex::kMale, 39, Role::kHead,
+                    "12 mill street", "cotton weaver");
+}
+
+TEST(CompositeTest, IdenticalRecordsScoreOne) {
+  const SimilarityFunction f = configs::Omega2();
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(Base(), Base()), 1.0);
+  EXPECT_TRUE(f.Matches(Base(), Base()));
+}
+
+TEST(CompositeTest, WeightedSumMatchesHandComputation) {
+  // Two attributes, hand-checkable: fn exact (weight .6), sex exact (.4).
+  SimilarityFunction f(
+      {
+          {Field::kFirstName, Measure::kExact, 0.6},
+          {Field::kSex, Measure::kExact, 0.4},
+      },
+      0.5);
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  b.first_name = "james";
+  // fn differs (0), sex equal (1): 0.6*0 + 0.4*1 = 0.4.
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 0.4);
+  EXPECT_FALSE(f.Matches(a, b));
+}
+
+TEST(CompositeTest, CompareReturnsPerAttributeVector) {
+  const SimilarityFunction f = configs::Omega2();
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  b.surname = "ashword";
+  const std::vector<double> sims = f.Compare(a, b);
+  ASSERT_EQ(sims.size(), 5u);
+  EXPECT_DOUBLE_EQ(sims[0], 1.0);            // first name
+  EXPECT_DOUBLE_EQ(sims[1], 1.0);            // sex
+  EXPECT_GT(sims[2], 0.5);                   // surname: close but < 1
+  EXPECT_LT(sims[2], 1.0);
+}
+
+TEST(CompositeTest, MissingPolicyRedistributeBothMissing) {
+  SimilarityFunction f(
+      {
+          {Field::kFirstName, Measure::kExact, 0.6},
+          {Field::kOccupation, Measure::kExact, 0.4},
+      },
+      0.5);
+  f.set_missing_policy(MissingPolicy::kRedistribute);
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  a.occupation.clear();
+  b.occupation.clear();  // missing on BOTH sides: no evidence, excluded
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 1.0);
+}
+
+TEST(CompositeTest, MissingPolicyRedistributeOneSidedPenalizes) {
+  SimilarityFunction f(
+      {
+          {Field::kFirstName, Measure::kExact, 0.6},
+          {Field::kOccupation, Measure::kExact, 0.4},
+      },
+      0.5);
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  b.occupation.clear();  // missing on ONE side: weak disagreement
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 0.6);
+}
+
+TEST(CompositeTest, CoverageFloorRejectsSparsePairs) {
+  // Two records that only share first name + sex must not score high just
+  // because everything else is unrecorded on both sides.
+  const SimilarityFunction f = configs::Omega2();
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  for (PersonRecord* r : {&a, &b}) {
+    r->surname.clear();
+    r->address.clear();
+    r->occupation.clear();
+  }
+  // Covered weight = fn (0.4) + sex (0.2) = 0.6 >= 0.5: still accepted...
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 1.0);
+  a.sex = Sex::kUnknown;
+  b.sex = Sex::kUnknown;
+  // ...but with sex also gone, coverage 0.4 < 0.5: rejected outright.
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 0.0);
+}
+
+TEST(CompositeTest, MissingPolicyZero) {
+  SimilarityFunction f(
+      {
+          {Field::kFirstName, Measure::kExact, 0.5},
+          {Field::kOccupation, Measure::kExact, 0.5},
+      },
+      0.5);
+  f.set_missing_policy(MissingPolicy::kZero);
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  b.occupation.clear();
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 0.5);
+}
+
+TEST(CompositeTest, MissingPolicyNeutral) {
+  SimilarityFunction f(
+      {
+          {Field::kFirstName, Measure::kExact, 0.5},
+          {Field::kOccupation, Measure::kExact, 0.5},
+      },
+      0.5);
+  f.set_missing_policy(MissingPolicy::kNeutral);
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  b.occupation.clear();
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 0.75);
+}
+
+TEST(CompositeTest, AllAttributesMissingScoresZero) {
+  SimilarityFunction f({{Field::kOccupation, Measure::kExact, 1.0}}, 0.5);
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  a.occupation.clear();
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 0.0);  // one-sided: penalized
+  b.occupation.clear();
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 0.0);  // both: no coverage
+}
+
+TEST(CompositeTest, AgeComponentUsesYearGap) {
+  SimilarityFunction f({{Field::kAge, Measure::kExact, 1.0}}, 0.5);
+  f.set_year_gap(10);
+  PersonRecord a = Base();  // 39
+  PersonRecord b = Base();
+  b.age = 49;
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 1.0);
+  b.age = 39;  // did not age: far outside tolerance
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 0.0);
+}
+
+TEST(CompositeTest, UnknownSexOneSidedIsWeakDisagreement) {
+  const SimilarityFunction f = configs::Omega2();
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  b.sex = Sex::kUnknown;  // one-sided: the 0.2 sex weight scores 0
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 0.8);
+  a.sex = Sex::kUnknown;  // both-sided: excluded, weight redistributed
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 1.0);
+}
+
+TEST(CompositeTest, Omega2WeightsFavourFirstName) {
+  // Changing the first name must hurt more under ω2 than under ω1.
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  b.first_name = "zebedee";
+  const double w1 = configs::Omega1().AggregateSimilarity(a, b);
+  const double w2 = configs::Omega2().AggregateSimilarity(a, b);
+  EXPECT_LT(w2, w1);
+}
+
+TEST(CompositeTest, ThresholdBoundaryIsInclusive) {
+  SimilarityFunction f(
+      {
+          {Field::kFirstName, Measure::kExact, 0.5},
+          {Field::kSurname, Measure::kExact, 0.5},
+      },
+      0.5);
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  b.surname = "zzz";
+  EXPECT_DOUBLE_EQ(f.AggregateSimilarity(a, b), 0.5);
+  EXPECT_TRUE(f.Matches(a, b));
+}
+
+TEST(CompositeTest, ToStringMentionsComponents) {
+  const std::string s = configs::Omega2().ToString();
+  EXPECT_NE(s.find("first_name"), std::string::npos);
+  EXPECT_NE(s.find("q-gram"), std::string::npos);
+}
+
+TEST(CompositeTest, PaperExamplePrematchFunctionSeparatesAliceSurnames) {
+  // Fig. 3 uses fn+sn with threshold 1: Alice Ashworth and Alice Smith must
+  // NOT match, while John Ashworth 1871/1881 must.
+  SimilarityFunction f(
+      {
+          {Field::kFirstName, Measure::kExact, 0.5},
+          {Field::kSurname, Measure::kExact, 0.5},
+      },
+      1.0);
+  const CensusDataset d1871 = testing_example::MakeCensus1871();
+  const CensusDataset d1881 = testing_example::MakeCensus1881();
+  EXPECT_TRUE(f.Matches(d1871.record(0), d1881.record(0)));   // john ashworth
+  EXPECT_FALSE(f.Matches(d1871.record(2), d1881.record(6)));  // alice a. vs s.
+}
+
+}  // namespace
+}  // namespace tglink

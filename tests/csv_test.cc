@@ -1,0 +1,89 @@
+#include "tglink/util/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto row = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseQuotedFieldWithSeparator) {
+  auto row = ParseCsvLine(R"(a,"b,c",d)");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{"a", "b,c", "d"}));
+}
+
+TEST(CsvTest, ParseEscapedQuotes) {
+  auto row = ParseCsvLine(R"("say ""hi""",x)");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{"say \"hi\"", "x"}));
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  auto row = ParseCsvLine(",,");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{"", "", ""}));
+}
+
+TEST(CsvTest, UnterminatedQuoteIsParseError) {
+  auto row = ParseCsvLine(R"(a,"unclosed)");
+  EXPECT_FALSE(row.ok());
+  EXPECT_EQ(row.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, ParseDocumentSkipsEmptyLinesAndHandlesCrLf) {
+  auto rows = ParseCsv("a,b\r\n\r\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows.value()[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvTest, QuotedNewlineStaysInField) {
+  auto rows = ParseCsv("a,\"x\ny\"\nb,c\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0][1], "x\ny");
+}
+
+TEST(CsvTest, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(EscapeCsvField("n\nn"), "\"n\nn\"");
+}
+
+TEST(CsvTest, FormatParseRoundTrip) {
+  const CsvRow original = {"a", "with,comma", "with\"quote", "with\nnewline",
+                           ""};
+  const std::string text = FormatCsvRow(original);
+  auto rows = ParseCsv(text);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0], original);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tglink_csv_test.csv";
+  const std::vector<CsvRow> rows = {{"h1", "h2"}, {"a,b", "c"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto readback = ReadCsvFile(path);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback.value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto result = ReadCsvFile("/nonexistent/definitely/absent.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace tglink

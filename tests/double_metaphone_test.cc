@@ -1,0 +1,89 @@
+#include "tglink/similarity/double_metaphone.h"
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+TEST(DoubleMetaphoneTest, EmptyAndNonAlphabetic) {
+  EXPECT_EQ(DoubleMetaphone("").primary, "");
+  EXPECT_EQ(DoubleMetaphone("123").primary, "");
+}
+
+TEST(DoubleMetaphoneTest, SoundAlikeSurnamesAgree) {
+  // The property the blocking layer relies on: common spelling variants of
+  // the same surname encode identically.
+  const std::pair<const char*, const char*> variants[] = {
+      {"smith", "smyth"},     {"riley", "reilly"},
+      {"ashworth", "ashwerth"}, {"johnson", "jonson"},
+      {"pearce", "pierce"},   {"clark", "clarke"},
+  };
+  for (const auto& [a, b] : variants) {
+    EXPECT_GT(DoubleMetaphoneSimilarity(a, b), 0.0)
+        << a << " vs " << b << ": " << DoubleMetaphone(a).primary << " / "
+        << DoubleMetaphone(b).primary;
+  }
+}
+
+TEST(DoubleMetaphoneTest, DistinctNamesDisagree) {
+  EXPECT_DOUBLE_EQ(DoubleMetaphoneSimilarity("ashworth", "pilkington"), 0.0);
+  EXPECT_DOUBLE_EQ(DoubleMetaphoneSimilarity("mary", "john"), 0.0);
+}
+
+TEST(DoubleMetaphoneTest, KnownPrimaryCodes) {
+  EXPECT_EQ(DoubleMetaphone("smith").primary, "SM0");
+  EXPECT_EQ(DoubleMetaphone("smith").secondary, "XMT");
+  EXPECT_EQ(DoubleMetaphone("johnson").primary, "JNSN");
+  EXPECT_EQ(DoubleMetaphone("williams").primary, "ALMS");
+  EXPECT_EQ(DoubleMetaphone("thomas").primary, "TMS");
+  EXPECT_EQ(DoubleMetaphone("wright").primary, "RT");
+  EXPECT_EQ(DoubleMetaphone("knight").primary, "NT");
+  EXPECT_EQ(DoubleMetaphone("philip").primary, "FLP");
+}
+
+TEST(DoubleMetaphoneTest, SecondaryCodeCapturesAmbiguity) {
+  // "schmidt": germanic XMT primary, SMT secondary in the canonical
+  // implementation — we require at least that the two differ.
+  const MetaphoneCodes codes = DoubleMetaphone("schmidt");
+  EXPECT_FALSE(codes.primary.empty());
+  EXPECT_NE(codes.primary, codes.secondary);
+}
+
+TEST(DoubleMetaphoneTest, UnambiguousNamesHaveEqualCodes) {
+  for (const char* name : {"taylor", "barnes", "riley"}) {
+    const MetaphoneCodes codes = DoubleMetaphone(name);
+    EXPECT_EQ(codes.primary, codes.secondary) << name;
+  }
+}
+
+TEST(DoubleMetaphoneTest, MaxLengthRespected) {
+  EXPECT_LE(DoubleMetaphone("wolstenholme", 4).primary.size(), 4u);
+  EXPECT_LE(DoubleMetaphone("wolstenholme", 6).primary.size(), 6u);
+  EXPECT_GE(DoubleMetaphone("wolstenholme", 6).primary.size(),
+            DoubleMetaphone("wolstenholme", 4).primary.size());
+}
+
+TEST(DoubleMetaphoneTest, CaseInsensitive) {
+  EXPECT_EQ(DoubleMetaphone("ASHWORTH"), DoubleMetaphone("ashworth"));
+  EXPECT_EQ(DoubleMetaphone("O'Brien").primary,
+            DoubleMetaphone("obrien").primary);
+}
+
+TEST(DoubleMetaphoneTest, SimilarityGrading) {
+  // Same primary: 1.0.
+  EXPECT_DOUBLE_EQ(DoubleMetaphoneSimilarity("smith", "smith"), 1.0);
+  // Secondary-only agreement grades 0.8: construct via known pair if
+  // available; at minimum the function is symmetric and bounded.
+  const char* names[] = {"smith", "schmidt", "ashworth", "wright", "xavier"};
+  for (const char* a : names) {
+    for (const char* b : names) {
+      const double ab = DoubleMetaphoneSimilarity(a, b);
+      EXPECT_DOUBLE_EQ(ab, DoubleMetaphoneSimilarity(b, a));
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tglink

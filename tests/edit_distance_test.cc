@@ -1,0 +1,78 @@
+#include "tglink/similarity/edit_distance.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0);
+}
+
+TEST(DamerauTest, TranspositionCountsAsOne) {
+  EXPECT_EQ(LevenshteinDistance("ashworth", "ashowrth"), 2);  // swap = 2 subs
+  EXPECT_EQ(DamerauDistance("ashworth", "ashowrth"), 1);      // 1 transposition
+  EXPECT_EQ(DamerauDistance("ca", "ac"), 1);
+  EXPECT_EQ(DamerauDistance("abc", "abc"), 0);
+}
+
+TEST(DamerauTest, NeverExceedsLevenshtein) {
+  const std::pair<const char*, const char*> pairs[] = {
+      {"smith", "smyth"},   {"riley", "reilly"}, {"john", "jhon"},
+      {"mary", "marry"},    {"steve", "stephen"}, {"", "x"},
+  };
+  for (const auto& [a, b] : pairs) {
+    EXPECT_LE(DamerauDistance(a, b), LevenshteinDistance(a, b));
+  }
+}
+
+TEST(EditSimilarityTest, NormalizedRangeAndIdentity) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abcd", "abc"), 0.75);
+  EXPECT_DOUBLE_EQ(DamerauSimilarity("ab", "ba"), 0.5);
+}
+
+// Metric properties over a parameterized pool.
+class EditDistancePropertyTest
+    : public ::testing::TestWithParam<std::pair<std::string, std::string>> {};
+
+TEST_P(EditDistancePropertyTest, SymmetryAndBounds) {
+  const auto& [a, b] = GetParam();
+  EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+  EXPECT_EQ(DamerauDistance(a, b), DamerauDistance(b, a));
+  const int d = LevenshteinDistance(a, b);
+  // Distance bounded by longest length, at least the length difference.
+  EXPECT_LE(d, static_cast<int>(std::max(a.size(), b.size())));
+  EXPECT_GE(d, static_cast<int>(std::max(a.size(), b.size()) -
+                                std::min(a.size(), b.size())));
+}
+
+TEST_P(EditDistancePropertyTest, TriangleInequalityThroughFixedPivot) {
+  const auto& [a, b] = GetParam();
+  const std::string pivot = "ashworth";
+  EXPECT_LE(LevenshteinDistance(a, b),
+            LevenshteinDistance(a, pivot) + LevenshteinDistance(pivot, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NamePairs, EditDistancePropertyTest,
+    ::testing::Values(std::make_pair("ashworth", "ashword"),
+                      std::make_pair("elizabeth", "elisabeth"),
+                      std::make_pair("john", "jane"),
+                      std::make_pair("", "ab"),
+                      std::make_pair("riley", "reilly"),
+                      std::make_pair("pickup", "pickles"),
+                      std::make_pair("aaaa", "aa"),
+                      std::make_pair("smith", "schmidt")));
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,129 @@
+#include "tglink/graph/enrichment.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using testing_example::MakeCensus1871;
+using testing_example::MakeCensus1881;
+
+TEST(DeriveRelTypeTest, UnifiedTypeMatrix) {
+  EXPECT_EQ(DeriveRelType(Role::kHead, Role::kWife), RelType::kSpouse);
+  EXPECT_EQ(DeriveRelType(Role::kWife, Role::kHead), RelType::kSpouse);
+  EXPECT_EQ(DeriveRelType(Role::kHead, Role::kSon), RelType::kParentChild);
+  EXPECT_EQ(DeriveRelType(Role::kWife, Role::kDaughter),
+            RelType::kParentChild);
+  EXPECT_EQ(DeriveRelType(Role::kSon, Role::kDaughter), RelType::kSibling);
+  EXPECT_EQ(DeriveRelType(Role::kHead, Role::kBrother), RelType::kSibling);
+  EXPECT_EQ(DeriveRelType(Role::kHead, Role::kGrandson),
+            RelType::kGrandparent);
+  EXPECT_EQ(DeriveRelType(Role::kMother, Role::kSon), RelType::kGrandparent);
+  EXPECT_EQ(DeriveRelType(Role::kMother, Role::kGrandson),
+            RelType::kExtended);  // 3 generations apart
+  EXPECT_EQ(DeriveRelType(Role::kHead, Role::kLodger), RelType::kCoResident);
+  EXPECT_EQ(DeriveRelType(Role::kServant, Role::kServant),
+            RelType::kCoResident);
+  EXPECT_EQ(DeriveRelType(Role::kUnknown, Role::kHead), RelType::kCoResident);
+}
+
+TEST(EnrichmentTest, CompleteGraphOverMembers) {
+  const CensusDataset d = MakeCensus1871();
+  const HouseholdGraph g = EnrichHousehold(d, testing_example::kG1871A);
+  // 5 members -> C(5,2) = 10 implicit relationships (the paper's |E| = 10
+  // for this very household).
+  EXPECT_EQ(g.members().size(), 5u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  // Every member pair connected.
+  for (size_t i = 0; i < g.members().size(); ++i) {
+    for (size_t j = i + 1; j < g.members().size(); ++j) {
+      EXPECT_NE(g.EdgeBetween(g.members()[i], g.members()[j]), nullptr);
+    }
+  }
+}
+
+TEST(EnrichmentTest, PaperExampleEdgeProperties) {
+  const CensusDataset d = MakeCensus1871();
+  const HouseholdGraph g = EnrichHousehold(d, testing_example::kG1871A);
+  // John (record 0, 39) - Alice (record 2, 8): parent-child, age diff 31.
+  const RelEdge* ja = g.EdgeBetween(0, 2);
+  ASSERT_NE(ja, nullptr);
+  EXPECT_EQ(ja->type, RelType::kParentChild);
+  ASSERT_TRUE(ja->age_diff_known);
+  EXPECT_EQ(g.OrientedAgeDiff(*ja, 0, 2), 31);
+  EXPECT_EQ(g.OrientedAgeDiff(*ja, 2, 0), -31);
+  // Alice (2, 8) - William (3, 2): siblings, age diff 6.
+  const RelEdge* aw = g.EdgeBetween(2, 3);
+  ASSERT_NE(aw, nullptr);
+  EXPECT_EQ(aw->type, RelType::kSibling);
+  EXPECT_EQ(g.OrientedAgeDiff(*aw, 2, 3), 6);
+  // John - John Riley (4, lodger): co-resident.
+  const RelEdge* jr = g.EdgeBetween(0, 4);
+  ASSERT_NE(jr, nullptr);
+  EXPECT_EQ(jr->type, RelType::kCoResident);
+}
+
+TEST(EnrichmentTest, MissingAgeMakesAgeDiffUnknown) {
+  CensusDataset d(1871);
+  d.AddHousehold(
+      "h",
+      {testing_example::MakeRecord("r1", "a", "x", Sex::kMale, 40, Role::kHead,
+                                   "", ""),
+       testing_example::MakeRecord("r2", "b", "x", Sex::kFemale, -1,
+                                   Role::kWife, "", "")});
+  const HouseholdGraph g = EnrichHousehold(d, 0);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.edges()[0].age_diff_known);
+  EXPECT_EQ(g.edges()[0].type, RelType::kSpouse);
+}
+
+TEST(EnrichmentTest, EnrichAllCoversEveryHousehold) {
+  const CensusDataset d = MakeCensus1881();
+  const std::vector<HouseholdGraph> graphs = EnrichAllHouseholds(d);
+  ASSERT_EQ(graphs.size(), d.num_households());
+  for (GroupId g = 0; g < d.num_households(); ++g) {
+    EXPECT_EQ(graphs[g].group(), g);
+    const size_t n = d.household(g).members.size();
+    EXPECT_EQ(graphs[g].num_edges(), n * (n - 1) / 2);
+  }
+}
+
+TEST(EnrichmentTest, SingletonHouseholdHasNoEdges) {
+  CensusDataset d(1871);
+  d.AddHousehold("h", {testing_example::MakeRecord(
+                          "r1", "a", "x", Sex::kMale, 40, Role::kHead, "",
+                          "")});
+  const HouseholdGraph g = EnrichHousehold(d, 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.members().size(), 1u);
+}
+
+TEST(HouseholdGraphTest, EdgeCanonicalization) {
+  // AddEdge must canonicalize endpoint order and flip the age sign.
+  CensusDataset d(1871);
+  d.AddHousehold(
+      "h",
+      {testing_example::MakeRecord("r1", "a", "x", Sex::kMale, 40, Role::kHead,
+                                   "", ""),
+       testing_example::MakeRecord("r2", "b", "x", Sex::kFemale, 30,
+                                   Role::kWife, "", "")});
+  HouseholdGraph g(0, d.household(0).members);
+  g.AddEdge(1, 0, RelType::kSpouse, -10, true);  // b->a: 30-40 = -10
+  const RelEdge* e = g.EdgeBetween(0, 1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->a, 0u);
+  EXPECT_EQ(e->b, 1u);
+  EXPECT_EQ(e->age_diff, 10);  // canonical orientation a(40) - b(30)
+  EXPECT_EQ(g.OrientedAgeDiff(*e, 1, 0), -10);
+}
+
+TEST(HouseholdGraphTest, RelTypeNamesAreDistinct) {
+  EXPECT_STREQ(RelTypeName(RelType::kSpouse), "spouse");
+  EXPECT_STREQ(RelTypeName(RelType::kParentChild), "parent-child");
+  EXPECT_STREQ(RelTypeName(RelType::kCoResident), "co-resident");
+}
+
+}  // namespace
+}  // namespace tglink

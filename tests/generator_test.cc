@@ -1,0 +1,145 @@
+#include "tglink/synth/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+GeneratorConfig SmallConfig(uint64_t seed = 42) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.scale = 0.03;  // ~100 households in the first snapshot
+  config.num_censuses = 3;
+  return config;
+}
+
+TEST(GeneratorTest, SeriesShape) {
+  const SyntheticSeries series = GenerateCensusSeries(SmallConfig());
+  ASSERT_EQ(series.snapshots.size(), 3u);
+  ASSERT_EQ(series.gold.size(), 2u);
+  ASSERT_EQ(series.record_pids.size(), 3u);
+  EXPECT_EQ(series.snapshots[0].year(), 1851);
+  EXPECT_EQ(series.snapshots[2].year(), 1871);
+  for (const CensusDataset& snapshot : series.snapshots) {
+    EXPECT_TRUE(snapshot.Validate().ok());
+  }
+  // Population grows per the scaled Table 1 targets.
+  EXPECT_GT(series.snapshots[2].num_households(),
+            series.snapshots[0].num_households());
+}
+
+TEST(GeneratorTest, GoldLinksResolveAndAreOneToOne) {
+  const SyntheticSeries series = GenerateCensusSeries(SmallConfig());
+  for (size_t i = 0; i + 1 < series.snapshots.size(); ++i) {
+    auto resolved = ResolveGold(series.gold[i], series.snapshots[i],
+                                series.snapshots[i + 1]);
+    ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+    std::set<RecordId> olds, news;
+    for (const RecordLink& link : resolved.value().record_links) {
+      EXPECT_TRUE(olds.insert(link.first).second);
+      EXPECT_TRUE(news.insert(link.second).second);
+    }
+    EXPECT_GT(resolved.value().record_links.size(), 100u);
+  }
+}
+
+TEST(GeneratorTest, GoldGroupLinksAreInducedByRecordLinks) {
+  const SyntheticSeries series = GenerateCensusSeries(SmallConfig());
+  const auto resolved =
+      ResolveGold(series.gold[0], series.snapshots[0], series.snapshots[1]);
+  ASSERT_TRUE(resolved.ok());
+  std::set<GroupLink> induced;
+  for (const RecordLink& link : resolved.value().record_links) {
+    induced.emplace(series.snapshots[0].record(link.first).group,
+                    series.snapshots[1].record(link.second).group);
+  }
+  std::set<GroupLink> declared(resolved.value().group_links.begin(),
+                               resolved.value().group_links.end());
+  EXPECT_EQ(induced, declared);
+}
+
+TEST(GeneratorTest, GoldRecordLinksMatchPersistentIdentity) {
+  const SyntheticSeries series = GenerateCensusSeries(SmallConfig());
+  // A record link must connect records carrying the same pid.
+  const auto resolved =
+      ResolveGold(series.gold[0], series.snapshots[0], series.snapshots[1]);
+  ASSERT_TRUE(resolved.ok());
+  for (const RecordLink& link : resolved.value().record_links) {
+    EXPECT_EQ(series.record_pids[0][link.first],
+              series.record_pids[1][link.second]);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const SyntheticSeries a = GenerateCensusSeries(SmallConfig(7));
+  const SyntheticSeries b = GenerateCensusSeries(SmallConfig(7));
+  ASSERT_EQ(a.snapshots.size(), b.snapshots.size());
+  for (size_t i = 0; i < a.snapshots.size(); ++i) {
+    ASSERT_EQ(a.snapshots[i].num_records(), b.snapshots[i].num_records());
+    for (RecordId r = 0; r < a.snapshots[i].num_records(); ++r) {
+      EXPECT_EQ(a.snapshots[i].record(r).first_name,
+                b.snapshots[i].record(r).first_name);
+      EXPECT_EQ(a.snapshots[i].record(r).age, b.snapshots[i].record(r).age);
+    }
+  }
+  EXPECT_EQ(a.gold[0].record_links, b.gold[0].record_links);
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentData) {
+  const SyntheticSeries a = GenerateCensusSeries(SmallConfig(1));
+  const SyntheticSeries b = GenerateCensusSeries(SmallConfig(2));
+  // Same structural calibration...
+  EXPECT_EQ(a.snapshots[0].num_households(),
+            b.snapshots[0].num_households());
+  // ...but different contents.
+  size_t differences = 0;
+  const size_t n =
+      std::min(a.snapshots[0].num_records(), b.snapshots[0].num_records());
+  for (RecordId r = 0; r < n; ++r) {
+    if (a.snapshots[0].record(r).first_name !=
+        b.snapshots[0].record(r).first_name) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, n / 4);
+}
+
+TEST(GeneratorTest, PairConvenienceMatchesSeries) {
+  const GeneratorConfig config = SmallConfig();
+  const SyntheticSeries series = GenerateCensusSeries(config);
+  const SyntheticPair pair = GenerateCensusPair(config, 1);
+  EXPECT_EQ(pair.old_dataset.year(), series.snapshots[1].year());
+  EXPECT_EQ(pair.old_dataset.num_records(),
+            series.snapshots[1].num_records());
+  EXPECT_EQ(pair.gold.record_links, series.gold[1].record_links);
+}
+
+TEST(GeneratorTest, NameAmbiguityIsSkewedLikeThePaper) {
+  // The paper's Table 1 reports ~2.2 records per unique (fn, sn) pair with
+  // skew; at small scale expect meaningful ambiguity (> 1.2 avg).
+  GeneratorConfig config = SmallConfig();
+  config.scale = 0.3;
+  const SyntheticSeries series = GenerateCensusSeries(config);
+  const DatasetStats stats = series.snapshots[0].Stats();
+  const double ambiguity = static_cast<double>(stats.num_records) /
+                           static_cast<double>(stats.unique_name_combinations);
+  EXPECT_GT(ambiguity, 1.2) << stats.num_records << " records over "
+                            << stats.unique_name_combinations << " names";
+}
+
+TEST(GeneratorTest, MissingValueRatioInPaperBand) {
+  GeneratorConfig config = SmallConfig();
+  config.scale = 0.1;
+  const SyntheticSeries series = GenerateCensusSeries(config);
+  for (const CensusDataset& snapshot : series.snapshots) {
+    const DatasetStats stats = snapshot.Stats();
+    EXPECT_GT(stats.missing_value_ratio, 0.01);
+    EXPECT_LT(stats.missing_value_ratio, 0.10);
+  }
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,74 @@
+#include "tglink/eval/gold.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using namespace testing_example;
+
+GoldMapping ExampleGold() {
+  GoldMapping gold;
+  gold.record_links = {{"1871_1", "1881_1"}, {"1871_8", "1881_6"}};
+  gold.group_links = {{"g1871_a", "g1881_a"}, {"g1871_b", "g1881_c"}};
+  return gold;
+}
+
+TEST(GoldTest, ResolveMapsExternalToDenseIds) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  auto resolved = ResolveGold(ExampleGold(), old_d, new_d);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved.value().record_links,
+            (std::vector<RecordLink>{{0, 0}, {7, 5}}));
+  EXPECT_EQ(resolved.value().group_links,
+            (std::vector<GroupLink>{{kG1871A, kG1881A}, {kG1871B, kG1881C}}));
+}
+
+TEST(GoldTest, ResolveRejectsUnknownIds) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  GoldMapping gold;
+  gold.record_links = {{"nope", "1881_1"}};
+  EXPECT_FALSE(ResolveGold(gold, old_d, new_d).ok());
+  gold.record_links = {{"1871_1", "nope"}};
+  EXPECT_FALSE(ResolveGold(gold, old_d, new_d).ok());
+  gold.record_links.clear();
+  gold.group_links = {{"gX", "g1881_a"}};
+  EXPECT_FALSE(ResolveGold(gold, old_d, new_d).ok());
+}
+
+TEST(GoldTest, RestrictToHouseholdSubset) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  auto resolved = ResolveGold(ExampleGold(), old_d, new_d);
+  ASSERT_TRUE(resolved.ok());
+  const ResolvedGold restricted = RestrictGoldToHouseholds(
+      resolved.value(), old_d, {kG1871A});
+  // Only links whose old side lives in g1871_a survive.
+  EXPECT_EQ(restricted.record_links,
+            (std::vector<RecordLink>{{0, 0}}));
+  EXPECT_EQ(restricted.group_links,
+            (std::vector<GroupLink>{{kG1871A, kG1881A}}));
+}
+
+TEST(GoldTest, CsvRoundTrip) {
+  const GoldMapping gold = ExampleGold();
+  const std::string csv = GoldToCsv(gold);
+  auto loaded = GoldFromCsv(csv);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().record_links, gold.record_links);
+  EXPECT_EQ(loaded.value().group_links, gold.group_links);
+}
+
+TEST(GoldTest, CsvRejectsMalformedInput) {
+  EXPECT_FALSE(GoldFromCsv("").ok());
+  EXPECT_FALSE(GoldFromCsv("bad,header,row\n").ok());
+  EXPECT_FALSE(GoldFromCsv("kind,old_id,new_id\nwrong,a,b\n").ok());
+  EXPECT_FALSE(GoldFromCsv("kind,old_id,new_id\nrecord,a\n").ok());
+}
+
+}  // namespace
+}  // namespace tglink

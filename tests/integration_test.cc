@@ -1,0 +1,157 @@
+// End-to-end integration: generate a multi-census synthetic series, link
+// every successive pair, run the evolution analysis, and check the global
+// invariants and quality bars that the paper's experiments rely on.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tglink/census/io.h"
+#include "tglink/evolution/evolution_graph.h"
+#include "tglink/evolution/queries.h"
+#include "tglink/eval/metrics.h"
+#include "tglink/linkage/config.h"
+#include "tglink/linkage/iterative.h"
+#include "tglink/synth/generator.h"
+
+namespace tglink {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig config;
+    config.seed = 101;
+    config.scale = 0.04;
+    config.num_censuses = 4;
+    series_ = new SyntheticSeries(GenerateCensusSeries(config));
+    results_ = new std::vector<LinkageResult>();
+    const LinkageConfig linkage = configs::DefaultConfig();
+    for (size_t i = 0; i + 1 < series_->snapshots.size(); ++i) {
+      results_->push_back(LinkCensusPair(series_->snapshots[i],
+                                         series_->snapshots[i + 1], linkage));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete series_;
+    delete results_;
+    series_ = nullptr;
+    results_ = nullptr;
+  }
+
+  static SyntheticSeries* series_;
+  static std::vector<LinkageResult>* results_;
+};
+
+SyntheticSeries* IntegrationTest::series_ = nullptr;
+std::vector<LinkageResult>* IntegrationTest::results_ = nullptr;
+
+TEST_F(IntegrationTest, EveryPairLinksWithHighQuality) {
+  for (size_t i = 0; i < results_->size(); ++i) {
+    auto gold = ResolveGold(series_->gold[i], series_->snapshots[i],
+                            series_->snapshots[i + 1]);
+    ASSERT_TRUE(gold.ok());
+    const PrecisionRecall record_pr =
+        EvaluateRecordMapping((*results_)[i].record_mapping, gold.value());
+    const PrecisionRecall group_pr =
+        EvaluateGroupMapping((*results_)[i].group_mapping, gold.value());
+    EXPECT_GT(record_pr.f_measure(), 0.85)
+        << "pair " << i << ": " << record_pr.ToString();
+    EXPECT_GT(group_pr.f_measure(), 0.80)
+        << "pair " << i << ": " << group_pr.ToString();
+    EXPECT_GT(record_pr.precision(), 0.88)
+        << "pair " << i << ": " << record_pr.ToString();
+  }
+}
+
+TEST_F(IntegrationTest, MappingsAreStructurallySound) {
+  for (size_t i = 0; i < results_->size(); ++i) {
+    const CensusDataset& old_d = series_->snapshots[i];
+    const CensusDataset& new_d = series_->snapshots[i + 1];
+    std::set<RecordId> olds, news;
+    for (const RecordLink& link : (*results_)[i].record_mapping.links()) {
+      ASSERT_LT(link.first, old_d.num_records());
+      ASSERT_LT(link.second, new_d.num_records());
+      EXPECT_TRUE(olds.insert(link.first).second);
+      EXPECT_TRUE(news.insert(link.second).second);
+    }
+    for (const GroupLink& link : (*results_)[i].group_mapping.links()) {
+      ASSERT_LT(link.first, old_d.num_households());
+      ASSERT_LT(link.second, new_d.num_households());
+    }
+  }
+}
+
+TEST_F(IntegrationTest, EvolutionGraphCountsAreConserved) {
+  std::vector<RecordMapping> record_mappings;
+  std::vector<GroupMapping> group_mappings;
+  for (const LinkageResult& result : *results_) {
+    record_mappings.push_back(result.record_mapping);
+    group_mappings.push_back(result.group_mapping);
+  }
+  const EvolutionGraph graph(series_->snapshots, record_mappings,
+                             group_mappings);
+  ASSERT_EQ(graph.pair_counts().size(), results_->size());
+  for (size_t i = 0; i < results_->size(); ++i) {
+    const EvolutionCounts& counts = graph.pair_counts()[i];
+    // Conservation: preserved + removed = old records; preserved + added =
+    // new records.
+    EXPECT_EQ(counts.preserve_records + counts.remove_records,
+              series_->snapshots[i].num_records());
+    EXPECT_EQ(counts.preserve_records + counts.add_records,
+              series_->snapshots[i + 1].num_records());
+    // Every old household is preserved-ish, removed, or linked some way.
+    EXPECT_LE(counts.remove_groups, series_->snapshots[i].num_households());
+    // Growth: the synthetic region grows, so additions dominate removals.
+    EXPECT_GT(counts.add_groups, 0u);
+  }
+
+  // Preserved chain profile is monotone non-increasing in interval length.
+  const std::vector<size_t> profile = PreservedChainProfile(graph);
+  ASSERT_EQ(profile.size(), series_->snapshots.size() - 1);
+  for (size_t k = 1; k < profile.size(); ++k) {
+    EXPECT_LE(profile[k], profile[k - 1]);
+  }
+  // intervals=1 equals the summed per-pair preserve counts (Table 8 row 1).
+  size_t preserve_sum = 0;
+  for (const EvolutionCounts& counts : graph.pair_counts()) {
+    preserve_sum += counts.preserve_groups;
+  }
+  EXPECT_EQ(profile[0], preserve_sum);
+
+  // Connected components cover a substantial share of all households (the
+  // paper reports a largest component covering ~52%).
+  const ComponentStats stats = ConnectedHouseholdComponents(graph);
+  EXPECT_GT(stats.largest_component, 0u);
+  EXPECT_LE(stats.largest_coverage, 1.0);
+}
+
+TEST_F(IntegrationTest, SnapshotStatsResembleTable1Shape) {
+  size_t prev_records = 0;
+  for (const CensusDataset& snapshot : series_->snapshots) {
+    const DatasetStats stats = snapshot.Stats();
+    EXPECT_GT(stats.num_records, prev_records);  // monotone growth
+    prev_records = stats.num_records;
+    EXPECT_GT(stats.avg_household_size, 3.0);
+    EXPECT_LT(stats.avg_household_size, 7.0);
+  }
+}
+
+TEST_F(IntegrationTest, SerializationRoundTripPreservesLinkageInput) {
+  // Save + reload the first pair, re-link, and expect identical mappings
+  // (the whole pipeline is deterministic and IO is lossless).
+  const CensusDataset& old_d = series_->snapshots[0];
+  const CensusDataset& new_d = series_->snapshots[1];
+  auto old_rt = DatasetFromCsv(DatasetToCsv(old_d), old_d.year());
+  auto new_rt = DatasetFromCsv(DatasetToCsv(new_d), new_d.year());
+  ASSERT_TRUE(old_rt.ok());
+  ASSERT_TRUE(new_rt.ok());
+  const LinkageResult relinked =
+      LinkCensusPair(old_rt.value(), new_rt.value(), configs::DefaultConfig());
+  EXPECT_EQ(relinked.record_mapping.links(),
+            (*results_)[0].record_mapping.links());
+}
+
+}  // namespace
+}  // namespace tglink

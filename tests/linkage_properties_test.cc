@@ -1,0 +1,110 @@
+// Seed-parameterized end-to-end linkage properties: for any generated
+// region, the pipeline must uphold its structural invariants and clear a
+// quality floor under the paper's evaluation protocol.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tglink/eval/metrics.h"
+#include "tglink/linkage/config.h"
+#include "tglink/linkage/iterative.h"
+#include "tglink/synth/generator.h"
+
+namespace tglink {
+namespace {
+
+class LinkagePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  LinkagePropertyTest() {
+    GeneratorConfig gen;
+    gen.seed = GetParam();
+    gen.scale = 0.05;
+    gen.num_censuses = 2;
+    pair_ = GenerateCensusPair(gen, 0);
+    gold_ = ResolveGold(pair_.gold, pair_.old_dataset, pair_.new_dataset)
+                .value();
+    verified_ =
+        SelectVerifiedSubset(gold_, pair_.old_dataset, pair_.new_dataset);
+    result_ = LinkCensusPair(pair_.old_dataset, pair_.new_dataset,
+                             configs::DefaultConfig());
+  }
+
+  SyntheticPair pair_;
+  ResolvedGold gold_;
+  ResolvedGold verified_;
+  LinkageResult result_;
+};
+
+TEST_P(LinkagePropertyTest, OneToOneAndInRange) {
+  std::set<RecordId> olds, news;
+  for (const RecordLink& link : result_.record_mapping.links()) {
+    ASSERT_LT(link.first, pair_.old_dataset.num_records());
+    ASSERT_LT(link.second, pair_.new_dataset.num_records());
+    EXPECT_TRUE(olds.insert(link.first).second);
+    EXPECT_TRUE(news.insert(link.second).second);
+  }
+}
+
+TEST_P(LinkagePropertyTest, GroupLinksAreRecordSupported) {
+  std::set<GroupLink> supported;
+  for (const RecordLink& link : result_.record_mapping.links()) {
+    supported.emplace(pair_.old_dataset.record(link.first).group,
+                      pair_.new_dataset.record(link.second).group);
+  }
+  for (const GroupLink& link : result_.group_mapping.links()) {
+    EXPECT_TRUE(supported.count(link));
+  }
+}
+
+TEST_P(LinkagePropertyTest, ProvenanceCoversEveryLink) {
+  ASSERT_EQ(result_.provenance.size(), result_.record_mapping.size());
+  size_t subgraph = 0, context = 0, residual = 0;
+  for (const LinkProvenance& p : result_.provenance) {
+    switch (p.phase) {
+      case LinkPhase::kSubgraph:
+        ++subgraph;
+        break;
+      case LinkPhase::kContextResidual:
+        ++context;
+        break;
+      case LinkPhase::kGlobalResidual:
+        ++residual;
+        break;
+    }
+  }
+  EXPECT_EQ(context, result_.context_record_links);
+  EXPECT_EQ(residual, result_.residual_record_links);
+  EXPECT_EQ(subgraph + context + residual, result_.record_mapping.size());
+  EXPECT_GT(subgraph, 0u);  // the core phase always contributes
+}
+
+TEST_P(LinkagePropertyTest, QualityFloorUnderPaperProtocol) {
+  const PrecisionRecall rec =
+      EvaluateRecordMapping(result_.record_mapping, verified_, true);
+  const GroupMapping heavy =
+      HeavyGroupLinks(result_.group_mapping, result_.record_mapping,
+                      pair_.old_dataset, pair_.new_dataset);
+  const PrecisionRecall grp = EvaluateGroupMapping(heavy, verified_, true);
+  EXPECT_GT(rec.f_measure(), 0.9) << "seed " << GetParam() << ": "
+                                  << rec.ToString();
+  EXPECT_GT(grp.f_measure(), 0.85) << "seed " << GetParam() << ": "
+                                   << grp.ToString();
+}
+
+TEST_P(LinkagePropertyTest, IterationThresholdScheduleIsSound) {
+  ASSERT_FALSE(result_.iterations.empty());
+  const LinkageConfig config = configs::DefaultConfig();
+  for (const IterationStats& it : result_.iterations) {
+    EXPECT_LE(it.delta, config.delta_high + 1e-9);
+    EXPECT_GE(it.delta, config.delta_low - 1e-9);
+    EXPECT_GE(it.candidate_subgraphs, it.accepted_subgraphs);
+    EXPECT_GE(it.new_record_links, it.accepted_subgraphs);  // >=1 vertex each
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkagePropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 987654u));
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,114 @@
+#include "tglink/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+TEST(MetricsTest, PerfectPrediction) {
+  const std::vector<std::pair<uint32_t, uint32_t>> links = {{0, 0}, {1, 2}};
+  const PrecisionRecall pr = EvaluateLinks(links, links);
+  EXPECT_EQ(pr.true_positives, 2u);
+  EXPECT_EQ(pr.false_positives, 0u);
+  EXPECT_EQ(pr.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(pr.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.f_measure(), 1.0);
+}
+
+TEST(MetricsTest, MixedPrediction) {
+  const PrecisionRecall pr = EvaluateLinks({{0, 0}, {1, 1}, {2, 2}},
+                                           {{0, 0}, {1, 1}, {3, 3}, {4, 4}});
+  EXPECT_EQ(pr.true_positives, 2u);
+  EXPECT_EQ(pr.false_positives, 1u);
+  EXPECT_EQ(pr.false_negatives, 2u);
+  EXPECT_DOUBLE_EQ(pr.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pr.recall(), 0.5);
+  EXPECT_NEAR(pr.f_measure(), 2 * (2.0 / 3.0) * 0.5 / ((2.0 / 3.0) + 0.5),
+              1e-12);
+}
+
+TEST(MetricsTest, EmptySetsDegradeGracefully) {
+  PrecisionRecall pr = EvaluateLinks({}, {});
+  EXPECT_DOUBLE_EQ(pr.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(pr.f_measure(), 0.0);
+  pr = EvaluateLinks({{1, 1}}, {});
+  EXPECT_EQ(pr.false_positives, 1u);
+  pr = EvaluateLinks({}, {{1, 1}});
+  EXPECT_EQ(pr.false_negatives, 1u);
+}
+
+TEST(MetricsTest, DuplicatesCollapse) {
+  const PrecisionRecall pr =
+      EvaluateLinks({{0, 0}, {0, 0}, {1, 1}}, {{0, 0}});
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_EQ(pr.false_positives, 1u);
+}
+
+TEST(MetricsTest, ToStringFormats) {
+  const PrecisionRecall pr = EvaluateLinks({{0, 0}}, {{0, 0}});
+  EXPECT_EQ(pr.ToString(), "P=100.0% R=100.0% F=100.0%");
+}
+
+TEST(MetricsTest, RecordMappingUniverseRestriction) {
+  RecordMapping mapping(10, 10);
+  ASSERT_TRUE(mapping.Add(0, 0).ok());
+  ASSERT_TRUE(mapping.Add(5, 5).ok());  // outside the gold universe
+  ResolvedGold gold;
+  gold.record_links = {{0, 0}, {1, 1}};
+  const PrecisionRecall unrestricted =
+      EvaluateRecordMapping(mapping, gold, /*restrict=*/false);
+  EXPECT_EQ(unrestricted.false_positives, 1u);
+  const PrecisionRecall restricted =
+      EvaluateRecordMapping(mapping, gold, /*restrict=*/true);
+  EXPECT_EQ(restricted.false_positives, 0u);  // (5,5) ignored
+  EXPECT_EQ(restricted.true_positives, 1u);
+  EXPECT_EQ(restricted.false_negatives, 1u);
+}
+
+TEST(MetricsTest, GroupMappingEvaluation) {
+  GroupMapping mapping;
+  mapping.Add(0, 0);
+  mapping.Add(1, 2);
+  mapping.Add(9, 9);
+  ResolvedGold gold;
+  gold.group_links = {{0, 0}, {1, 2}, {3, 3}};
+  const PrecisionRecall pr = EvaluateGroupMapping(mapping, gold);
+  EXPECT_EQ(pr.true_positives, 2u);
+  EXPECT_EQ(pr.false_positives, 1u);
+  EXPECT_EQ(pr.false_negatives, 1u);
+  const PrecisionRecall restricted =
+      EvaluateGroupMapping(mapping, gold, /*restrict=*/true);
+  EXPECT_EQ(restricted.false_positives, 0u);
+}
+
+TEST(RecordMappingTest, RejectsDuplicateEndpoints) {
+  RecordMapping mapping(3, 3);
+  EXPECT_TRUE(mapping.Add(0, 0).ok());
+  EXPECT_FALSE(mapping.Add(0, 1).ok());  // old reused
+  EXPECT_FALSE(mapping.Add(1, 0).ok());  // new reused
+  EXPECT_FALSE(mapping.Add(9, 1).ok());  // out of range
+  EXPECT_EQ(mapping.size(), 1u);
+  EXPECT_EQ(mapping.NewFor(1), kInvalidRecord);
+}
+
+TEST(GroupMappingTest, SetSemanticsAndLookups) {
+  GroupMapping mapping;
+  EXPECT_TRUE(mapping.Add(1, 2));
+  EXPECT_FALSE(mapping.Add(1, 2));
+  EXPECT_TRUE(mapping.Add(1, 3));
+  EXPECT_TRUE(mapping.Add(0, 2));
+  EXPECT_EQ(mapping.size(), 3u);
+  EXPECT_TRUE(mapping.Contains(1, 3));
+  EXPECT_FALSE(mapping.Contains(3, 1));
+  const auto partners = mapping.NewPartners(1);
+  EXPECT_EQ(partners.size(), 2u);
+  EXPECT_EQ(mapping.OldPartners(2).size(), 2u);
+  const auto sorted = mapping.SortedLinks();
+  EXPECT_EQ(sorted.front(), (GroupLink{0, 2}));
+  EXPECT_EQ(sorted.back(), (GroupLink{1, 3}));
+}
+
+}  // namespace
+}  // namespace tglink

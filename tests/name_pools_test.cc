@@ -1,0 +1,94 @@
+#include "tglink/synth/name_pools.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tglink/util/strings.h"
+
+namespace tglink {
+namespace {
+
+TEST(NamePoolsTest, PoolsAreNonTrivialAndNormalized) {
+  for (const auto* pool : {&MaleFirstNames(), &FemaleFirstNames(),
+                           &Surnames(), &Occupations(), &StreetNames()}) {
+    EXPECT_GT(pool->size(), 50u);
+    for (const std::string& value : *pool) {
+      EXPECT_FALSE(value.empty());
+      EXPECT_EQ(value, NormalizeValue(value)) << value;
+    }
+  }
+  // The surname pool is large enough to drive Table 1's unique-name growth.
+  EXPECT_GT(Surnames().size(), 500u);
+}
+
+TEST(NamePoolsTest, SurnamesAreUnique) {
+  std::set<std::string> seen(Surnames().begin(), Surnames().end());
+  EXPECT_EQ(seen.size(), Surnames().size());
+}
+
+TEST(NamePoolsTest, CuratedHeadPrecedesGeneratedTail) {
+  // Zipf rank 0 and 1 must stay the famously frequent local surnames that
+  // the paper names (ashworth, smith).
+  EXPECT_EQ(Surnames()[0], "ashworth");
+  EXPECT_EQ(Surnames()[1], "smith");
+}
+
+TEST(NamePoolsTest, NicknamesCoverCommonNames) {
+  EXPECT_FALSE(NicknamesFor("john").empty());
+  EXPECT_FALSE(NicknamesFor("elizabeth").empty());
+  EXPECT_TRUE(NicknamesFor("zebedee").empty());
+  for (const std::string& nickname : NicknamesFor("william")) {
+    EXPECT_EQ(nickname, NormalizeValue(nickname));
+  }
+}
+
+TEST(NameSamplerTest, SamplesComeFromPoolsAndRespectSex) {
+  NameSampler sampler;
+  Rng rng(5);
+  const std::set<std::string> male(MaleFirstNames().begin(),
+                                   MaleFirstNames().end());
+  const std::set<std::string> female(FemaleFirstNames().begin(),
+                                     FemaleFirstNames().end());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(male.count(sampler.SampleFirstName(Sex::kMale, &rng)));
+    EXPECT_TRUE(female.count(sampler.SampleFirstName(Sex::kFemale, &rng)));
+  }
+}
+
+TEST(NameSamplerTest, SurnameSamplingIsSkewed) {
+  NameSampler sampler;
+  Rng rng(6);
+  size_t head_hits = 0;
+  const std::set<std::string> head(Surnames().begin(), Surnames().begin() + 20);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (head.count(sampler.SampleSurname(&rng))) ++head_hits;
+  }
+  // The 20 most frequent surnames must carry a large share of the mass.
+  EXPECT_GT(head_hits, n / 5);
+
+  // The diverse sampler spreads far wider.
+  size_t diverse_head_hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (head.count(sampler.SampleSurnameDiverse(&rng))) ++diverse_head_hits;
+  }
+  EXPECT_LT(diverse_head_hits, head_hits);
+}
+
+TEST(NameSamplerTest, AddressesHaveNumberAndKnownStreet) {
+  NameSampler sampler;
+  Rng rng(7);
+  const std::set<std::string> streets(StreetNames().begin(),
+                                      StreetNames().end());
+  for (int i = 0; i < 50; ++i) {
+    const std::string address = sampler.SampleAddress(&rng);
+    const size_t space = address.find(' ');
+    ASSERT_NE(space, std::string::npos);
+    EXPECT_GT(ParseNonNegativeInt(address.substr(0, space)), 0);
+    EXPECT_TRUE(streets.count(address.substr(space + 1))) << address;
+  }
+}
+
+}  // namespace
+}  // namespace tglink

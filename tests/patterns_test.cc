@@ -1,0 +1,199 @@
+#include "tglink/evolution/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "tglink/linkage/config.h"
+#include "tglink/linkage/iterative.h"
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using namespace testing_example;
+
+/// Builds the running example's mappings by hand (the 7 person links of
+/// Fig. 5(a), including the hard Alice link the paper's expert mapping has).
+struct Fig5Fixture {
+  CensusDataset old_d = MakeCensus1871();
+  CensusDataset new_d = MakeCensus1881();
+  RecordMapping records{8, 11};
+  GroupMapping groups;
+
+  Fig5Fixture() {
+    // preserve_R: john, elizabeth, william ashworth; john, elizabeth smith;
+    // alice (married into g_c); steve (moved to g_c).
+    EXPECT_TRUE(records.Add(0, 0).ok());
+    EXPECT_TRUE(records.Add(1, 1).ok());
+    EXPECT_TRUE(records.Add(3, 2).ok());
+    EXPECT_TRUE(records.Add(5, 3).ok());
+    EXPECT_TRUE(records.Add(6, 4).ok());
+    EXPECT_TRUE(records.Add(2, 6).ok());  // alice -> g_c
+    EXPECT_TRUE(records.Add(7, 5).ok());  // steve -> g_c
+    groups.Add(kG1871A, kG1881A);
+    groups.Add(kG1871B, kG1881B);
+    groups.Add(kG1871A, kG1881C);  // alice's move
+    groups.Add(kG1871B, kG1881C);  // steve's move
+  }
+};
+
+TEST(PatternsTest, Fig5RecordPatternCounts) {
+  Fig5Fixture fx;
+  const EvolutionAnalysis analysis =
+      AnalyzeEvolution(fx.old_d, fx.new_d, fx.records, fx.groups);
+  // Paper: 7 preserved, 4 additions, 1 removal.
+  EXPECT_EQ(analysis.counts.preserve_records, 7u);
+  EXPECT_EQ(analysis.counts.add_records, 4u);
+  EXPECT_EQ(analysis.counts.remove_records, 1u);
+}
+
+TEST(PatternsTest, Fig5GroupPatternCounts) {
+  Fig5Fixture fx;
+  const EvolutionAnalysis analysis =
+      AnalyzeEvolution(fx.old_d, fx.new_d, fx.records, fx.groups);
+  // Paper: two preserved households (a and b), two moves into g_c, one new
+  // household (g_d; g_c is reached by moves so it is linked), no removals.
+  EXPECT_EQ(analysis.counts.preserve_groups, 2u);
+  EXPECT_EQ(analysis.counts.move_groups, 2u);
+  EXPECT_EQ(analysis.counts.add_groups, 1u);
+  EXPECT_EQ(analysis.counts.remove_groups, 0u);
+  EXPECT_EQ(analysis.counts.split_groups, 0u);
+  EXPECT_EQ(analysis.counts.merge_groups, 0u);
+}
+
+TEST(PatternsTest, SplitDetection) {
+  // One old household of 4 splits into two new households of 2+2.
+  CensusDataset old_d(1871);
+  old_d.AddHousehold(
+      "o1", {MakeRecord("o1", "a", "x", Sex::kMale, 40, Role::kHead, "", ""),
+             MakeRecord("o2", "b", "x", Sex::kFemale, 38, Role::kWife, "", ""),
+             MakeRecord("o3", "c", "x", Sex::kMale, 18, Role::kSon, "", ""),
+             MakeRecord("o4", "d", "x", Sex::kFemale, 16, Role::kDaughter, "",
+                        "")});
+  CensusDataset new_d(1881);
+  new_d.AddHousehold(
+      "n1", {MakeRecord("n1", "a", "x", Sex::kMale, 50, Role::kHead, "", ""),
+             MakeRecord("n2", "b", "x", Sex::kFemale, 48, Role::kWife, "",
+                        "")});
+  new_d.AddHousehold(
+      "n2", {MakeRecord("n3", "c", "x", Sex::kMale, 28, Role::kHead, "", ""),
+             MakeRecord("n4", "d", "x", Sex::kFemale, 26, Role::kSister, "",
+                        "")});
+  RecordMapping records(4, 4);
+  ASSERT_TRUE(records.Add(0, 0).ok());
+  ASSERT_TRUE(records.Add(1, 1).ok());
+  ASSERT_TRUE(records.Add(2, 2).ok());
+  ASSERT_TRUE(records.Add(3, 3).ok());
+  GroupMapping groups;
+  groups.Add(0, 0);
+  groups.Add(0, 1);
+  const EvolutionAnalysis analysis =
+      AnalyzeEvolution(old_d, new_d, records, groups);
+  EXPECT_EQ(analysis.counts.split_groups, 1u);
+  EXPECT_EQ(analysis.counts.preserve_groups, 0u);  // split, not preserve
+  EXPECT_EQ(analysis.counts.merge_groups, 0u);
+  // The split instance lists both destinations.
+  bool found_split = false;
+  for (const GroupPatternInstance& instance : analysis.group_patterns) {
+    if (instance.pattern == GroupPattern::kSplit) {
+      found_split = true;
+      EXPECT_EQ(instance.old_groups, std::vector<GroupId>{0});
+      EXPECT_EQ(instance.new_groups.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found_split);
+}
+
+TEST(PatternsTest, MergeDetection) {
+  // Two old households merge into one new household.
+  CensusDataset old_d(1871);
+  old_d.AddHousehold(
+      "o1", {MakeRecord("o1", "a", "x", Sex::kMale, 70, Role::kHead, "", ""),
+             MakeRecord("o2", "b", "x", Sex::kFemale, 68, Role::kWife, "",
+                        "")});
+  old_d.AddHousehold(
+      "o2", {MakeRecord("o3", "c", "x", Sex::kMale, 40, Role::kHead, "", ""),
+             MakeRecord("o4", "d", "x", Sex::kFemale, 38, Role::kWife, "",
+                        "")});
+  CensusDataset new_d(1881);
+  new_d.AddHousehold(
+      "n1", {MakeRecord("n1", "c", "x", Sex::kMale, 50, Role::kHead, "", ""),
+             MakeRecord("n2", "d", "x", Sex::kFemale, 48, Role::kWife, "", ""),
+             MakeRecord("n3", "a", "x", Sex::kMale, 80, Role::kFather, "", ""),
+             MakeRecord("n4", "b", "x", Sex::kFemale, 78, Role::kMother, "",
+                        "")});
+  RecordMapping records(4, 4);
+  ASSERT_TRUE(records.Add(0, 2).ok());
+  ASSERT_TRUE(records.Add(1, 3).ok());
+  ASSERT_TRUE(records.Add(2, 0).ok());
+  ASSERT_TRUE(records.Add(3, 1).ok());
+  GroupMapping groups;
+  groups.Add(0, 0);
+  groups.Add(1, 0);
+  const EvolutionAnalysis analysis =
+      AnalyzeEvolution(old_d, new_d, records, groups);
+  EXPECT_EQ(analysis.counts.merge_groups, 1u);
+  EXPECT_EQ(analysis.counts.split_groups, 0u);
+  EXPECT_EQ(analysis.counts.preserve_groups, 0u);
+  for (const GroupPatternInstance& instance : analysis.group_patterns) {
+    if (instance.pattern == GroupPattern::kMerge) {
+      EXPECT_EQ(instance.new_groups, std::vector<GroupId>{0});
+      EXPECT_EQ(instance.old_groups.size(), 2u);
+    }
+  }
+}
+
+TEST(PatternsTest, PreserveSurvivesSingleMemberMovingAway) {
+  // Parents stay (preserve), child moves out alone (move) — the parents'
+  // pair must still count as preserved despite the extra link.
+  CensusDataset old_d(1871);
+  old_d.AddHousehold(
+      "o1", {MakeRecord("o1", "a", "x", Sex::kMale, 40, Role::kHead, "", ""),
+             MakeRecord("o2", "b", "x", Sex::kFemale, 38, Role::kWife, "", ""),
+             MakeRecord("o3", "c", "x", Sex::kMale, 18, Role::kSon, "", "")});
+  CensusDataset new_d(1881);
+  new_d.AddHousehold(
+      "n1", {MakeRecord("n1", "a", "x", Sex::kMale, 50, Role::kHead, "", ""),
+             MakeRecord("n2", "b", "x", Sex::kFemale, 48, Role::kWife, "",
+                        "")});
+  new_d.AddHousehold(
+      "n2", {MakeRecord("n3", "c", "x", Sex::kMale, 28, Role::kHead, "", "")});
+  RecordMapping records(3, 3);
+  ASSERT_TRUE(records.Add(0, 0).ok());
+  ASSERT_TRUE(records.Add(1, 1).ok());
+  ASSERT_TRUE(records.Add(2, 2).ok());
+  GroupMapping groups;
+  groups.Add(0, 0);
+  groups.Add(0, 1);
+  const EvolutionAnalysis analysis =
+      AnalyzeEvolution(old_d, new_d, records, groups);
+  EXPECT_EQ(analysis.counts.preserve_groups, 1u);
+  EXPECT_EQ(analysis.counts.move_groups, 1u);
+  EXPECT_EQ(analysis.counts.split_groups, 0u);
+}
+
+TEST(PatternsTest, NamesAreStable) {
+  EXPECT_STREQ(RecordPatternName(RecordPattern::kPreserve), "preserve_R");
+  EXPECT_STREQ(GroupPatternName(GroupPattern::kMerge), "merge");
+  Fig5Fixture fx;
+  const EvolutionAnalysis analysis =
+      AnalyzeEvolution(fx.old_d, fx.new_d, fx.records, fx.groups);
+  EXPECT_FALSE(analysis.counts.ToString().empty());
+}
+
+TEST(PatternsTest, EndToEndPatternsFromLinkage) {
+  // Patterns computed from the actual linkage output on the running example
+  // must classify g_d as an addition and John Riley as a removal.
+  LinkageConfig config = configs::DefaultConfig();
+  config.blocking = BlockingConfig::MakeExhaustive();
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  const LinkageResult result = LinkCensusPair(old_d, new_d, config);
+  const EvolutionAnalysis analysis = AnalyzeEvolution(
+      old_d, new_d, result.record_mapping, result.group_mapping);
+  EXPECT_GE(analysis.counts.add_groups, 1u);     // g_d
+  EXPECT_GE(analysis.counts.remove_records, 1u); // john riley
+  EXPECT_GE(analysis.counts.preserve_groups, 2u);
+}
+
+}  // namespace
+}  // namespace tglink

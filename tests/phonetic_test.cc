@@ -1,0 +1,78 @@
+#include "tglink/similarity/phonetic.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+TEST(SoundexTest, TextbookCodes) {
+  EXPECT_EQ(Soundex("robert"), "R163");
+  EXPECT_EQ(Soundex("rupert"), "R163");
+  EXPECT_EQ(Soundex("ashcraft"), "A261");  // h is transparent
+  EXPECT_EQ(Soundex("ashcroft"), "A261");
+  EXPECT_EQ(Soundex("tymczak"), "T522");
+  EXPECT_EQ(Soundex("pfister"), "P236");
+  EXPECT_EQ(Soundex("honeyman"), "H555");
+}
+
+TEST(SoundexTest, SoundAlikeSurnamesShareCodes) {
+  EXPECT_EQ(Soundex("smith"), Soundex("smyth"));
+  EXPECT_EQ(Soundex("riley"), Soundex("reilly"));
+  EXPECT_EQ(Soundex("ashworth"), Soundex("ashwerth"));
+}
+
+TEST(SoundexTest, CaseAndPunctuationInsensitive) {
+  EXPECT_EQ(Soundex("O'Brien"), Soundex("obrien"));
+  EXPECT_EQ(Soundex("SMITH"), Soundex("smith"));
+}
+
+TEST(SoundexTest, EmptyAndNonAlphabetic) {
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("123"), "");
+  EXPECT_EQ(Soundex("a"), "A000");
+}
+
+TEST(SoundexTest, AlwaysFourCharacters) {
+  for (const char* name : {"lee", "x", "wolstenholme", "kay", "butterworth"}) {
+    EXPECT_EQ(Soundex(name).size(), 4u) << name;
+  }
+}
+
+TEST(NysiisTest, StableAcrossSpellingVariants) {
+  EXPECT_EQ(Nysiis("knight"), Nysiis("night"));
+  EXPECT_EQ(Nysiis("macdonald"), Nysiis("mcdonald"));
+}
+
+TEST(NysiisTest, KnownShapes) {
+  // NYSIIS keeps the first letter and codes vowels as 'A'.
+  EXPECT_EQ(Nysiis("smith"), "SNAT");
+  EXPECT_EQ(Nysiis(""), "");
+}
+
+TEST(NysiisTest, BoundedLength) {
+  for (const char* name :
+       {"wolstenholme", "ramsbottom", "butterworth", "x", "macdonald"}) {
+    EXPECT_LE(Nysiis(name).size(), 6u) << name;
+    EXPECT_FALSE(Nysiis(name).empty()) << name;
+  }
+}
+
+TEST(NysiisTest, MoreDiscriminatingThanSoundexOnPool) {
+  // On a surname pool, NYSIIS should produce at least as many distinct codes
+  // as Soundex (it keeps more structure).
+  const char* pool[] = {"ashworth", "smith",   "taylor",  "holt",
+                        "hargreaves", "pickup", "nuttall", "rothwell",
+                        "haworth",  "duckworth", "ormerod", "kershaw"};
+  std::set<std::string> soundex_codes, nysiis_codes;
+  for (const char* name : pool) {
+    soundex_codes.insert(Soundex(name));
+    nysiis_codes.insert(Nysiis(name));
+  }
+  EXPECT_GE(nysiis_codes.size(), soundex_codes.size());
+}
+
+}  // namespace
+}  // namespace tglink

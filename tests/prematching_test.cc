@@ -1,0 +1,153 @@
+#include "tglink/linkage/prematching.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using testing_example::MakeCensus1871;
+using testing_example::MakeCensus1881;
+
+/// Fig. 3's configuration: exact first name + surname, threshold 1.
+SimilarityFunction Fig3SimFunc() {
+  return SimilarityFunction(
+      {
+          {Field::kFirstName, Measure::kQGramDice, 0.5},
+          {Field::kSurname, Measure::kQGramDice, 0.5},
+      },
+      1.0);
+}
+
+class PreMatchingFig3Test : public ::testing::Test {
+ protected:
+  PreMatchingFig3Test()
+      : old_d_(MakeCensus1871()),
+        new_d_(MakeCensus1881()),
+        sim_func_(Fig3SimFunc()),
+        prematcher_(old_d_, new_d_, sim_func_,
+                    BlockingConfig::MakeExhaustive(), 1.0),
+        clustering_(prematcher_.Cluster(
+            1.0, std::vector<bool>(old_d_.num_records(), true),
+            std::vector<bool>(new_d_.num_records(), true))) {}
+
+  CensusDataset old_d_;
+  CensusDataset new_d_;
+  SimilarityFunction sim_func_;
+  PreMatcher prematcher_;
+  Clustering clustering_;
+};
+
+TEST_F(PreMatchingFig3Test, ReproducesPaperClusters) {
+  // Fig. 3: {1871_1, 1881_1, 1881_9} share label A, etc.
+  // record ids: 1871: 0..7 ; 1881: 0..10 (see paper_example.h).
+  const auto label_old = [&](RecordId r) { return clustering_.old_labels[r]; };
+  const auto label_new = [&](RecordId r) { return clustering_.new_labels[r]; };
+
+  // A: john ashworth — 1871_1(0), 1881_1(0), 1881_9(8).
+  EXPECT_EQ(label_old(0), label_new(0));
+  EXPECT_EQ(label_old(0), label_new(8));
+  // B: elizabeth ashworth — 1871_2(1), 1881_2(1), 1881_10(9).
+  EXPECT_EQ(label_old(1), label_new(1));
+  EXPECT_EQ(label_old(1), label_new(9));
+  // C: william ashworth — 1871_4(3), 1881_3(2), 1881_11(10).
+  EXPECT_EQ(label_old(3), label_new(2));
+  EXPECT_EQ(label_old(3), label_new(10));
+  // D/E/F: the smiths.
+  EXPECT_EQ(label_old(5), label_new(3));  // john smith
+  EXPECT_EQ(label_old(6), label_new(4));  // elizabeth smith
+  EXPECT_EQ(label_old(7), label_new(5));  // steve smith
+  // Alice Ashworth (2) and Alice Smith (6) carry DIFFERENT labels (I vs K).
+  EXPECT_NE(label_old(2), label_new(6));
+  // John Riley (4) and Mary Smith (7) are singletons.
+  EXPECT_EQ(clustering_.LabelSize(label_old(4)), 1u);
+  EXPECT_EQ(clustering_.LabelSize(label_new(7)), 1u);
+  // Distinct clusters are distinct labels.
+  EXPECT_NE(label_old(0), label_old(1));
+  EXPECT_NE(label_old(0), label_old(5));
+}
+
+TEST_F(PreMatchingFig3Test, LabelSizesMatchPaper) {
+  // |A| = |B| = |C| = 3 (used by the uniqueness example, Eq. 8).
+  EXPECT_EQ(clustering_.LabelSize(clustering_.old_labels[0]), 3u);
+  EXPECT_EQ(clustering_.LabelSize(clustering_.old_labels[1]), 3u);
+  EXPECT_EQ(clustering_.LabelSize(clustering_.old_labels[3]), 3u);
+  EXPECT_EQ(clustering_.LabelSize(clustering_.old_labels[5]), 2u);  // D
+}
+
+TEST_F(PreMatchingFig3Test, MemberListsConsistentWithLabels) {
+  for (RecordId r = 0; r < old_d_.num_records(); ++r) {
+    const uint32_t label = clustering_.old_labels[r];
+    ASSERT_NE(label, Clustering::kNoLabel);
+    const auto& members = clustering_.label_old_members[label];
+    EXPECT_NE(std::find(members.begin(), members.end(), r), members.end());
+  }
+}
+
+TEST_F(PreMatchingFig3Test, PairSimilarityCachedAndOnDemandAgree) {
+  // Cached pair (john ashworth 0-0) and a non-cached pair must both return
+  // the underlying similarity function's value.
+  EXPECT_DOUBLE_EQ(prematcher_.PairSimilarity(0, 0), 1.0);
+  const double direct =
+      sim_func_.AggregateSimilarity(old_d_.record(2), new_d_.record(6));
+  EXPECT_DOUBLE_EQ(prematcher_.PairSimilarity(2, 6), direct);
+}
+
+TEST_F(PreMatchingFig3Test, InactiveRecordsExcluded) {
+  std::vector<bool> active_old(old_d_.num_records(), true);
+  std::vector<bool> active_new(new_d_.num_records(), true);
+  active_old[0] = false;  // John Ashworth 1871 already matched
+  const Clustering c = prematcher_.Cluster(1.0, active_old, active_new);
+  EXPECT_EQ(c.old_labels[0], Clustering::kNoLabel);
+  // The 1881 Johns still cluster with each other? No — clustering links only
+  // across accepted pairs, and pairs require one old + one new record; the
+  // two 1881 Johns are connected only through 1871_1. Without it they are
+  // separate.
+  EXPECT_NE(c.new_labels[0], c.new_labels[8]);
+}
+
+TEST(PreMatchingTest, LowerThresholdNeverShrinksClusters) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  SimilarityFunction f(
+      {
+          {Field::kFirstName, Measure::kQGramDice, 0.5},
+          {Field::kSurname, Measure::kQGramDice, 0.5},
+      },
+      0.5);
+  PreMatcher pm(old_d, new_d, f, BlockingConfig::MakeExhaustive(), 0.5);
+  const std::vector<bool> all_old(old_d.num_records(), true);
+  const std::vector<bool> all_new(new_d.num_records(), true);
+  const Clustering strict = pm.Cluster(0.9, all_old, all_new);
+  const Clustering loose = pm.Cluster(0.5, all_old, all_new);
+  // Records sharing a label at 0.9 must also share one at 0.5.
+  for (RecordId o = 0; o < old_d.num_records(); ++o) {
+    for (RecordId n = 0; n < new_d.num_records(); ++n) {
+      if (strict.old_labels[o] == strict.new_labels[n]) {
+        EXPECT_EQ(loose.old_labels[o], loose.new_labels[n]);
+      }
+    }
+  }
+  EXPECT_LE(loose.num_labels, strict.num_labels);
+}
+
+TEST(PreMatchingTest, ScoredPairsRespectMinThreshold) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  SimilarityFunction f(
+      {
+          {Field::kFirstName, Measure::kQGramDice, 0.5},
+          {Field::kSurname, Measure::kQGramDice, 0.5},
+      },
+      0.5);
+  PreMatcher pm(old_d, new_d, f, BlockingConfig::MakeExhaustive(), 0.6);
+  for (const ScoredPair& p : pm.scored_pairs()) {
+    EXPECT_GE(p.sim, 0.6);
+  }
+}
+
+}  // namespace
+}  // namespace tglink

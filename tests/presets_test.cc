@@ -1,0 +1,73 @@
+#include "tglink/synth/presets.h"
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+GeneratorConfig Shrunk(GeneratorConfig config) {
+  config.scale = 0.05;
+  config.num_censuses = 2;
+  config.seed = 11;
+  return config;
+}
+
+TEST(PresetsTest, RawtenstallEqualsDefaults) {
+  const GeneratorConfig preset = presets::Rawtenstall();
+  const GeneratorConfig defaults;
+  EXPECT_EQ(preset.population.household_targets,
+            defaults.population.household_targets);
+  EXPECT_DOUBLE_EQ(preset.corruption.noise_scale,
+                   defaults.corruption.noise_scale);
+}
+
+TEST(PresetsTest, HighMobilityProducesMoreChurn) {
+  const SyntheticPair mobile =
+      GenerateCensusPair(Shrunk(presets::HighMobilityTown()), 0);
+  const SyntheticPair stable =
+      GenerateCensusPair(Shrunk(presets::StableRuralParish()), 0);
+  // Churn proxy: fraction of old records with NO gold partner (left the
+  // region or died).
+  auto unlinked_fraction = [](const SyntheticPair& pair) {
+    return 1.0 - static_cast<double>(pair.gold.record_links.size()) /
+                     static_cast<double>(pair.old_dataset.num_records());
+  };
+  EXPECT_GT(unlinked_fraction(mobile), unlinked_fraction(stable));
+}
+
+TEST(PresetsTest, StableParishBarelyGrows) {
+  GeneratorConfig config = presets::StableRuralParish();
+  config.num_censuses = 2;
+  config.seed = 11;
+  // Parish targets are absolute (not Table 1); keep scale 1.0 but the
+  // parish is small anyway.
+  const SyntheticSeries series = GenerateCensusSeries(config);
+  const double growth =
+      static_cast<double>(series.snapshots[1].num_households()) /
+      static_cast<double>(series.snapshots[0].num_households());
+  EXPECT_LT(growth, 1.10);
+}
+
+TEST(PresetsTest, TranscriptionQualityBracketsTheDefault) {
+  const SyntheticPair clean =
+      GenerateCensusPair(Shrunk(presets::CleanTranscription()), 0);
+  const SyntheticPair normal =
+      GenerateCensusPair(Shrunk(presets::Rawtenstall()), 0);
+  const SyntheticPair poor =
+      GenerateCensusPair(Shrunk(presets::PoorTranscription()), 0);
+  const double clean_mv = clean.old_dataset.Stats().missing_value_ratio;
+  const double normal_mv = normal.old_dataset.Stats().missing_value_ratio;
+  const double poor_mv = poor.old_dataset.Stats().missing_value_ratio;
+  EXPECT_LT(clean_mv, normal_mv);
+  EXPECT_LT(normal_mv, poor_mv);
+  // Even "clean" data has structurally missing values (infant occupations),
+  // but corruption-driven missing sex must vanish entirely.
+  size_t missing_sex = 0;
+  for (const PersonRecord& record : clean.old_dataset.records()) {
+    missing_sex += record.sex == Sex::kUnknown;
+  }
+  EXPECT_EQ(missing_sex, 0u);
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,104 @@
+#include "tglink/similarity/qgram.h"
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+TEST(QGramTest, BigramDecompositionPadded) {
+  QGramOptions opts;  // q=2, padded
+  const auto grams = QGrams("ab", opts);
+  // "#ab$" -> {"#a", "ab", "b$"} sorted.
+  EXPECT_EQ(grams, (std::vector<std::string>{"#a", "ab", "b$"}));
+}
+
+TEST(QGramTest, BigramDecompositionUnpadded) {
+  QGramOptions opts;
+  opts.padded = false;
+  EXPECT_EQ(QGrams("abc", opts), (std::vector<std::string>{"ab", "bc"}));
+  // Shorter than q: single gram with the whole string.
+  EXPECT_EQ(QGrams("a", opts), (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(QGrams("", opts).empty());
+}
+
+TEST(QGramTest, IdenticalStringsScoreOne) {
+  EXPECT_DOUBLE_EQ(BigramDice("ashworth", "ashworth"), 1.0);
+  EXPECT_DOUBLE_EQ(BigramDice("", ""), 1.0);
+}
+
+TEST(QGramTest, EmptyVsNonEmptyScoresZero) {
+  EXPECT_DOUBLE_EQ(BigramDice("", "x"), 0.0);
+  EXPECT_DOUBLE_EQ(BigramDice("x", ""), 0.0);
+}
+
+TEST(QGramTest, DisjointStringsScoreZero) {
+  QGramOptions opts;
+  opts.padded = false;  // padding shares sentinel grams only with equal ends
+  EXPECT_DOUBLE_EQ(QGramSimilarity("abab", "cdcd", opts), 0.0);
+}
+
+TEST(QGramTest, KnownDiceValue) {
+  // Unpadded bigrams: "smith" -> {sm,mi,it,th}, "smyth" -> {sm,my,yt,th};
+  // common = 2, dice = 2*2/(4+4) = 0.5.
+  QGramOptions opts;
+  opts.padded = false;
+  EXPECT_DOUBLE_EQ(QGramSimilarity("smith", "smyth", opts), 0.5);
+}
+
+TEST(QGramTest, CoefficientOrdering) {
+  // overlap >= dice >= jaccard for any pair.
+  const char* pairs[][2] = {
+      {"smith", "smyth"}, {"ashworth", "ashword"}, {"john", "jon"}};
+  for (const auto& p : pairs) {
+    QGramOptions dice, jac, over;
+    jac.coefficient = QGramCoefficient::kJaccard;
+    over.coefficient = QGramCoefficient::kOverlap;
+    const double d = QGramSimilarity(p[0], p[1], dice);
+    const double j = QGramSimilarity(p[0], p[1], jac);
+    const double o = QGramSimilarity(p[0], p[1], over);
+    EXPECT_LE(j, d + 1e-12);
+    EXPECT_LE(d, o + 1e-12);
+  }
+}
+
+TEST(QGramTest, MultisetSemanticsCountDuplicates) {
+  // "aaa" unpadded bigrams = {aa, aa}; "aa" = {aa}. common = 1.
+  QGramOptions opts;
+  opts.padded = false;
+  EXPECT_DOUBLE_EQ(QGramSimilarity("aaa", "aa", opts), 2.0 * 1 / (2 + 1));
+}
+
+// Property sweep: symmetry and range over a pool of name pairs.
+class QGramPropertyTest
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(QGramPropertyTest, SymmetricAndBounded) {
+  const auto& [a, b] = GetParam();
+  for (int q : {1, 2, 3}) {
+    for (bool padded : {false, true}) {
+      QGramOptions opts;
+      opts.q = q;
+      opts.padded = padded;
+      const double ab = QGramSimilarity(a, b, opts);
+      const double ba = QGramSimilarity(b, a, opts);
+      EXPECT_DOUBLE_EQ(ab, ba);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+      EXPECT_DOUBLE_EQ(QGramSimilarity(a, a, opts), 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NamePairs, QGramPropertyTest,
+    ::testing::Values(std::make_pair("ashworth", "ashword"),
+                      std::make_pair("elizabeth", "elisabeth"),
+                      std::make_pair("john", "jane"),
+                      std::make_pair("a", "ab"),
+                      std::make_pair("x", "x"),
+                      std::make_pair("", "nonempty"),
+                      std::make_pair("riley", "reilly"),
+                      std::make_pair("smith", "schmidt")));
+
+}  // namespace
+}  // namespace tglink

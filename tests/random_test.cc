@@ -1,0 +1,160 @@
+#include "tglink/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRateApproximatesP) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(17);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0);
+  EXPECT_EQ(rng.NextPoisson(-1.0), 0);
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(21);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(23);
+  for (size_t n : {0u, 1u, 2u, 10u, 100u}) {
+    std::vector<size_t> perm = rng.Permutation(n);
+    ASSERT_EQ(perm.size(), n);
+    std::vector<size_t> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.Fork();
+  // The fork and the parent should not produce identical streams.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfSamplerTest, SkewsTowardLowRanks) {
+  Rng rng(37);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  // Rank 0 must dominate rank 50 roughly by factor 51 under exponent 1.
+  EXPECT_GT(counts[0], counts[50] * 10);
+  // Every sample within range (implicitly checked by indexing); low ranks
+  // together carry most of the mass.
+  const int head = std::accumulate(counts.begin(), counts.begin() + 10, 0);
+  EXPECT_GT(head, 25000);
+}
+
+TEST(ZipfSamplerTest, UniformWhenExponentZero) {
+  Rng rng(41);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 400);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(&state);
+  uint64_t state2 = 0;
+  EXPECT_EQ(SplitMix64(&state2), first);
+  EXPECT_NE(SplitMix64(&state2), first);
+}
+
+}  // namespace
+}  // namespace tglink

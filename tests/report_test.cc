@@ -1,0 +1,61 @@
+#include "tglink/eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table;
+  table.SetHeader({"a", "long-header", "x"});
+  table.AddRow({"wide-cell", "b", "y"});
+  const std::string out = table.ToString();
+  // Every line has the same length (aligned columns).
+  size_t line_length = std::string::npos;
+  size_t start = 0;
+  int lines = 0;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    if (line_length == std::string::npos) line_length = end - start;
+    EXPECT_EQ(end - start, line_length);
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);  // header + rule + row
+}
+
+TEST(TextTableTest, TitlePrintedFirst) {
+  TextTable table("My Title");
+  table.SetHeader({"h"});
+  table.AddRow({"v"});
+  EXPECT_EQ(table.ToString().rfind("My Title\n", 0), 0u);
+}
+
+TEST(TextTableTest, HandlesRaggedRows) {
+  TextTable table;
+  table.SetHeader({"a", "b"});
+  table.AddRow({"1"});
+  table.AddRow({"1", "2", "3"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| 3"), std::string::npos);
+}
+
+TEST(TextTableTest, NoHeaderNoRule) {
+  TextTable table;
+  table.AddRow({"only", "row"});
+  const std::string out = table.ToString();
+  EXPECT_EQ(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, PercentAndFixedFormatting) {
+  EXPECT_EQ(TextTable::Percent(0.956), "95.6");
+  EXPECT_EQ(TextTable::Percent(0.95649, 2), "95.65");
+  EXPECT_EQ(TextTable::Percent(1.0, 0), "100");
+  EXPECT_EQ(TextTable::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Fixed(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,92 @@
+#include "tglink/linkage/residual.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tglink/linkage/config.h"
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using namespace testing_example;
+
+TEST(ResidualTest, GreedyOneToOneRespectsActivity) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  SimilarityFunction f = configs::Omega2(0.8);
+  f.set_year_gap(10);
+  std::vector<bool> active_old(old_d.num_records(), true);
+  std::vector<bool> active_new(new_d.num_records(), true);
+  active_old[0] = false;  // John Ashworth 1871 unavailable
+  const auto links = GreedyOneToOneMatch(old_d, new_d, f,
+                                         BlockingConfig::MakeExhaustive(),
+                                         active_old, active_new);
+  for (const ScoredPair& link : links) {
+    EXPECT_NE(link.old_id, 0u);
+    EXPECT_GE(link.sim, 0.8);
+  }
+}
+
+TEST(ResidualTest, OneToOneInvariant) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  SimilarityFunction f = configs::Omega2(0.5);
+  f.set_year_gap(10);
+  const std::vector<bool> all_old(old_d.num_records(), true);
+  const std::vector<bool> all_new(new_d.num_records(), true);
+  const auto links = GreedyOneToOneMatch(
+      old_d, new_d, f, BlockingConfig::MakeExhaustive(), all_old, all_new);
+  std::set<RecordId> olds, news;
+  for (const ScoredPair& link : links) {
+    EXPECT_TRUE(olds.insert(link.old_id).second);
+    EXPECT_TRUE(news.insert(link.new_id).second);
+  }
+}
+
+TEST(ResidualTest, GreedyPrefersHigherSimilarity) {
+  // Two old Johns compete for one new John; the closer one must win.
+  CensusDataset old_d(1871);
+  old_d.AddHousehold(
+      "h1", {MakeRecord("o1", "john", "ashworth", Sex::kMale, 30, Role::kHead,
+                        "mill street", "weaver")});
+  old_d.AddHousehold(
+      "h2", {MakeRecord("o2", "john", "ashword", Sex::kMale, 30, Role::kHead,
+                        "bank street", "miner")});
+  CensusDataset new_d(1881);
+  new_d.AddHousehold(
+      "h1", {MakeRecord("n1", "john", "ashworth", Sex::kMale, 40, Role::kHead,
+                        "mill street", "weaver")});
+  SimilarityFunction f = configs::Omega2(0.5);
+  f.set_year_gap(10);
+  const auto links = GreedyOneToOneMatch(
+      old_d, new_d, f, BlockingConfig::MakeExhaustive(),
+      std::vector<bool>(2, true), std::vector<bool>(1, true));
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].old_id, 0u);
+}
+
+TEST(ResidualTest, MatchResidualExtendsGroupMapping) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  SimilarityFunction f = configs::Omega2(0.9);
+  RecordMapping records(old_d.num_records(), new_d.num_records());
+  GroupMapping groups;
+  std::vector<bool> active_old(old_d.num_records(), true);
+  std::vector<bool> active_new(new_d.num_records(), true);
+  const size_t added = MatchResidualRecords(
+      old_d, new_d, f, BlockingConfig::MakeExhaustive(), &records, &groups,
+      &active_old, &active_new);
+  EXPECT_EQ(added, records.size());
+  // Every record link induces its owning group pair in the group mapping.
+  for (const RecordLink& link : records.links()) {
+    EXPECT_TRUE(groups.Contains(old_d.record(link.first).group,
+                                new_d.record(link.second).group));
+    EXPECT_FALSE(active_old[link.first]);
+    EXPECT_FALSE(active_new[link.second]);
+  }
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,78 @@
+#include "tglink/linkage/result_io.h"
+
+#include <gtest/gtest.h>
+
+#include "tglink/linkage/config.h"
+#include "tglink/linkage/iterative.h"
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using namespace testing_example;
+
+TEST(ResultIoTest, RoundTripPreservesMappings) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  LinkageConfig config = configs::DefaultConfig();
+  config.blocking = BlockingConfig::MakeExhaustive();
+  const LinkageResult result = LinkCensusPair(old_d, new_d, config);
+
+  const std::string csv = MappingsToCsv(result.record_mapping,
+                                        result.group_mapping, old_d, new_d);
+  auto loaded = MappingsFromCsv(csv, old_d, new_d);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().records.links(), result.record_mapping.links());
+  EXPECT_EQ(loaded.value().groups.SortedLinks(),
+            result.group_mapping.SortedLinks());
+}
+
+TEST(ResultIoTest, RejectsUnknownIds) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  const std::string csv =
+      "kind,old_id,new_id\nrecord,nope,1881_1\n";
+  EXPECT_FALSE(MappingsFromCsv(csv, old_d, new_d).ok());
+  const std::string csv2 = "kind,old_id,new_id\ngroup,g1871_a,nope\n";
+  EXPECT_FALSE(MappingsFromCsv(csv2, old_d, new_d).ok());
+}
+
+TEST(ResultIoTest, RejectsOneToOneViolations) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  const std::string csv =
+      "kind,old_id,new_id\n"
+      "record,1871_1,1881_1\n"
+      "record,1871_1,1881_9\n";  // old record linked twice
+  EXPECT_FALSE(MappingsFromCsv(csv, old_d, new_d).ok());
+}
+
+TEST(ResultIoTest, RejectsMalformedInput) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  EXPECT_FALSE(MappingsFromCsv("", old_d, new_d).ok());
+  EXPECT_FALSE(MappingsFromCsv("x,y\n", old_d, new_d).ok());
+  EXPECT_FALSE(
+      MappingsFromCsv("kind,old_id,new_id\nalien,a,b\n", old_d, new_d).ok());
+  EXPECT_FALSE(
+      MappingsFromCsv("kind,old_id,new_id\nrecord,a\n", old_d, new_d).ok());
+}
+
+TEST(ResultIoTest, FileRoundTrip) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  RecordMapping records(old_d.num_records(), new_d.num_records());
+  ASSERT_TRUE(records.Add(0, 0).ok());
+  GroupMapping groups;
+  groups.Add(0, 0);
+  const std::string path = ::testing::TempDir() + "/tglink_mappings.csv";
+  ASSERT_TRUE(SaveMappings(records, groups, old_d, new_d, path).ok());
+  auto loaded = LoadMappings(path, old_d, new_d);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().records.size(), 1u);
+  EXPECT_EQ(loaded.value().groups.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "tglink/linkage/explain.h"
+#include "tglink/linkage/series.h"
+#include "tglink/synth/generator.h"
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using namespace testing_example;
+
+TEST(SeriesTest, LinksEveryPairAndBuildsGraph) {
+  GeneratorConfig gen;
+  gen.seed = 3;
+  gen.scale = 0.03;
+  gen.num_censuses = 3;
+  const SyntheticSeries series = GenerateCensusSeries(gen);
+  const SeriesLinkageResult result =
+      LinkCensusSeries(series.snapshots, configs::DefaultConfig());
+  ASSERT_EQ(result.pair_results.size(), 2u);
+  ASSERT_EQ(result.record_mappings.size(), 2u);
+  EXPECT_EQ(result.record_mappings[0].links(),
+            result.pair_results[0].record_mapping.links());
+  const EvolutionGraph graph = result.BuildEvolutionGraph(series.snapshots);
+  EXPECT_EQ(graph.num_epochs(), 3u);
+  EXPECT_EQ(graph.pair_counts().size(), 2u);
+}
+
+TEST(SeriesTest, MatchesPairwiseDriver) {
+  GeneratorConfig gen;
+  gen.seed = 4;
+  gen.scale = 0.03;
+  gen.num_censuses = 3;
+  const SyntheticSeries series = GenerateCensusSeries(gen);
+  const SeriesLinkageResult chained =
+      LinkCensusSeries(series.snapshots, configs::DefaultConfig());
+  const LinkageResult direct = LinkCensusPair(
+      series.snapshots[1], series.snapshots[2], configs::DefaultConfig());
+  EXPECT_EQ(chained.record_mappings[1].links(),
+            direct.record_mapping.links());
+}
+
+struct ExplainFixture {
+  CensusDataset old_d = MakeCensus1871();
+  CensusDataset new_d = MakeCensus1881();
+  LinkageConfig config;
+  LinkageResult result;
+
+  ExplainFixture() {
+    config = configs::DefaultConfig();
+    config.blocking = BlockingConfig::MakeExhaustive();
+    result = LinkCensusPair(old_d, new_d, config);
+  }
+};
+
+TEST(ExplainTest, ProvenanceIsParallelToLinks) {
+  ExplainFixture fx;
+  EXPECT_EQ(fx.result.provenance.size(), fx.result.record_mapping.size());
+}
+
+TEST(ExplainTest, SubgraphLinkExplained) {
+  ExplainFixture fx;
+  // John Ashworth (record 0) was linked in the first subgraph iteration.
+  const LinkExplanation explanation =
+      ExplainLink(fx.result, fx.old_d, fx.new_d, fx.config, 0);
+  EXPECT_TRUE(explanation.linked);
+  EXPECT_EQ(explanation.new_id, 0u);
+  EXPECT_EQ(explanation.phase, LinkPhase::kSubgraph);
+  EXPECT_DOUBLE_EQ(explanation.phase_delta, fx.config.delta_high);
+  EXPECT_GT(explanation.attribute_similarity, 0.9);
+  EXPECT_TRUE(explanation.households_linked);
+  EXPECT_EQ(explanation.old_household, "g1871_a");
+  EXPECT_EQ(explanation.new_household, "g1881_a");
+  const std::string text =
+      explanation.ToString(fx.old_d, fx.new_d, fx.config);
+  EXPECT_NE(text.find("subgraph"), std::string::npos);
+  EXPECT_NE(text.find("john ashworth"), std::string::npos);
+}
+
+TEST(ExplainTest, ResidualLinkExplained) {
+  ExplainFixture fx;
+  // Steve (record 7) moved households: found by a residual phase.
+  const LinkExplanation explanation =
+      ExplainLink(fx.result, fx.old_d, fx.new_d, fx.config, 7);
+  ASSERT_TRUE(explanation.linked);
+  EXPECT_NE(explanation.phase, LinkPhase::kSubgraph);
+}
+
+TEST(ExplainTest, UnlinkedRecordExplained) {
+  ExplainFixture fx;
+  // John Riley (record 4) died.
+  const LinkExplanation explanation =
+      ExplainLink(fx.result, fx.old_d, fx.new_d, fx.config, 4);
+  EXPECT_FALSE(explanation.linked);
+  const std::string text =
+      explanation.ToString(fx.old_d, fx.new_d, fx.config);
+  EXPECT_NE(text.find("UNLINKED"), std::string::npos);
+  EXPECT_NE(text.find("john riley"), std::string::npos);
+}
+
+TEST(ExplainTest, PhaseNamesAreStable) {
+  EXPECT_STREQ(LinkPhaseName(LinkPhase::kSubgraph), "subgraph");
+  EXPECT_STREQ(LinkPhaseName(LinkPhase::kContextResidual),
+               "context-residual");
+  EXPECT_STREQ(LinkPhaseName(LinkPhase::kGlobalResidual), "global-residual");
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,84 @@
+#include "tglink/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+TEST(StringsTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("AshWorth-42"), "ashworth-42");
+  EXPECT_EQ(ToUpper("AshWorth-42"), "ASHWORTH-42");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, SplitWhitespaceSkipsEmptyTokens) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("ashworth", "ash"));
+  EXPECT_FALSE(StartsWith("ash", "ashworth"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StringsTest, NormalizeValueFoldsCaseAndPunctuation) {
+  EXPECT_EQ(NormalizeValue("  O'Brien-Smith "), "o brien smith");
+  EXPECT_EQ(NormalizeValue("12, Mill St."), "12 mill st");
+  EXPECT_EQ(NormalizeValue("ASHWORTH"), "ashworth");
+  EXPECT_EQ(NormalizeValue("---"), "");
+  EXPECT_EQ(NormalizeValue(""), "");
+}
+
+TEST(StringsTest, NormalizeValueCollapsesInteriorRuns) {
+  EXPECT_EQ(NormalizeValue("a  --  b"), "a b");
+  EXPECT_EQ(NormalizeValue(" x "), "x");
+}
+
+TEST(StringsTest, IsMissingRecognizesPlaceholders) {
+  EXPECT_TRUE(IsMissing(""));
+  EXPECT_TRUE(IsMissing("  "));
+  EXPECT_TRUE(IsMissing("-"));
+  EXPECT_TRUE(IsMissing("N/A"));
+  EXPECT_TRUE(IsMissing("na"));
+  EXPECT_TRUE(IsMissing("Unknown"));
+  EXPECT_TRUE(IsMissing("NK"));
+  EXPECT_TRUE(IsMissing("?"));
+  EXPECT_FALSE(IsMissing("nancy"));
+  EXPECT_FALSE(IsMissing("0"));
+}
+
+TEST(StringsTest, ParseNonNegativeInt) {
+  EXPECT_EQ(ParseNonNegativeInt("42"), 42);
+  EXPECT_EQ(ParseNonNegativeInt(" 7 "), 7);
+  EXPECT_EQ(ParseNonNegativeInt("0"), 0);
+  EXPECT_EQ(ParseNonNegativeInt(""), -1);
+  EXPECT_EQ(ParseNonNegativeInt("-3"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("4x"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("9999999999"), -1);  // too long
+}
+
+}  // namespace
+}  // namespace tglink

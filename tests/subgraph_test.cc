@@ -1,0 +1,185 @@
+#include "tglink/linkage/subgraph.h"
+
+#include <memory>
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "tglink/graph/enrichment.h"
+#include "tglink/linkage/subgraph_export.h"
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using namespace testing_example;
+
+/// Fixture reproducing the exact setting of the paper's Fig. 4 / Eq. 8.
+class SubgraphPaperExampleTest : public ::testing::Test {
+ protected:
+  SubgraphPaperExampleTest()
+      : old_d_(MakeCensus1871()),
+        new_d_(MakeCensus1881()),
+        old_graphs_(EnrichAllHouseholds(old_d_)),
+        new_graphs_(EnrichAllHouseholds(new_d_)) {
+    config_.sim_func = SimilarityFunction(
+        {
+            {Field::kFirstName, Measure::kQGramDice, 0.5},
+            {Field::kSurname, Measure::kQGramDice, 0.5},
+        },
+        1.0);
+    // Eq. 8 weights the three scores; any (α, β) works for score checks.
+    config_.group_weights = {0.2, 0.7};
+    // Fig. 4 considers the decoy household's vertices despite their ages
+    // deviating by 19 years; disable the vertex gate to reproduce the
+    // figure literally (the production default would prune them earlier).
+    config_.vertex_age_tolerance = 0;
+    prematcher_ = std::make_unique<PreMatcher>(
+        old_d_, new_d_, config_.sim_func, BlockingConfig::MakeExhaustive(),
+        1.0);
+    clustering_ = prematcher_->Cluster(
+        1.0, std::vector<bool>(old_d_.num_records(), true),
+        std::vector<bool>(new_d_.num_records(), true));
+  }
+
+  GroupPairSubgraph Build(GroupId old_g, GroupId new_g) {
+    return BuildGroupPairSubgraph(old_g, new_g, old_graphs_[old_g],
+                                  new_graphs_[new_g], clustering_,
+                                  *prematcher_, config_, old_d_, new_d_,
+                                  /*delta=*/1.0);
+  }
+
+  CensusDataset old_d_;
+  CensusDataset new_d_;
+  std::vector<HouseholdGraph> old_graphs_;
+  std::vector<HouseholdGraph> new_graphs_;
+  LinkageConfig config_;
+  std::unique_ptr<PreMatcher> prematcher_;
+  Clustering clustering_;
+};
+
+TEST_F(SubgraphPaperExampleTest, GroupPairAAMatchesPaperScores) {
+  const GroupPairSubgraph sub = Build(kG1871A, kG1881A);
+  ASSERT_EQ(sub.vertices.size(), 3u);  // A, B, C
+  EXPECT_EQ(sub.edges.size(), 3u);     // all three edges agree
+  // Eq. 8: avg_sim = 1, e_sim = 2*3/(10+3) ≈ 0.46, unique = 2*3/9 ≈ 0.66.
+  EXPECT_DOUBLE_EQ(sub.avg_sim, 1.0);
+  EXPECT_NEAR(sub.e_sim, 6.0 / 13.0, 1e-9);
+  EXPECT_NEAR(sub.uniqueness, 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(SubgraphPaperExampleTest, GroupPairADReducedToMatchingEdge) {
+  const GroupPairSubgraph sub = Build(kG1871A, kG1881D);
+  // Three label-equal vertex pairs exist, but only the spouse edge
+  // (John-Elizabeth) agrees in type and age difference; William's vertex is
+  // pruned (Fig. 4 bottom right).
+  ASSERT_EQ(sub.vertices.size(), 2u);
+  EXPECT_EQ(sub.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(sub.avg_sim, 1.0);
+  EXPECT_NEAR(sub.e_sim, 2.0 / 13.0, 1e-9);       // 2*1/(10+3) ≈ 0.15
+  EXPECT_NEAR(sub.uniqueness, 2.0 / 3.0, 1e-9);   // 2*2/(3+3)
+}
+
+TEST_F(SubgraphPaperExampleTest, AggregatePrefersTrueLink) {
+  // With any weighting that includes edge similarity, (a,a) must outscore
+  // (a,d) — the paper's central disambiguation claim.
+  const GroupPairSubgraph aa = Build(kG1871A, kG1881A);
+  const GroupPairSubgraph ad = Build(kG1871A, kG1881D);
+  EXPECT_GT(aa.g_sim, ad.g_sim);
+  // With edge similarity ignored (α=1), the two are indistinguishable on
+  // record similarity alone.
+  EXPECT_DOUBLE_EQ(aa.avg_sim, ad.avg_sim);
+}
+
+TEST_F(SubgraphPaperExampleTest, GroupPairBBHasSpouseEdge) {
+  const GroupPairSubgraph sub = Build(kG1871B, kG1881B);
+  ASSERT_EQ(sub.vertices.size(), 2u);  // John + Elizabeth Smith
+  EXPECT_EQ(sub.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(sub.avg_sim, 1.0);
+}
+
+TEST_F(SubgraphPaperExampleTest, SingleSharedVertexYieldsEmptySubgraph) {
+  // g_1871_b and g_1881_c share only Steve: no edges -> pruned to empty
+  // (the residual matcher handles such movers).
+  const GroupPairSubgraph sub = Build(kG1871B, kG1881C);
+  EXPECT_TRUE(sub.empty());
+}
+
+TEST_F(SubgraphPaperExampleTest, BuildAllEnumeratesSharedLabelPairsOnly) {
+  const auto subgraphs =
+      BuildAllSubgraphs(old_d_, new_d_, old_graphs_, new_graphs_, clustering_,
+                        *prematcher_, config_, /*delta=*/1.0);
+  // Non-empty subgraphs: (a,a), (a,d), (b,b). (b,c) prunes to empty.
+  ASSERT_EQ(subgraphs.size(), 3u);
+  std::set<std::pair<GroupId, GroupId>> pairs;
+  for (const auto& s : subgraphs) pairs.emplace(s.old_group, s.new_group);
+  EXPECT_TRUE(pairs.count({kG1871A, kG1881A}));
+  EXPECT_TRUE(pairs.count({kG1871A, kG1881D}));
+  EXPECT_TRUE(pairs.count({kG1871B, kG1881B}));
+}
+
+TEST_F(SubgraphPaperExampleTest, EdgeAgeToleranceGate) {
+  // Tightening the tolerance to 0 still accepts exact age-diff agreement;
+  // an artificial 3-year deviation must be rejected at tolerance 2.
+  LinkageConfig strict = config_;
+  strict.edge_age_tolerance = 0;
+  GroupPairSubgraph sub = BuildGroupPairSubgraph(
+      kG1871A, kG1881A, old_graphs_[kG1871A], new_graphs_[kG1881A],
+      clustering_, *prematcher_, strict, old_d_, new_d_, /*delta=*/1.0);
+  EXPECT_EQ(sub.edges.size(), 3u);  // diffs agree exactly in the fixture
+
+  // Perturb William's 1881 age by 3: parent-child diffs now deviate by 3.
+  CensusDataset perturbed = MakeCensus1881();
+  perturbed.mutable_record(2)->age = 15;
+  const auto graphs = EnrichAllHouseholds(perturbed);
+  PreMatcher pm(old_d_, perturbed, config_.sim_func,
+                BlockingConfig::MakeExhaustive(), 1.0);
+  const Clustering cl = pm.Cluster(
+      1.0, std::vector<bool>(old_d_.num_records(), true),
+      std::vector<bool>(perturbed.num_records(), true));
+  sub = BuildGroupPairSubgraph(kG1871A, kG1881A, old_graphs_[kG1871A],
+                               graphs[kG1881A], cl, pm, config_, old_d_,
+                               perturbed, /*delta=*/1.0);
+  // tolerance 2: the two William edges (deviation 3) are rejected; the
+  // spouse edge survives; William's vertex is pruned.
+  EXPECT_EQ(sub.vertices.size(), 2u);
+  EXPECT_EQ(sub.edges.size(), 1u);
+}
+
+TEST_F(SubgraphPaperExampleTest, DotRenderingShowsFig4) {
+  const GroupPairSubgraph aa = Build(kG1871A, kG1881A);
+  const std::string dot = GroupPairSubgraphToDot(
+      aa, old_d_, new_d_, old_graphs_[kG1871A], new_graphs_[kG1881A]);
+  EXPECT_NE(dot.find("graph subgraph_match"), std::string::npos);
+  EXPECT_NE(dot.find("g1871_a"), std::string::npos);
+  EXPECT_NE(dot.find("g1881_a"), std::string::npos);
+  EXPECT_NE(dot.find("john ashworth"), std::string::npos);
+  EXPECT_NE(dot.find("e_sim"), std::string::npos);
+  // Three matched vertex pairs -> three dashed cross edges.
+  size_t cross = 0;
+  for (size_t pos = dot.find("style=dashed"); pos != std::string::npos;
+       pos = dot.find("style=dashed", pos + 1)) {
+    ++cross;
+  }
+  EXPECT_EQ(cross, 3u);
+  // 10 + 3 relationship edges rendered in total.
+  size_t rel = 0;
+  for (size_t pos = dot.find(" -- "); pos != std::string::npos;
+       pos = dot.find(" -- ", pos + 1)) {
+    ++rel;
+  }
+  EXPECT_EQ(rel, 10u + 3u + 3u);  // household edges + cross edges
+}
+
+TEST_F(SubgraphPaperExampleTest, GSimIsConvexCombination) {
+  const GroupPairSubgraph aa = Build(kG1871A, kG1881A);
+  const GroupScoreWeights& w = config_.group_weights;
+  EXPECT_NEAR(aa.g_sim,
+              w.alpha * aa.avg_sim + w.beta * aa.e_sim +
+                  w.uniqueness_weight() * aa.uniqueness,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,232 @@
+#include "tglink/synth/population.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+PopulationConfig SmallConfig() {
+  PopulationConfig config;
+  config.household_targets = {120, 150, 180};
+  return config;
+}
+
+TEST(PopulationTest, InitialPopulationHitsTarget) {
+  Rng rng(1);
+  Population population(SmallConfig(), &rng);
+  EXPECT_EQ(population.PresentHouseholds(), 120u);
+  EXPECT_GT(population.PresentPersons(), 200u);  // families, not singletons
+  EXPECT_EQ(population.current_year(), 1851);
+}
+
+TEST(PopulationTest, AdvanceDecadeReachesTargets) {
+  Rng rng(2);
+  Population population(SmallConfig(), &rng);
+  population.AdvanceDecade(&rng);
+  EXPECT_EQ(population.current_year(), 1861);
+  EXPECT_GE(population.PresentHouseholds(), 150u);
+  population.AdvanceDecade(&rng);
+  EXPECT_GE(population.PresentHouseholds(), 180u);
+}
+
+TEST(PopulationTest, SnapshotIsValidDataset) {
+  Rng rng(3);
+  Population population(SmallConfig(), &rng);
+  const CorruptionModel corruption{CorruptionConfig{}};
+  for (int step = 0; step < 3; ++step) {
+    const Population::Snapshot snapshot =
+        population.TakeSnapshot(corruption, &rng);
+    ASSERT_TRUE(snapshot.dataset.Validate().ok());
+    EXPECT_EQ(snapshot.record_pids.size(), snapshot.dataset.num_records());
+    EXPECT_EQ(snapshot.household_hids.size(),
+              snapshot.dataset.num_households());
+    if (step < 2) population.AdvanceDecade(&rng);
+  }
+}
+
+TEST(PopulationTest, HouseholdMembershipIsConsistent) {
+  Rng rng(4);
+  Population population(SmallConfig(), &rng);
+  population.AdvanceDecade(&rng);
+  population.AdvanceDecade(&rng);
+  for (const auto& [hid, household] : population.households()) {
+    if (!household.present) continue;
+    for (uint64_t pid : household.members) {
+      const SimPerson& person = population.persons().at(pid);
+      EXPECT_TRUE(person.present);
+      EXPECT_EQ(person.household, hid);
+    }
+    if (!household.members.empty()) {
+      // The head is a member.
+      EXPECT_NE(std::find(household.members.begin(), household.members.end(),
+                          household.head),
+                household.members.end());
+    }
+  }
+  // Every present person is in exactly one present household.
+  for (const auto& [pid, person] : population.persons()) {
+    if (!person.present) continue;
+    ASSERT_NE(person.household, 0u);
+    const SimHousehold& hh = population.households().at(person.household);
+    EXPECT_TRUE(hh.present);
+  }
+}
+
+TEST(PopulationTest, EveryHouseholdHasExactlyOneHeadRole) {
+  Rng rng(5);
+  Population population(SmallConfig(), &rng);
+  population.AdvanceDecade(&rng);
+  CorruptionConfig no_noise;
+  no_noise.noise_scale = 0.0;
+  const CorruptionModel corruption(no_noise);
+  const Population::Snapshot snapshot =
+      population.TakeSnapshot(corruption, &rng);
+  for (const Household& hh : snapshot.dataset.households()) {
+    int heads = 0;
+    for (RecordId r : hh.members) {
+      if (snapshot.dataset.record(r).role == Role::kHead) ++heads;
+    }
+    EXPECT_EQ(heads, 1) << "household " << hh.external_id;
+  }
+}
+
+TEST(PopulationTest, AgesAreConsistentWithYears) {
+  Rng rng(6);
+  Population population(SmallConfig(), &rng);
+  CorruptionConfig no_noise;
+  no_noise.noise_scale = 0.0;
+  const CorruptionModel corruption(no_noise);
+  const Population::Snapshot snapshot =
+      population.TakeSnapshot(corruption, &rng);
+  for (const PersonRecord& record : snapshot.dataset.records()) {
+    EXPECT_GE(record.age, 0);
+    EXPECT_LT(record.age, 100);
+  }
+}
+
+TEST(PopulationTest, PeopleAgeTenYearsBetweenCleanSnapshots) {
+  Rng rng(7);
+  Population population(SmallConfig(), &rng);
+  CorruptionConfig no_noise;
+  no_noise.noise_scale = 0.0;
+  const CorruptionModel corruption(no_noise);
+  const Population::Snapshot before =
+      population.TakeSnapshot(corruption, &rng);
+  population.AdvanceDecade(&rng);
+  const Population::Snapshot after = population.TakeSnapshot(corruption, &rng);
+  std::unordered_map<uint64_t, int> age_before;
+  for (RecordId r = 0; r < before.record_pids.size(); ++r) {
+    age_before[before.record_pids[r]] = before.dataset.record(r).age;
+  }
+  size_t survivors = 0;
+  for (RecordId r = 0; r < after.record_pids.size(); ++r) {
+    auto it = age_before.find(after.record_pids[r]);
+    if (it == age_before.end()) continue;
+    ++survivors;
+    EXPECT_EQ(after.dataset.record(r).age, it->second + 10);
+  }
+  EXPECT_GT(survivors, 100u);  // most people survive a decade
+}
+
+TEST(PopulationTest, DemographicChurnProducesAllEventKinds) {
+  Rng rng(8);
+  Population population(SmallConfig(), &rng);
+  const size_t people_before = population.PresentPersons();
+  std::set<uint64_t> pids_before;
+  for (const auto& [pid, p] : population.persons()) {
+    if (p.present) pids_before.insert(pid);
+  }
+  population.AdvanceDecade(&rng);
+  size_t died_or_left = 0, stayed = 0, born_or_arrived = 0;
+  for (const auto& [pid, p] : population.persons()) {
+    if (p.present) {
+      if (pids_before.count(pid)) {
+        ++stayed;
+      } else {
+        ++born_or_arrived;
+      }
+    } else if (pids_before.count(pid)) {
+      ++died_or_left;
+    }
+  }
+  EXPECT_GT(died_or_left, 0u);
+  EXPECT_GT(born_or_arrived, 0u);
+  EXPECT_GT(stayed, people_before / 2);
+}
+
+TEST(PopulationTest, MarriedWomenTookHusbandsSurname) {
+  Rng rng(9);
+  Population population(SmallConfig(), &rng);
+  population.AdvanceDecade(&rng);
+  size_t couples = 0;
+  for (const auto& [pid, p] : population.persons()) {
+    if (!p.present || p.sex != Sex::kFemale || p.spouse == 0) continue;
+    const SimPerson& husband = population.persons().at(p.spouse);
+    if (!husband.present) continue;
+    EXPECT_EQ(p.surname, husband.surname);
+    ++couples;
+  }
+  EXPECT_GT(couples, 50u);
+}
+
+TEST(CorruptionTest, TypoChangesButKeepsSimilarity) {
+  Rng rng(10);
+  const CorruptionModel model{CorruptionConfig{}};
+  int changed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string corrupted = model.ApplyTypo("elizabeth", &rng);
+    if (corrupted != "elizabeth") ++changed;
+    // One edit operation at most: length within 1 of the original.
+    EXPECT_LE(std::abs(static_cast<int>(corrupted.size()) - 9), 1);
+  }
+  EXPECT_GT(changed, 150);  // most typo draws alter the string
+}
+
+TEST(CorruptionTest, NoiseScaleZeroIsClean) {
+  Rng rng(11);
+  CorruptionConfig config;
+  config.noise_scale = 0.0;
+  const CorruptionModel model(config);
+  PersonRecord record;
+  record.first_name = "john";
+  record.surname = "ashworth";
+  record.sex = Sex::kMale;
+  record.age = 30;
+  record.address = "mill street";
+  record.occupation = "weaver";
+  for (int i = 0; i < 100; ++i) {
+    PersonRecord copy = record;
+    model.CorruptRecord(&copy, &rng);
+    EXPECT_EQ(copy.first_name, "john");
+    EXPECT_EQ(copy.age, 30);
+    EXPECT_EQ(copy.occupation, "weaver");
+  }
+}
+
+TEST(CorruptionTest, MissingRatesRoughlyCalibrated) {
+  Rng rng(12);
+  const CorruptionModel model{CorruptionConfig{}};
+  int missing_occupation = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    PersonRecord record;
+    record.first_name = "john";
+    record.surname = "ashworth";
+    record.sex = Sex::kMale;
+    record.age = 30;
+    record.address = "mill street";
+    record.occupation = "weaver";
+    model.CorruptRecord(&record, &rng);
+    if (record.occupation.empty()) ++missing_occupation;
+  }
+  EXPECT_NEAR(missing_occupation / static_cast<double>(n),
+              CorruptionConfig{}.missing_occupation, 0.02);
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,95 @@
+#include "tglink/eval/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "tglink/linkage/config.h"
+#include "tglink/synth/generator.h"
+
+namespace tglink {
+namespace {
+
+struct TunerFixture {
+  SyntheticPair pair;
+  ResolvedGold gold;
+
+  TunerFixture() {
+    GeneratorConfig gen;
+    gen.seed = 77;
+    gen.scale = 0.04;
+    gen.num_censuses = 2;
+    pair = GenerateCensusPair(gen, 0);
+    gold = ResolveGold(pair.gold, pair.old_dataset, pair.new_dataset).value();
+  }
+};
+
+TEST(TunerTest, ObjectiveIsInUnitRangeAndSane) {
+  TunerFixture fx;
+  const double f = GreedyMatchObjective(fx.pair.old_dataset,
+                                        fx.pair.new_dataset, fx.gold,
+                                        configs::Omega2(), 0.7,
+                                        BlockingConfig::MakeDefault());
+  EXPECT_GT(f, 0.5);  // ω2 at 0.7 is a solid matcher already
+  EXPECT_LE(f, 1.0);
+}
+
+TEST(TunerTest, NeverWorseThanInitial) {
+  TunerFixture fx;
+  TunerConfig config;
+  config.max_rounds = 2;
+  const TunerResult result =
+      TuneAttributeWeights(fx.pair.old_dataset, fx.pair.new_dataset, fx.gold,
+                           configs::Omega2(), config);
+  EXPECT_GE(result.tuned_f, result.initial_f);
+  EXPECT_GT(result.evaluations, 1u);
+}
+
+TEST(TunerTest, ImprovesDeliberatelyBadWeights) {
+  TunerFixture fx;
+  // Start from a pathological ω: almost all weight on the volatile
+  // occupation attribute.
+  SimilarityFunction bad(
+      {
+          {Field::kFirstName, Measure::kQGramDice, 0.05},
+          {Field::kSex, Measure::kExact, 0.05},
+          {Field::kSurname, Measure::kQGramDice, 0.05},
+          {Field::kAddress, Measure::kQGramDice, 0.05},
+          {Field::kOccupation, Measure::kQGramDice, 0.8},
+      },
+      0.7);
+  TunerConfig config;
+  config.max_rounds = 6;
+  const TunerResult result = TuneAttributeWeights(
+      fx.pair.old_dataset, fx.pair.new_dataset, fx.gold, bad, config);
+  EXPECT_GT(result.tuned_f, result.initial_f + 0.05)
+      << "coordinate ascent failed to escape the bad start: "
+      << result.initial_f << " -> " << result.tuned_f;
+  // The tuned function keeps the spec structure (fields + measures).
+  ASSERT_EQ(result.tuned.specs().size(), bad.specs().size());
+  for (size_t i = 0; i < bad.specs().size(); ++i) {
+    EXPECT_EQ(result.tuned.specs()[i].field, bad.specs()[i].field);
+    EXPECT_EQ(result.tuned.specs()[i].measure, bad.specs()[i].measure);
+  }
+  // Weights stay normalized.
+  double total = 0.0;
+  for (const AttributeSpec& spec : result.tuned.specs()) total += spec.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TunerTest, Deterministic) {
+  TunerFixture fx;
+  TunerConfig config;
+  config.max_rounds = 1;
+  const TunerResult a = TuneAttributeWeights(
+      fx.pair.old_dataset, fx.pair.new_dataset, fx.gold, configs::Omega1(),
+      config);
+  const TunerResult b = TuneAttributeWeights(
+      fx.pair.old_dataset, fx.pair.new_dataset, fx.gold, configs::Omega1(),
+      config);
+  EXPECT_DOUBLE_EQ(a.tuned_f, b.tuned_f);
+  for (size_t i = 0; i < a.tuned.specs().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tuned.specs()[i].weight, b.tuned.specs()[i].weight);
+  }
+}
+
+}  // namespace
+}  // namespace tglink

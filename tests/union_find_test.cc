@@ -1,0 +1,84 @@
+#include "tglink/graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "tglink/util/random.h"
+
+namespace tglink {
+namespace {
+
+TEST(UnionFindTest, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.ComponentSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_EQ(uf.ComponentSize(0), 2u);
+}
+
+TEST(UnionFindTest, TransitivityThroughChains) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Connected(3, 4));
+  EXPECT_FALSE(uf.Connected(2, 3));
+  uf.Union(2, 3);
+  EXPECT_TRUE(uf.Connected(0, 4));
+  EXPECT_EQ(uf.ComponentSize(0), 5u);
+  EXPECT_EQ(uf.num_components(), 2u);  // {0..4}, {5}
+}
+
+TEST(UnionFindTest, ComponentLabelsAreDenseAndConsistent) {
+  UnionFind uf(6);
+  uf.Union(0, 3);
+  uf.Union(1, 4);
+  const std::vector<uint32_t> labels = uf.ComponentLabels();
+  ASSERT_EQ(labels.size(), 6u);
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_EQ(labels[1], labels[4]);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[2], labels[5]);
+  // Dense: all labels < num_components, first appearance order.
+  for (uint32_t l : labels) EXPECT_LT(l, uf.num_components());
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[2], 2u);
+}
+
+TEST(UnionFindTest, LargeRandomisedInvariant) {
+  // Property: after any union sequence, num_components equals n minus the
+  // number of novel unions, and sizes sum to n.
+  const size_t n = 1000;
+  UnionFind uf(n);
+  size_t novel = 0;
+  uint64_t state = 99;
+  for (int i = 0; i < 2000; ++i) {
+    const size_t a = SplitMix64(&state) % n;
+    const size_t b = SplitMix64(&state) % n;
+    if (a == b) continue;
+    if (uf.Union(a, b)) ++novel;
+  }
+  EXPECT_EQ(uf.num_components(), n - novel);
+  // Each element's component size is consistent with its label class size.
+  const std::vector<uint32_t> labels = uf.ComponentLabels();
+  std::vector<size_t> class_size(uf.num_components(), 0);
+  for (uint32_t l : labels) ++class_size[l];
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(uf.ComponentSize(i), class_size[labels[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace tglink

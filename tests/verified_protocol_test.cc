@@ -1,0 +1,116 @@
+// Tests of the paper-protocol evaluation helpers: SelectVerifiedSubset
+// (the expert-reference analogue) and HeavyGroupLinks (its counterpart on
+// the prediction side).
+
+#include <gtest/gtest.h>
+
+#include "tglink/eval/metrics.h"
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using namespace testing_example;
+
+/// Gold for the running example: 7 person links; household pairs (a,a) and
+/// (b,b) are heavy (>= 2 members), (a,c) and (b,c) are single-member moves.
+ResolvedGold ExampleFullGold() {
+  ResolvedGold gold;
+  gold.record_links = {{0, 0}, {1, 1}, {2, 6}, {3, 2}, {5, 3}, {6, 4}, {7, 5}};
+  gold.group_links = {{kG1871A, kG1881A},
+                      {kG1871A, kG1881C},
+                      {kG1871B, kG1881B},
+                      {kG1871B, kG1881C}};
+  return gold;
+}
+
+TEST(VerifiedSubsetTest, KeepsHeavyPairsAndTheirMembers) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  const ResolvedGold verified =
+      SelectVerifiedSubset(ExampleFullGold(), old_d, new_d);
+  // Heavy household pairs only.
+  EXPECT_EQ(verified.group_links,
+            (std::vector<GroupLink>{{kG1871A, kG1881A}, {kG1871B, kG1881B}}));
+  // Person links across those pairs only — the two movers into g_c drop out.
+  EXPECT_EQ(verified.record_links,
+            (std::vector<RecordLink>{{0, 0}, {1, 1}, {3, 2}, {5, 3}, {6, 4}}));
+}
+
+TEST(VerifiedSubsetTest, ThresholdThreeDropsTwoMemberHouseholds) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  const ResolvedGold verified =
+      SelectVerifiedSubset(ExampleFullGold(), old_d, new_d,
+                           /*min_shared_members=*/3);
+  // Only (a,a) carries 3 shared members.
+  EXPECT_EQ(verified.group_links,
+            (std::vector<GroupLink>{{kG1871A, kG1881A}}));
+  EXPECT_EQ(verified.record_links.size(), 3u);
+}
+
+TEST(VerifiedSubsetTest, EmptyGoldStaysEmpty) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  const ResolvedGold verified = SelectVerifiedSubset({}, old_d, new_d);
+  EXPECT_TRUE(verified.record_links.empty());
+  EXPECT_TRUE(verified.group_links.empty());
+}
+
+TEST(HeavyGroupLinksTest, FiltersSingleMemberPredictions) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  RecordMapping records(old_d.num_records(), new_d.num_records());
+  ASSERT_TRUE(records.Add(0, 0).ok());  // a->a member 1
+  ASSERT_TRUE(records.Add(1, 1).ok());  // a->a member 2
+  ASSERT_TRUE(records.Add(7, 5).ok());  // b->c single mover
+  GroupMapping groups;
+  groups.Add(kG1871A, kG1881A);
+  groups.Add(kG1871B, kG1881C);
+  groups.Add(kG1871B, kG1881D);  // spurious link with no record support
+  const GroupMapping heavy =
+      HeavyGroupLinks(groups, records, old_d, new_d);
+  EXPECT_EQ(heavy.size(), 1u);
+  EXPECT_TRUE(heavy.Contains(kG1871A, kG1881A));
+}
+
+TEST(HeavyGroupLinksTest, MinSharedOneKeepsSupportedLinksOnly) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  RecordMapping records(old_d.num_records(), new_d.num_records());
+  ASSERT_TRUE(records.Add(7, 5).ok());
+  GroupMapping groups;
+  groups.Add(kG1871B, kG1881C);
+  groups.Add(kG1871B, kG1881D);
+  const GroupMapping heavy =
+      HeavyGroupLinks(groups, records, old_d, new_d, /*min_shared=*/1);
+  EXPECT_EQ(heavy.size(), 1u);
+  EXPECT_TRUE(heavy.Contains(kG1871B, kG1881C));
+}
+
+TEST(VerifiedProtocolTest, PerfectPredictionScoresPerfectly) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  const ResolvedGold verified =
+      SelectVerifiedSubset(ExampleFullGold(), old_d, new_d);
+  RecordMapping records(old_d.num_records(), new_d.num_records());
+  for (const RecordLink& link : ExampleFullGold().record_links) {
+    ASSERT_TRUE(records.Add(link.first, link.second).ok());
+  }
+  GroupMapping groups;
+  for (const GroupLink& link : ExampleFullGold().group_links) {
+    groups.Add(link.first, link.second);
+  }
+  // Under the protocol: restrict predictions to the verified universe and
+  // project the group mapping onto heavy links.
+  const PrecisionRecall rec =
+      EvaluateRecordMapping(records, verified, /*restrict=*/true);
+  EXPECT_DOUBLE_EQ(rec.f_measure(), 1.0);
+  const GroupMapping heavy = HeavyGroupLinks(groups, records, old_d, new_d);
+  const PrecisionRecall grp =
+      EvaluateGroupMapping(heavy, verified, /*restrict=*/true);
+  EXPECT_DOUBLE_EQ(grp.f_measure(), 1.0);
+}
+
+}  // namespace
+}  // namespace tglink
