@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_comparison.dir/blocking_comparison.cpp.o"
+  "CMakeFiles/blocking_comparison.dir/blocking_comparison.cpp.o.d"
+  "blocking_comparison"
+  "blocking_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

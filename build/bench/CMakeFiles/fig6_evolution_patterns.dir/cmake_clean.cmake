@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_evolution_patterns.dir/fig6_evolution_patterns.cpp.o"
+  "CMakeFiles/fig6_evolution_patterns.dir/fig6_evolution_patterns.cpp.o.d"
+  "fig6_evolution_patterns"
+  "fig6_evolution_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_evolution_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

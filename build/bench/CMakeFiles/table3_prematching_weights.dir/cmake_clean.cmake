@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_prematching_weights.dir/table3_prematching_weights.cpp.o"
+  "CMakeFiles/table3_prematching_weights.dir/table3_prematching_weights.cpp.o.d"
+  "table3_prematching_weights"
+  "table3_prematching_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_prematching_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

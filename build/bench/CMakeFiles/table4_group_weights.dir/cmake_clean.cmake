@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_group_weights.dir/table4_group_weights.cpp.o"
+  "CMakeFiles/table4_group_weights.dir/table4_group_weights.cpp.o.d"
+  "table4_group_weights"
+  "table4_group_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_group_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

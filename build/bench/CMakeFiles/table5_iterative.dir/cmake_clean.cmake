@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_iterative.dir/table5_iterative.cpp.o"
+  "CMakeFiles/table5_iterative.dir/table5_iterative.cpp.o.d"
+  "table5_iterative"
+  "table5_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

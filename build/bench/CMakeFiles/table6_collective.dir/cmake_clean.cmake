@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_collective.dir/table6_collective.cpp.o"
+  "CMakeFiles/table6_collective.dir/table6_collective.cpp.o.d"
+  "table6_collective"
+  "table6_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

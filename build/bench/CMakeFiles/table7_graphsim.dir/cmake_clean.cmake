@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_graphsim.dir/table7_graphsim.cpp.o"
+  "CMakeFiles/table7_graphsim.dir/table7_graphsim.cpp.o.d"
+  "table7_graphsim"
+  "table7_graphsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_graphsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

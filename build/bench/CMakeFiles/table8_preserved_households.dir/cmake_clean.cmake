@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_preserved_households.dir/table8_preserved_households.cpp.o"
+  "CMakeFiles/table8_preserved_households.dir/table8_preserved_households.cpp.o.d"
+  "table8_preserved_households"
+  "table8_preserved_households.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_preserved_households.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

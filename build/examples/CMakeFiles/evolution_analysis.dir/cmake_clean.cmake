@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolution_analysis.dir/evolution_analysis.cpp.o"
+  "CMakeFiles/evolution_analysis.dir/evolution_analysis.cpp.o.d"
+  "evolution_analysis"
+  "evolution_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolution_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

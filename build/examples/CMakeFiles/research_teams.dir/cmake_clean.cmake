@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/research_teams.dir/research_teams.cpp.o"
+  "CMakeFiles/research_teams.dir/research_teams.cpp.o.d"
+  "research_teams"
+  "research_teams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/research_teams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

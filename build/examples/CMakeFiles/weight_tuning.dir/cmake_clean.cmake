@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_tuning.dir/weight_tuning.cpp.o"
+  "CMakeFiles/weight_tuning.dir/weight_tuning.cpp.o.d"
+  "weight_tuning"
+  "weight_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

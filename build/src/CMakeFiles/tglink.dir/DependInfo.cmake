@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tglink/baselines/collective.cc" "src/CMakeFiles/tglink.dir/tglink/baselines/collective.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/baselines/collective.cc.o.d"
+  "/root/repo/src/tglink/baselines/graphsim.cc" "src/CMakeFiles/tglink.dir/tglink/baselines/graphsim.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/baselines/graphsim.cc.o.d"
+  "/root/repo/src/tglink/baselines/temporal_decay.cc" "src/CMakeFiles/tglink.dir/tglink/baselines/temporal_decay.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/baselines/temporal_decay.cc.o.d"
+  "/root/repo/src/tglink/blocking/block_key.cc" "src/CMakeFiles/tglink.dir/tglink/blocking/block_key.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/blocking/block_key.cc.o.d"
+  "/root/repo/src/tglink/blocking/blocking.cc" "src/CMakeFiles/tglink.dir/tglink/blocking/blocking.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/blocking/blocking.cc.o.d"
+  "/root/repo/src/tglink/blocking/sorted_neighborhood.cc" "src/CMakeFiles/tglink.dir/tglink/blocking/sorted_neighborhood.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/blocking/sorted_neighborhood.cc.o.d"
+  "/root/repo/src/tglink/census/dataset.cc" "src/CMakeFiles/tglink.dir/tglink/census/dataset.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/census/dataset.cc.o.d"
+  "/root/repo/src/tglink/census/household.cc" "src/CMakeFiles/tglink.dir/tglink/census/household.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/census/household.cc.o.d"
+  "/root/repo/src/tglink/census/io.cc" "src/CMakeFiles/tglink.dir/tglink/census/io.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/census/io.cc.o.d"
+  "/root/repo/src/tglink/census/profile.cc" "src/CMakeFiles/tglink.dir/tglink/census/profile.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/census/profile.cc.o.d"
+  "/root/repo/src/tglink/census/record.cc" "src/CMakeFiles/tglink.dir/tglink/census/record.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/census/record.cc.o.d"
+  "/root/repo/src/tglink/census/roles.cc" "src/CMakeFiles/tglink.dir/tglink/census/roles.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/census/roles.cc.o.d"
+  "/root/repo/src/tglink/eval/gold.cc" "src/CMakeFiles/tglink.dir/tglink/eval/gold.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/eval/gold.cc.o.d"
+  "/root/repo/src/tglink/eval/metrics.cc" "src/CMakeFiles/tglink.dir/tglink/eval/metrics.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/eval/metrics.cc.o.d"
+  "/root/repo/src/tglink/eval/report.cc" "src/CMakeFiles/tglink.dir/tglink/eval/report.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/eval/report.cc.o.d"
+  "/root/repo/src/tglink/eval/tuner.cc" "src/CMakeFiles/tglink.dir/tglink/eval/tuner.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/eval/tuner.cc.o.d"
+  "/root/repo/src/tglink/evolution/evolution_graph.cc" "src/CMakeFiles/tglink.dir/tglink/evolution/evolution_graph.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/evolution/evolution_graph.cc.o.d"
+  "/root/repo/src/tglink/evolution/export.cc" "src/CMakeFiles/tglink.dir/tglink/evolution/export.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/evolution/export.cc.o.d"
+  "/root/repo/src/tglink/evolution/patterns.cc" "src/CMakeFiles/tglink.dir/tglink/evolution/patterns.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/evolution/patterns.cc.o.d"
+  "/root/repo/src/tglink/evolution/queries.cc" "src/CMakeFiles/tglink.dir/tglink/evolution/queries.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/evolution/queries.cc.o.d"
+  "/root/repo/src/tglink/evolution/trajectories.cc" "src/CMakeFiles/tglink.dir/tglink/evolution/trajectories.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/evolution/trajectories.cc.o.d"
+  "/root/repo/src/tglink/graph/enrichment.cc" "src/CMakeFiles/tglink.dir/tglink/graph/enrichment.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/graph/enrichment.cc.o.d"
+  "/root/repo/src/tglink/graph/household_graph.cc" "src/CMakeFiles/tglink.dir/tglink/graph/household_graph.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/graph/household_graph.cc.o.d"
+  "/root/repo/src/tglink/graph/union_find.cc" "src/CMakeFiles/tglink.dir/tglink/graph/union_find.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/graph/union_find.cc.o.d"
+  "/root/repo/src/tglink/linkage/config.cc" "src/CMakeFiles/tglink.dir/tglink/linkage/config.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/linkage/config.cc.o.d"
+  "/root/repo/src/tglink/linkage/explain.cc" "src/CMakeFiles/tglink.dir/tglink/linkage/explain.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/linkage/explain.cc.o.d"
+  "/root/repo/src/tglink/linkage/iterative.cc" "src/CMakeFiles/tglink.dir/tglink/linkage/iterative.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/linkage/iterative.cc.o.d"
+  "/root/repo/src/tglink/linkage/mapping.cc" "src/CMakeFiles/tglink.dir/tglink/linkage/mapping.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/linkage/mapping.cc.o.d"
+  "/root/repo/src/tglink/linkage/prematching.cc" "src/CMakeFiles/tglink.dir/tglink/linkage/prematching.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/linkage/prematching.cc.o.d"
+  "/root/repo/src/tglink/linkage/residual.cc" "src/CMakeFiles/tglink.dir/tglink/linkage/residual.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/linkage/residual.cc.o.d"
+  "/root/repo/src/tglink/linkage/result_io.cc" "src/CMakeFiles/tglink.dir/tglink/linkage/result_io.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/linkage/result_io.cc.o.d"
+  "/root/repo/src/tglink/linkage/selection.cc" "src/CMakeFiles/tglink.dir/tglink/linkage/selection.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/linkage/selection.cc.o.d"
+  "/root/repo/src/tglink/linkage/series.cc" "src/CMakeFiles/tglink.dir/tglink/linkage/series.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/linkage/series.cc.o.d"
+  "/root/repo/src/tglink/linkage/subgraph.cc" "src/CMakeFiles/tglink.dir/tglink/linkage/subgraph.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/linkage/subgraph.cc.o.d"
+  "/root/repo/src/tglink/linkage/subgraph_export.cc" "src/CMakeFiles/tglink.dir/tglink/linkage/subgraph_export.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/linkage/subgraph_export.cc.o.d"
+  "/root/repo/src/tglink/similarity/alignment.cc" "src/CMakeFiles/tglink.dir/tglink/similarity/alignment.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/similarity/alignment.cc.o.d"
+  "/root/repo/src/tglink/similarity/composite.cc" "src/CMakeFiles/tglink.dir/tglink/similarity/composite.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/similarity/composite.cc.o.d"
+  "/root/repo/src/tglink/similarity/double_metaphone.cc" "src/CMakeFiles/tglink.dir/tglink/similarity/double_metaphone.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/similarity/double_metaphone.cc.o.d"
+  "/root/repo/src/tglink/similarity/edit_distance.cc" "src/CMakeFiles/tglink.dir/tglink/similarity/edit_distance.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/similarity/edit_distance.cc.o.d"
+  "/root/repo/src/tglink/similarity/field_similarity.cc" "src/CMakeFiles/tglink.dir/tglink/similarity/field_similarity.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/similarity/field_similarity.cc.o.d"
+  "/root/repo/src/tglink/similarity/jaro.cc" "src/CMakeFiles/tglink.dir/tglink/similarity/jaro.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/similarity/jaro.cc.o.d"
+  "/root/repo/src/tglink/similarity/numeric.cc" "src/CMakeFiles/tglink.dir/tglink/similarity/numeric.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/similarity/numeric.cc.o.d"
+  "/root/repo/src/tglink/similarity/phonetic.cc" "src/CMakeFiles/tglink.dir/tglink/similarity/phonetic.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/similarity/phonetic.cc.o.d"
+  "/root/repo/src/tglink/similarity/qgram.cc" "src/CMakeFiles/tglink.dir/tglink/similarity/qgram.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/similarity/qgram.cc.o.d"
+  "/root/repo/src/tglink/similarity/token.cc" "src/CMakeFiles/tglink.dir/tglink/similarity/token.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/similarity/token.cc.o.d"
+  "/root/repo/src/tglink/synth/corruption.cc" "src/CMakeFiles/tglink.dir/tglink/synth/corruption.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/synth/corruption.cc.o.d"
+  "/root/repo/src/tglink/synth/generator.cc" "src/CMakeFiles/tglink.dir/tglink/synth/generator.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/synth/generator.cc.o.d"
+  "/root/repo/src/tglink/synth/name_pools.cc" "src/CMakeFiles/tglink.dir/tglink/synth/name_pools.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/synth/name_pools.cc.o.d"
+  "/root/repo/src/tglink/synth/population.cc" "src/CMakeFiles/tglink.dir/tglink/synth/population.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/synth/population.cc.o.d"
+  "/root/repo/src/tglink/synth/presets.cc" "src/CMakeFiles/tglink.dir/tglink/synth/presets.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/synth/presets.cc.o.d"
+  "/root/repo/src/tglink/util/csv.cc" "src/CMakeFiles/tglink.dir/tglink/util/csv.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/util/csv.cc.o.d"
+  "/root/repo/src/tglink/util/logging.cc" "src/CMakeFiles/tglink.dir/tglink/util/logging.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/util/logging.cc.o.d"
+  "/root/repo/src/tglink/util/random.cc" "src/CMakeFiles/tglink.dir/tglink/util/random.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/util/random.cc.o.d"
+  "/root/repo/src/tglink/util/status.cc" "src/CMakeFiles/tglink.dir/tglink/util/status.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/util/status.cc.o.d"
+  "/root/repo/src/tglink/util/strings.cc" "src/CMakeFiles/tglink.dir/tglink/util/strings.cc.o" "gcc" "src/CMakeFiles/tglink.dir/tglink/util/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_io_test.dir/census_io_test.cc.o"
+  "CMakeFiles/census_io_test.dir/census_io_test.cc.o.d"
+  "census_io_test"
+  "census_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_config_test.dir/collective_config_test.cc.o"
+  "CMakeFiles/collective_config_test.dir/collective_config_test.cc.o.d"
+  "collective_config_test"
+  "collective_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

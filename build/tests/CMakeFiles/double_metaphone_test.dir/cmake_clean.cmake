@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_metaphone_test.dir/double_metaphone_test.cc.o"
+  "CMakeFiles/double_metaphone_test.dir/double_metaphone_test.cc.o.d"
+  "double_metaphone_test"
+  "double_metaphone_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_metaphone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enrichment_test.dir/enrichment_test.cc.o"
+  "CMakeFiles/enrichment_test.dir/enrichment_test.cc.o.d"
+  "enrichment_test"
+  "enrichment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enrichment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

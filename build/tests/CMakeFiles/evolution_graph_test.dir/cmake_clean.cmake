@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolution_graph_test.dir/evolution_graph_test.cc.o"
+  "CMakeFiles/evolution_graph_test.dir/evolution_graph_test.cc.o.d"
+  "evolution_graph_test"
+  "evolution_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolution_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

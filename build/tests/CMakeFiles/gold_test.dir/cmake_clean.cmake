@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gold_test.dir/gold_test.cc.o"
+  "CMakeFiles/gold_test.dir/gold_test.cc.o.d"
+  "gold_test"
+  "gold_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaro_test.dir/jaro_test.cc.o"
+  "CMakeFiles/jaro_test.dir/jaro_test.cc.o.d"
+  "jaro_test"
+  "jaro_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

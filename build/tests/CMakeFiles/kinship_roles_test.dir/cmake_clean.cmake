@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kinship_roles_test.dir/kinship_roles_test.cc.o"
+  "CMakeFiles/kinship_roles_test.dir/kinship_roles_test.cc.o.d"
+  "kinship_roles_test"
+  "kinship_roles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kinship_roles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kinship_roles_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkage_properties_test.dir/linkage_properties_test.cc.o"
+  "CMakeFiles/linkage_properties_test.dir/linkage_properties_test.cc.o.d"
+  "linkage_properties_test"
+  "linkage_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkage_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

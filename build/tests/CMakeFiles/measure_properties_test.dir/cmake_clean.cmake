@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_properties_test.dir/measure_properties_test.cc.o"
+  "CMakeFiles/measure_properties_test.dir/measure_properties_test.cc.o.d"
+  "measure_properties_test"
+  "measure_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_pools_test.dir/name_pools_test.cc.o"
+  "CMakeFiles/name_pools_test.dir/name_pools_test.cc.o.d"
+  "name_pools_test"
+  "name_pools_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_pools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

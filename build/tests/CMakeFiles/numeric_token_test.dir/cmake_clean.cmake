@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_token_test.dir/numeric_token_test.cc.o"
+  "CMakeFiles/numeric_token_test.dir/numeric_token_test.cc.o.d"
+  "numeric_token_test"
+  "numeric_token_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_token_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phonetic_test.dir/phonetic_test.cc.o"
+  "CMakeFiles/phonetic_test.dir/phonetic_test.cc.o.d"
+  "phonetic_test"
+  "phonetic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phonetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prematching_test.dir/prematching_test.cc.o"
+  "CMakeFiles/prematching_test.dir/prematching_test.cc.o.d"
+  "prematching_test"
+  "prematching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prematching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

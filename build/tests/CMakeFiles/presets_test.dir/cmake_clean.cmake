@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presets_test.dir/presets_test.cc.o"
+  "CMakeFiles/presets_test.dir/presets_test.cc.o.d"
+  "presets_test"
+  "presets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

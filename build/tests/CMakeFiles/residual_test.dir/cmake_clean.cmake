@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/residual_test.dir/residual_test.cc.o"
+  "CMakeFiles/residual_test.dir/residual_test.cc.o.d"
+  "residual_test"
+  "residual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/residual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorted_neighborhood_test.dir/sorted_neighborhood_test.cc.o"
+  "CMakeFiles/sorted_neighborhood_test.dir/sorted_neighborhood_test.cc.o.d"
+  "sorted_neighborhood_test"
+  "sorted_neighborhood_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorted_neighborhood_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_population_test.dir/synth_population_test.cc.o"
+  "CMakeFiles/synth_population_test.dir/synth_population_test.cc.o.d"
+  "synth_population_test"
+  "synth_population_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_population_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_decay_test.dir/temporal_decay_test.cc.o"
+  "CMakeFiles/temporal_decay_test.dir/temporal_decay_test.cc.o.d"
+  "temporal_decay_test"
+  "temporal_decay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_decay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_protocol_test.dir/verified_protocol_test.cc.o"
+  "CMakeFiles/verified_protocol_test.dir/verified_protocol_test.cc.o.d"
+  "verified_protocol_test"
+  "verified_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

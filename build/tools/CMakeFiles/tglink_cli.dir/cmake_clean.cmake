@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tglink_cli.dir/tglink_cli.cc.o"
+  "CMakeFiles/tglink_cli.dir/tglink_cli.cc.o.d"
+  "tglink_cli"
+  "tglink_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tglink_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
