@@ -19,21 +19,21 @@ namespace tglink {
 using BlockKeyFn = std::function<std::string(const PersonRecord&)>;
 
 /// Soundex(surname) + first letter of the first name.
-BlockKeyFn SoundexSurnameFirstInitial();
+[[nodiscard]] BlockKeyFn SoundexSurnameFirstInitial();
 
 /// Soundex(first name) + first letter of the surname.
-BlockKeyFn SoundexFirstNameSurnameInitial();
+[[nodiscard]] BlockKeyFn SoundexFirstNameSurnameInitial();
 
 /// Soundex(first name) + sex. Surname-independent: the pass that keeps
 /// married women (whose surname changed entirely between censuses) in a
 /// shared block with their earlier record.
-BlockKeyFn SoundexFirstNameSex();
+[[nodiscard]] BlockKeyFn SoundexFirstNameSex();
 
 /// Plain Soundex(surname) — coarser, larger blocks.
-BlockKeyFn SoundexSurname();
+[[nodiscard]] BlockKeyFn SoundexSurname();
 
 /// Surname prefix of the given length (exact characters).
-BlockKeyFn SurnamePrefix(size_t length);
+[[nodiscard]] BlockKeyFn SurnamePrefix(size_t length);
 
 }  // namespace tglink
 

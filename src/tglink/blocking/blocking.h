@@ -42,7 +42,7 @@ struct BlockingConfig {
 };
 
 /// Generates deduplicated candidate pairs, sorted by (old_id, new_id).
-std::vector<CandidatePair> GenerateCandidatePairs(
+[[nodiscard]] std::vector<CandidatePair> GenerateCandidatePairs(
     const CensusDataset& old_dataset, const CensusDataset& new_dataset,
     const BlockingConfig& config);
 

@@ -28,16 +28,16 @@ struct SortedNeighborhoodConfig {
 };
 
 /// Generates deduplicated candidate pairs, sorted by (old_id, new_id).
-std::vector<CandidatePair> SortedNeighborhoodPairs(
+[[nodiscard]] std::vector<CandidatePair> SortedNeighborhoodPairs(
     const CensusDataset& old_dataset, const CensusDataset& new_dataset,
     const SortedNeighborhoodConfig& config);
 
 /// Sorting key "surname first_name" — the conventional choice for census
 /// rosters.
-BlockKeyFn SurnameFirstNameSortKey();
+[[nodiscard]] BlockKeyFn SurnameFirstNameSortKey();
 
 /// Union of two candidate-pair sets (both must be sorted), deduplicated.
-std::vector<CandidatePair> UnionCandidatePairs(
+[[nodiscard]] std::vector<CandidatePair> UnionCandidatePairs(
     const std::vector<CandidatePair>& a, const std::vector<CandidatePair>& b);
 
 }  // namespace tglink

@@ -78,7 +78,9 @@ GroupMapping HeavyGroupLinks(const GroupMapping& groups,
   for (const GroupLink& link : groups.SortedLinks()) {
     auto it = shared.find(key(link.first, link.second));
     if (it != shared.end() && it->second >= min_shared) {
-      heavy.Add(link.first, link.second);
+      // SortedLinks() is duplicate-free: the inserted-indicator from
+      // GroupMapping::Add carries no information here.
+      heavy.Add(link.first, link.second);  // tglink-lint: disable=ignored-status
     }
   }
   return heavy;

@@ -1,17 +1,20 @@
 #include "tglink/graph/union_find.h"
 
-#include <cassert>
 #include <numeric>
+
+#include "tglink/util/logging.h"
 
 namespace tglink {
 
 UnionFind::UnionFind(size_t n)
     : parent_(n), size_(n, 1), num_components_(n) {
+  TGLINK_CHECK(n <= UINT32_MAX) << "UnionFind capacity exceeded: " << n;
   std::iota(parent_.begin(), parent_.end(), 0u);
 }
 
 size_t UnionFind::Find(size_t x) {
-  assert(x < parent_.size());
+  TGLINK_DCHECK(x < parent_.size())
+      << "Find(" << x << ") on forest of size " << parent_.size();
   while (parent_[x] != x) {
     parent_[x] = parent_[parent_[x]];  // path halving
     x = parent_[x];
@@ -26,6 +29,12 @@ bool UnionFind::Union(size_t a, size_t b) {
   if (size_[ra] < size_[rb]) std::swap(ra, rb);
   parent_[rb] = static_cast<uint32_t>(ra);
   size_[ra] += size_[rb];
+  // Acyclicity: the surviving root must still be its own parent, merging two
+  // distinct components always leaves at least one component, and component
+  // sizes never exceed the universe.
+  TGLINK_DCHECK(parent_[ra] == ra);
+  TGLINK_DCHECK(num_components_ > 1);
+  TGLINK_DCHECK(size_[ra] <= parent_.size());
   --num_components_;
   return true;
 }
@@ -39,6 +48,8 @@ std::vector<uint32_t> UnionFind::ComponentLabels() {
     if (root_label[root] == UINT32_MAX) root_label[root] = next++;
     labels[i] = root_label[root];
   }
+  TGLINK_DCHECK(next == num_components_)
+      << "labeled " << next << " components, tracked " << num_components_;
   return labels;
 }
 

@@ -16,24 +16,26 @@ class UnionFind {
   explicit UnionFind(size_t n);
 
   /// Representative of x's component.
-  size_t Find(size_t x);
+  [[nodiscard]] size_t Find(size_t x);
 
   /// Merges the components of a and b; returns true if they were distinct.
   bool Union(size_t a, size_t b);
 
   /// True iff a and b share a component.
-  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+  [[nodiscard]] bool Connected(size_t a, size_t b) {
+    return Find(a) == Find(b);
+  }
 
-  size_t size() const { return parent_.size(); }
-  size_t num_components() const { return num_components_; }
+  [[nodiscard]] size_t size() const { return parent_.size(); }
+  [[nodiscard]] size_t num_components() const { return num_components_; }
 
   /// Size of x's component.
-  size_t ComponentSize(size_t x) { return size_[Find(x)]; }
+  [[nodiscard]] size_t ComponentSize(size_t x) { return size_[Find(x)]; }
 
   /// Dense relabeling: returns labels[i] in [0, num_components) such that
   /// labels[i] == labels[j] iff i and j are connected. Label values are
   /// assigned in order of first appearance, so they are deterministic.
-  std::vector<uint32_t> ComponentLabels();
+  [[nodiscard]] std::vector<uint32_t> ComponentLabels();
 
  private:
   std::vector<uint32_t> parent_;

@@ -53,6 +53,14 @@ size_t CountPairsAtDelta(const std::vector<ScoredPair>& pairs, double delta,
   return count;
 }
 
+#ifndef NDEBUG
+size_t CountActive(const std::vector<bool>& active) {
+  size_t count = 0;
+  for (bool b : active) count += b ? 1 : 0;
+  return count;
+}
+#endif
+
 }  // namespace
 
 const char* LinkPhaseName(LinkPhase phase) {
@@ -79,6 +87,16 @@ std::string LinkageResult::Summary() const {
 LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
                              const CensusDataset& new_dataset,
                              const LinkageConfig& config) {
+  TGLINK_CHECK(config.delta_step > 0.0)
+      << "delta_step must be positive or the iteration cannot terminate";
+  // δ_high above 1 is legal (an unreachable threshold disables subgraph
+  // matching — see edge_cases_test), but an inverted or negative schedule
+  // is always a configuration bug.
+  TGLINK_DCHECK(config.delta_high >= config.delta_low &&
+                config.delta_low >= 0.0)
+      << "inverted/negative δ schedule: high=" << config.delta_high
+      << " low=" << config.delta_low;
+
   LinkageResult result;
   result.record_mapping =
       RecordMapping(old_dataset.num_records(), new_dataset.num_records());
@@ -117,11 +135,28 @@ LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
                                            active_old, active_new);
     stats.candidate_subgraphs = subgraphs.size();
 
+#ifndef NDEBUG
+    const size_t active_before =
+        CountActive(active_old) + CountActive(active_new);
+#endif
     const SelectionResult selection = SelectGroupLinks(
         std::move(subgraphs), &result.group_mapping, &result.record_mapping,
         &active_old, &active_new);
+#ifndef NDEBUG
+    // Every record link claims exactly one old and one new record, so the
+    // residual must shrink by exactly two records per link — the strict
+    // monotone progress that guarantees Algorithm 1 terminates.
+    const size_t active_after =
+        CountActive(active_old) + CountActive(active_new);
+    TGLINK_CHECK(active_before - active_after ==
+                 2 * selection.new_record_links)
+        << "residual shrank by " << (active_before - active_after)
+        << " records but selection reported " << selection.new_record_links
+        << " links";
+#endif
     result.provenance.resize(result.record_mapping.size(),
                              {LinkPhase::kSubgraph, delta});
+    TGLINK_DCHECK(result.provenance.size() == result.record_mapping.size());
     stats.accepted_subgraphs = selection.accepted_subgraphs;
     stats.new_group_links = selection.new_group_links;
     stats.new_record_links = selection.new_record_links;
@@ -158,6 +193,7 @@ LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
                            {LinkPhase::kGlobalResidual,
                             sim_func_rem.threshold()});
 
+  TGLINK_DCHECK(result.provenance.size() == result.record_mapping.size());
   return result;
 }
 

@@ -55,14 +55,14 @@ struct LinkageResult {
   size_t context_record_links = 0;  // household-context residual (extension)
   size_t residual_record_links = 0;
 
-  std::string Summary() const;
+  [[nodiscard]] std::string Summary() const;
 };
 
 /// Links two successive census snapshots. `config.sim_func.year_gap` is set
 /// from the dataset years automatically. Deterministic for fixed inputs.
-LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
-                             const CensusDataset& new_dataset,
-                             const LinkageConfig& config);
+[[nodiscard]] LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
+                                           const CensusDataset& new_dataset,
+                                           const LinkageConfig& config);
 
 }  // namespace tglink
 

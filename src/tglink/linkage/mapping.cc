@@ -21,12 +21,18 @@ Status RecordMapping::Add(RecordId old_id, RecordId new_id) {
   old_to_new_[old_id] = new_id;
   new_to_old_[new_id] = old_id;
   links_.emplace_back(old_id, new_id);
+  // Injectivity: both directions were unlinked above, so each accepted link
+  // grows the link list by exactly one in lockstep with both index maps.
+  TGLINK_DCHECK(old_to_new_[old_id] == new_id &&
+                new_to_old_[new_id] == old_id);
   return Status::OK();
 }
 
 bool GroupMapping::Add(GroupId old_id, GroupId new_id) {
   if (!present_.insert(Key(old_id, new_id)).second) return false;
   links_.emplace_back(old_id, new_id);
+  TGLINK_DCHECK(links_.size() == present_.size())
+      << "group link list diverged from membership set";
   return true;
 }
 

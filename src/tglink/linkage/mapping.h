@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "tglink/census/record.h"
+#include "tglink/util/logging.h"
 #include "tglink/util/status.h"
 
 namespace tglink {
@@ -26,19 +27,28 @@ class RecordMapping {
   RecordMapping(size_t num_old, size_t num_new);
 
   /// Adds a link. Returns InvalidArgument if either endpoint is already
-  /// linked (1:1 violation) or out of range.
+  /// linked (1:1 violation) or out of range. (Status itself is [[nodiscard]],
+  /// so dropping the result warns.)
   Status Add(RecordId old_id, RecordId new_id);
 
-  bool IsOldLinked(RecordId old_id) const {
+  [[nodiscard]] bool IsOldLinked(RecordId old_id) const {
+    TGLINK_DCHECK(old_id < old_to_new_.size());
     return old_to_new_[old_id] != kInvalidRecord;
   }
-  bool IsNewLinked(RecordId new_id) const {
+  [[nodiscard]] bool IsNewLinked(RecordId new_id) const {
+    TGLINK_DCHECK(new_id < new_to_old_.size());
     return new_to_old_[new_id] != kInvalidRecord;
   }
 
   /// kInvalidRecord when unlinked.
-  RecordId NewFor(RecordId old_id) const { return old_to_new_[old_id]; }
-  RecordId OldFor(RecordId new_id) const { return new_to_old_[new_id]; }
+  [[nodiscard]] RecordId NewFor(RecordId old_id) const {
+    TGLINK_DCHECK(old_id < old_to_new_.size());
+    return old_to_new_[old_id];
+  }
+  [[nodiscard]] RecordId OldFor(RecordId new_id) const {
+    TGLINK_DCHECK(new_id < new_to_old_.size());
+    return new_to_old_[new_id];
+  }
 
   const std::vector<RecordLink>& links() const { return links_; }
   size_t size() const { return links_.size(); }
@@ -58,18 +68,18 @@ class GroupMapping {
   /// Adds a link if not already present; returns true when inserted.
   bool Add(GroupId old_id, GroupId new_id);
 
-  bool Contains(GroupId old_id, GroupId new_id) const;
+  [[nodiscard]] bool Contains(GroupId old_id, GroupId new_id) const;
 
-  const std::vector<GroupLink>& links() const { return links_; }
-  size_t size() const { return links_.size(); }
+  [[nodiscard]] const std::vector<GroupLink>& links() const { return links_; }
+  [[nodiscard]] size_t size() const { return links_.size(); }
 
   /// Links sorted by (old, new) for deterministic output.
-  std::vector<GroupLink> SortedLinks() const;
+  [[nodiscard]] std::vector<GroupLink> SortedLinks() const;
 
   /// New-side partners of an old group (unsorted).
-  std::vector<GroupId> NewPartners(GroupId old_id) const;
+  [[nodiscard]] std::vector<GroupId> NewPartners(GroupId old_id) const;
   /// Old-side partners of a new group (unsorted).
-  std::vector<GroupId> OldPartners(GroupId new_id) const;
+  [[nodiscard]] std::vector<GroupId> OldPartners(GroupId new_id) const;
 
  private:
   static uint64_t Key(GroupId a, GroupId b) {

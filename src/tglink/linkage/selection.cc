@@ -1,7 +1,8 @@
 #include "tglink/linkage/selection.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "tglink/util/logging.h"
 
 namespace tglink {
 
@@ -28,6 +29,11 @@ SelectionResult SelectGroupLinks(std::vector<GroupPairSubgraph> subgraphs,
   std::vector<bool> linked_new(active_new->size(), false);
 
   for (const GroupPairSubgraph& subgraph : subgraphs) {
+    // Scores are convex combinations of attribute similarities (Eq. 4/5),
+    // so a value outside [0,1] means an upstream similarity bug.
+    TGLINK_DCHECK(subgraph.g_sim >= 0.0 && subgraph.g_sim <= 1.0)
+        << "g_sim out of range: " << subgraph.g_sim;
+
     bool disjoint = true;
     for (const SubgraphVertex& v : subgraph.vertices) {
       if (linked_old[v.old_id] || linked_new[v.new_id]) {
@@ -42,11 +48,14 @@ SelectionResult SelectGroupLinks(std::vector<GroupPairSubgraph> subgraphs,
       ++result.new_group_links;
     }
     for (const SubgraphVertex& v : subgraph.vertices) {
+      // Pre-matching must only offer still-active records; a stale vertex
+      // here would break the 1:1 guarantee silently.
+      TGLINK_DCHECK((*active_old)[v.old_id] && (*active_new)[v.new_id])
+          << "subgraph vertex (" << v.old_id << "," << v.new_id
+          << ") references an inactive record";
       linked_old[v.old_id] = true;
       linked_new[v.new_id] = true;
-      const Status st = record_mapping->Add(v.old_id, v.new_id);
-      assert(st.ok() && "selection produced a non-1:1 record link");
-      (void)st;
+      TGLINK_CHECK_OK(record_mapping->Add(v.old_id, v.new_id));
       (*active_old)[v.old_id] = false;
       (*active_new)[v.new_id] = false;
       ++result.new_record_links;

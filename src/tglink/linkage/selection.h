@@ -14,7 +14,9 @@
 
 namespace tglink {
 
-struct SelectionResult {
+/// [[nodiscard]] on the type: callers must consume the selection stats —
+/// they carry the per-iteration progress signal Algorithm 1 terminates on.
+struct [[nodiscard]] SelectionResult {
   size_t accepted_subgraphs = 0;
   size_t new_group_links = 0;
   size_t new_record_links = 0;

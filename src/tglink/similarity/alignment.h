@@ -18,26 +18,26 @@ struct SmithWatermanParams {
 };
 
 /// Raw Smith-Waterman local-alignment score (>= 0).
-double SmithWatermanScore(std::string_view a, std::string_view b,
+[[nodiscard]] double SmithWatermanScore(std::string_view a, std::string_view b,
                           const SmithWatermanParams& params = {});
 
 /// Smith-Waterman similarity normalized to [0,1]: score divided by the
 /// best achievable score for the shorter string (full self-match).
 /// Both empty -> 1, one empty -> 0.
-double SmithWatermanSimilarity(std::string_view a, std::string_view b,
+[[nodiscard]] double SmithWatermanSimilarity(std::string_view a, std::string_view b,
                                const SmithWatermanParams& params = {});
 
 /// Length of the longest common (contiguous) substring.
-size_t LongestCommonSubstring(std::string_view a, std::string_view b);
+[[nodiscard]] size_t LongestCommonSubstring(std::string_view a, std::string_view b);
 
 /// Length of the longest common subsequence (not necessarily contiguous).
-size_t LongestCommonSubsequence(std::string_view a, std::string_view b);
+[[nodiscard]] size_t LongestCommonSubsequence(std::string_view a, std::string_view b);
 
 /// 2*LCSstr / (|a|+|b|), the common normalization. Both empty -> 1.
-double LcsSubstringSimilarity(std::string_view a, std::string_view b);
+[[nodiscard]] double LcsSubstringSimilarity(std::string_view a, std::string_view b);
 
 /// 2*LCSseq / (|a|+|b|).
-double LcsSubsequenceSimilarity(std::string_view a, std::string_view b);
+[[nodiscard]] double LcsSubsequenceSimilarity(std::string_view a, std::string_view b);
 
 }  // namespace tglink
 

@@ -1,16 +1,22 @@
 #include "tglink/similarity/composite.h"
 
-#include <cassert>
 #include <sstream>
 
 #include "tglink/similarity/numeric.h"
+#include "tglink/util/logging.h"
 
 namespace tglink {
 
 SimilarityFunction::SimilarityFunction(std::vector<AttributeSpec> specs,
                                        double threshold)
     : specs_(std::move(specs)), threshold_(threshold) {
-  assert(!specs_.empty());
+  TGLINK_CHECK(!specs_.empty())
+      << "SimilarityFunction needs at least one attribute component";
+  for (const AttributeSpec& spec : specs_) {
+    TGLINK_CHECK(spec.weight >= 0.0)
+        << "negative weight " << spec.weight << " for attribute "
+        << FieldName(spec.field);
+  }
 }
 
 double SimilarityFunction::ComponentSimilarity(const AttributeSpec& spec,
@@ -23,11 +29,15 @@ double SimilarityFunction::ComponentSimilarity(const AttributeSpec& spec,
   *missing_both = ma && mb;
   *missing_one = (ma || mb) && !*missing_both;
   if (ma || mb) return 0.0;
-  if (spec.field == Field::kAge) {
-    return TemporalAgeSimilarity(a.age, b.age, year_gap_, age_tolerance_);
-  }
-  return ComputeMeasure(spec.measure, GetFieldValue(a, spec.field),
-                        GetFieldValue(b, spec.field));
+  const double s =
+      spec.field == Field::kAge
+          ? TemporalAgeSimilarity(a.age, b.age, year_gap_, age_tolerance_)
+          : ComputeMeasure(spec.measure, GetFieldValue(a, spec.field),
+                           GetFieldValue(b, spec.field));
+  TGLINK_DCHECK(s >= 0.0 && s <= 1.0)
+      << "measure " << MeasureName(spec.measure) << " on "
+      << FieldName(spec.field) << " returned " << s;
+  return s;
 }
 
 std::vector<double> SimilarityFunction::Compare(const PersonRecord& a,
@@ -89,13 +99,20 @@ double SimilarityFunction::AggregateSimilarity(const PersonRecord& a,
     weighted_sum += spec.weight * s;
   }
   if (weight_counted <= 0.0) return 0.0;  // every attribute missing
+  double agg = 0.0;
   if (missing_policy_ == MissingPolicy::kRedistribute) {
     // Coverage floor: refuse to call two records similar when most of the
     // weight mass was unobservable on both sides.
     if (weight_covered < 0.5 * weight_total) return 0.0;
-    return weighted_sum / weight_counted;
+    agg = weighted_sum / weight_counted;
+  } else {
+    agg = weighted_sum / weight_total;
   }
-  return weighted_sum / weight_total;
+  // Eq. 3 is a convex combination of per-attribute similarities, so the
+  // aggregate must stay inside [0,1] for every missing policy.
+  TGLINK_DCHECK(agg >= 0.0 && agg <= 1.0)
+      << "aggregate similarity out of range: " << agg;
+  return agg;
 }
 
 bool SimilarityFunction::Matches(const PersonRecord& a,

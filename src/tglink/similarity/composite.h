@@ -66,18 +66,19 @@ class SimilarityFunction {
   /// Per-attribute similarity vector sim(r_i, r_{i+1}); missing attributes
   /// score according to the missing policy (kRedistribute reports -1 so that
   /// AggregateVector can exclude them).
-  std::vector<double> Compare(const PersonRecord& a,
-                              const PersonRecord& b) const;
+  [[nodiscard]] std::vector<double> Compare(const PersonRecord& a,
+                                            const PersonRecord& b) const;
 
   /// agg_sim = ω · sim (Eq. 3), with the configured missing-value handling.
-  double AggregateSimilarity(const PersonRecord& a,
-                             const PersonRecord& b) const;
+  [[nodiscard]] double AggregateSimilarity(const PersonRecord& a,
+                                           const PersonRecord& b) const;
 
   /// True iff AggregateSimilarity(a,b) >= threshold().
-  bool Matches(const PersonRecord& a, const PersonRecord& b) const;
+  [[nodiscard]] bool Matches(const PersonRecord& a,
+                             const PersonRecord& b) const;
 
   /// Human-readable description (for experiment logs).
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   double ComponentSimilarity(const AttributeSpec& spec, const PersonRecord& a,

@@ -23,11 +23,11 @@ struct MetaphoneCodes {
 /// Computes the primary and secondary Double Metaphone codes, truncated to
 /// `max_length` characters (4 is the conventional default). Non-alphabetic
 /// characters are ignored; empty input yields empty codes.
-MetaphoneCodes DoubleMetaphone(std::string_view name, size_t max_length = 4);
+[[nodiscard]] MetaphoneCodes DoubleMetaphone(std::string_view name, size_t max_length = 4);
 
 /// 1.0 if the primary codes match, 0.8 if any primary/secondary cross pair
 /// matches, else 0.0 — the conventional phonetic similarity grading.
-double DoubleMetaphoneSimilarity(std::string_view a, std::string_view b);
+[[nodiscard]] double DoubleMetaphoneSimilarity(std::string_view a, std::string_view b);
 
 }  // namespace tglink
 

@@ -10,16 +10,16 @@ namespace tglink {
 
 /// Classic Levenshtein distance (insert/delete/substitute, unit costs).
 /// O(|a|·|b|) time, O(min(|a|,|b|)) space.
-int LevenshteinDistance(std::string_view a, std::string_view b);
+[[nodiscard]] int LevenshteinDistance(std::string_view a, std::string_view b);
 
 /// Optimal-string-alignment Damerau–Levenshtein: additionally counts a
 /// transposition of adjacent characters as one edit (no substring may be
 /// edited twice).
-int DamerauDistance(std::string_view a, std::string_view b);
+[[nodiscard]] int DamerauDistance(std::string_view a, std::string_view b);
 
 /// 1 - distance / max(|a|,|b|); two empty strings score 1.
-double LevenshteinSimilarity(std::string_view a, std::string_view b);
-double DamerauSimilarity(std::string_view a, std::string_view b);
+[[nodiscard]] double LevenshteinSimilarity(std::string_view a, std::string_view b);
+[[nodiscard]] double DamerauSimilarity(std::string_view a, std::string_view b);
 
 }  // namespace tglink
 

@@ -25,11 +25,11 @@ enum class Measure : uint8_t {
   kLcsSubstring,     // longest common substring, normalized
 };
 
-const char* MeasureName(Measure measure);
+[[nodiscard]] const char* MeasureName(Measure measure);
 
 /// Computes the chosen measure on two already-normalized values.
 /// Conventions shared by all measures: both empty -> 1, one empty -> 0.
-double ComputeMeasure(Measure measure, std::string_view a, std::string_view b);
+[[nodiscard]] double ComputeMeasure(Measure measure, std::string_view a, std::string_view b);
 
 }  // namespace tglink
 

@@ -10,11 +10,11 @@
 namespace tglink {
 
 /// Jaro similarity in [0,1]. Two empty strings score 1.
-double JaroSimilarity(std::string_view a, std::string_view b);
+[[nodiscard]] double JaroSimilarity(std::string_view a, std::string_view b);
 
 /// Jaro–Winkler: boosts Jaro by up to 4 characters of common prefix.
 /// `prefix_scale` is clamped to [0, 0.25] to keep the result within [0,1].
-double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+[[nodiscard]] double JaroWinklerSimilarity(std::string_view a, std::string_view b,
                              double prefix_scale = 0.1);
 
 }  // namespace tglink

@@ -9,7 +9,7 @@ namespace tglink {
 
 /// Linear-decay similarity: 1 at equality, 0 at |a-b| >= max_diff.
 /// `max_diff` must be > 0.
-double AbsDiffSimilarity(double a, double b, double max_diff);
+[[nodiscard]] double AbsDiffSimilarity(double a, double b, double max_diff);
 
 /// Similarity between two *age differences* (an edge property that is stable
 /// over time for a pair of persons). The paper accepts edges whose age
@@ -17,12 +17,12 @@ double AbsDiffSimilarity(double a, double b, double max_diff);
 /// linear-decay value so that edge similarity (Eq. 6) can aggregate it.
 /// Defaults to tolerance 3 years (the paper filters record pairs whose
 /// normalized age difference exceeds 3 years).
-double AgeDiffSimilarity(int diff_old, int diff_new, int tolerance = 3);
+[[nodiscard]] double AgeDiffSimilarity(int diff_old, int diff_new, int tolerance = 3);
 
 /// Similarity of two ages observed `year_gap` years apart: a person aged a1
 /// in census t should be about a1 + year_gap in census t+1. Linear decay
 /// with the given tolerance around the expected value.
-double TemporalAgeSimilarity(int age_old, int age_new, int year_gap,
+[[nodiscard]] double TemporalAgeSimilarity(int age_old, int age_new, int year_gap,
                              int tolerance = 3);
 
 }  // namespace tglink

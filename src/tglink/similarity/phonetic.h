@@ -14,12 +14,12 @@ namespace tglink {
 /// American Soundex: first letter + 3 digits (e.g. "ashworth" -> "A263").
 /// Non-alphabetic characters are ignored; an empty / all-symbol input yields
 /// the empty string.
-std::string Soundex(std::string_view name);
+[[nodiscard]] std::string Soundex(std::string_view name);
 
 /// NYSIIS (New York State Identification and Intelligence System) code,
 /// truncated to 6 characters as is conventional. More discriminating than
 /// Soundex for Anglo-Saxon surnames.
-std::string Nysiis(std::string_view name);
+[[nodiscard]] std::string Nysiis(std::string_view name);
 
 }  // namespace tglink
 

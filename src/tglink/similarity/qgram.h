@@ -34,15 +34,15 @@ struct QGramOptions {
 /// Returns the (sorted) multiset of q-grams of `s` under `opts`. A string
 /// shorter than q (after padding) yields a single gram containing the whole
 /// string, so that very short values still compare non-trivially.
-std::vector<std::string> QGrams(std::string_view s, const QGramOptions& opts);
+[[nodiscard]] std::vector<std::string> QGrams(std::string_view s, const QGramOptions& opts);
 
 /// Multiset-overlap similarity in [0,1]. Two empty strings score 1; an empty
 /// vs non-empty string scores 0.
-double QGramSimilarity(std::string_view a, std::string_view b,
+[[nodiscard]] double QGramSimilarity(std::string_view a, std::string_view b,
                        const QGramOptions& opts = {});
 
 /// Bigram Dice convenience wrapper (the library-wide default).
-double BigramDice(std::string_view a, std::string_view b);
+[[nodiscard]] double BigramDice(std::string_view a, std::string_view b);
 
 }  // namespace tglink
 

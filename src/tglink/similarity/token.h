@@ -15,11 +15,11 @@ using CharSimilarityFn =
 /// Symmetric Monge–Elkan: each token of one string is aligned to its best
 /// counterpart in the other, averaged; the two directions are averaged to
 /// make the result symmetric. Empty-vs-empty scores 1, empty-vs-non-empty 0.
-double MongeElkanSimilarity(std::string_view a, std::string_view b,
+[[nodiscard]] double MongeElkanSimilarity(std::string_view a, std::string_view b,
                             const CharSimilarityFn& inner);
 
 /// Monge–Elkan with Jaro–Winkler inner similarity (the usual pairing).
-double MongeElkanJaroWinkler(std::string_view a, std::string_view b);
+[[nodiscard]] double MongeElkanJaroWinkler(std::string_view a, std::string_view b);
 
 }  // namespace tglink
 

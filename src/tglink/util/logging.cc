@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 namespace tglink {
 
@@ -31,6 +32,15 @@ namespace internal {
 void EmitLog(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   std::fprintf(stderr, "[tglink %s] %s\n", LevelName(level), message.c_str());
+}
+
+void CheckFailed(const char* file, int line, const char* condition,
+                 const std::string& message) {
+  std::fprintf(stderr, "[tglink FATAL] %s:%d: check failed: %s%s%s\n", file,
+               line, condition, message.empty() ? "" : " — ",
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
 }
 
 }  // namespace internal

@@ -1,5 +1,13 @@
 // Minimal leveled logging to stderr. Off by default above kWarning so that
 // library users and benchmarks control verbosity explicitly.
+//
+// Also home of the debug invariant layer: TGLINK_CHECK aborts with a
+// diagnostic when its condition fails in every build type; TGLINK_DCHECK
+// does the same in debug builds and compiles to nothing (the condition is
+// not even evaluated) under NDEBUG. Both accept trailing stream output:
+//
+//   TGLINK_CHECK(st.ok()) << "mapping rejected link: " << st.ToString();
+//   TGLINK_DCHECK(sim >= 0.0 && sim <= 1.0) << "sim out of range: " << sim;
 
 #ifndef TGLINK_UTIL_LOGGING_H_
 #define TGLINK_UTIL_LOGGING_H_
@@ -39,10 +47,75 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Aborts the process after emitting `message`. Overridable for death tests
+/// is deliberately NOT supported: invariant failures must never be swallowed.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const char* condition,
+                              const std::string& message);
+
+/// Collects the streamed diagnostic for a failed check and aborts on
+/// destruction. Only ever constructed on the failure path, so the hot path
+/// of a passing check is a single branch.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+  [[noreturn]] ~CheckMessage() {
+    CheckFailed(file_, line_, condition_, stream_.str());
+  }
+
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+/// Lets the ternary in TGLINK_CHECK discard the CheckMessage stream chain
+/// while keeping `void` type on both arms (operator& binds looser than <<).
+struct CheckVoidify {
+  void operator&(const CheckMessage&) {}
+};
+
 }  // namespace internal
 }  // namespace tglink
 
 #define TGLINK_LOG(level) \
   ::tglink::internal::LogMessage(::tglink::LogLevel::level)
+
+/// Fatal invariant check, active in ALL build types. Streams extra context:
+///   TGLINK_CHECK(x < n) << "index " << x << " out of range " << n;
+#define TGLINK_CHECK(condition)                                    \
+  (condition) ? (void)0                                            \
+              : ::tglink::internal::CheckVoidify() &               \
+                    ::tglink::internal::CheckMessage(__FILE__, __LINE__, \
+                                                     #condition)
+
+/// Convenience form for Status-returning calls whose failure is a bug.
+/// `auto` keeps logging.h free of a status.h dependency.
+#define TGLINK_CHECK_OK(expr)                                 \
+  do {                                                        \
+    const auto& _tglink_st = (expr);                          \
+    TGLINK_CHECK(_tglink_st.ok()) << _tglink_st.ToString();   \
+  } while (0)
+
+/// Debug-only invariant check. Under NDEBUG the condition is not evaluated
+/// and the whole statement folds away (the dead `while (false)` body keeps
+/// the operands syntactically checked so debug-only breakage is impossible).
+#ifndef NDEBUG
+#define TGLINK_DCHECK(condition) TGLINK_CHECK(condition)
+#else
+#define TGLINK_DCHECK(condition) \
+  while (false) TGLINK_CHECK(true || (condition))
+#endif
 
 #endif  // TGLINK_UTIL_LOGGING_H_

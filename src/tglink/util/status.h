@@ -29,7 +29,11 @@ const char* StatusCodeName(StatusCode code);
 
 /// A cheap, copyable success-or-error value. The OK state carries no
 /// allocation; error states carry a code and a message.
-class Status {
+///
+/// [[nodiscard]] on the class makes every Status-returning call warn when
+/// the result is silently dropped — ignored error paths are the classic way
+/// linkage pipelines go quietly wrong.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -58,9 +62,9 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -72,7 +76,7 @@ class Status {
 
 /// A value-or-Status union. `ok()` implies the value is present.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {  // NOLINT

@@ -1,0 +1,63 @@
+// Death tests for the TGLINK_CHECK / TGLINK_DCHECK invariant layer:
+// CHECK is fatal in every build type, DCHECK is fatal in debug and has
+// zero cost (the condition is not even evaluated) under NDEBUG.
+
+#include <gtest/gtest.h>
+
+#include "tglink/util/logging.h"
+#include "tglink/util/status.h"
+
+namespace tglink {
+namespace {
+
+TEST(CheckDeathTest, FailedCheckAbortsWithDiagnostic) {
+  EXPECT_DEATH(TGLINK_CHECK(1 == 2) << "extra context " << 42,
+               "check failed: 1 == 2.*extra context 42");
+}
+
+TEST(CheckDeathTest, FailedCheckWithoutMessageAborts) {
+  EXPECT_DEATH(TGLINK_CHECK(false), "check failed: false");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnErrorStatus) {
+  EXPECT_DEATH(TGLINK_CHECK_OK(Status::Internal("union-find corrupted")),
+               "Internal: union-find corrupted");
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  TGLINK_CHECK(2 + 2 == 4) << "never rendered";
+  TGLINK_CHECK_OK(Status::OK());
+}
+
+TEST(CheckTest, PassingCheckDoesNotEvaluateMessageOperands) {
+  int renders = 0;
+  auto count = [&renders]() {
+    ++renders;
+    return "msg";
+  };
+  TGLINK_CHECK(true) << count();
+  EXPECT_EQ(renders, 0);
+}
+
+TEST(DcheckDeathTest, DebugFatalReleaseCompiledOut) {
+#ifndef NDEBUG
+  EXPECT_DEATH(TGLINK_DCHECK(false) << "debug-only failure",
+               "check failed: false");
+#else
+  // Under NDEBUG the statement must vanish entirely: the condition is not
+  // evaluated, so a side-effecting condition observably does nothing.
+  int evaluations = 0;
+  TGLINK_DCHECK([&evaluations]() {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(DcheckTest, PassingDcheckIsSilent) {
+  TGLINK_DCHECK(1 < 2) << "never rendered";
+}
+
+}  // namespace
+}  // namespace tglink

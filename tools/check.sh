@@ -1,0 +1,54 @@
+#!/bin/sh
+# One-shot correctness gate for tglink — the repo's CI entrypoint.
+#
+#   tools/check.sh            # Release + ASan/UBSan presets, tests, lint
+#   tools/check.sh --quick    # Release preset + lint only
+#
+# Exits non-zero on the first failing stage. The clang-tidy stage runs only
+# when clang-tidy is installed (the tidy preset degrades gracefully without
+# it); everything else is mandatory.
+
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+stage() {
+  printf '\n=== %s ===\n' "$1"
+}
+
+run_preset() {
+  preset="$1"
+  stage "configure+build: $preset"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  stage "ctest: $preset"
+  ctest --preset "$preset"
+}
+
+stage "tglink_lint self-test"
+python3 tools/tglink_lint.py --selftest
+
+stage "tglink_lint"
+python3 tools/tglink_lint.py --root "$root"
+
+run_preset release
+
+if [ "$quick" -eq 0 ]; then
+  run_preset asan
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  stage "clang-tidy (tidy preset)"
+  cmake --preset tidy
+  cmake --build --preset tidy -j "$jobs"
+else
+  stage "clang-tidy: not installed, skipped"
+fi
+
+stage "all checks passed"

@@ -1,0 +1,380 @@
+#!/usr/bin/env python3
+"""tglink_lint — repo-specific static checks for the tglink codebase.
+
+Run from anywhere:  python3 tools/tglink_lint.py [--root REPO_ROOT]
+Self-test:          python3 tools/tglink_lint.py --selftest
+
+Registered as the `tglink_lint` ctest; exits non-zero on any finding.
+
+Rules (library code = everything under src/tglink/):
+
+  guard-missing      .h files must use an include guard, not #pragma once
+  guard-mismatch     the guard macro must be TGLINK_<PATH>_H_ derived from
+                     the file's path under src/ (e.g. src/tglink/util/csv.h
+                     -> TGLINK_UTIL_CSV_H_)
+  include-relative   no relative ("../" or "./") includes anywhere
+  include-style      project headers are included as "tglink/..." with
+                     quotes, never <tglink/...> and never bare "csv.h"
+  include-self       a .cc file's first include is its own header
+  raw-rand           no rand()/srand()/random_shuffle in library code —
+                     use tglink/util/random.h (deterministic, seedable)
+  raw-stdout         no std::cout / printf / puts in library code — return
+                     values or TGLINK_LOG keep the library silent for
+                     embedding (tools/examples/bench may print freely)
+  ignored-status     a statement that calls a known Status-returning
+                     function and drops the result; consume it or
+                     TGLINK_CHECK_OK it
+  dcheck-side-effect TGLINK_DCHECK conditions must not contain obvious
+                     mutations (++/--/=), since they vanish under NDEBUG
+
+Suppression: append  // tglink-lint: disable=<rule>  to the offending line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+LIB_PREFIX = os.path.join("src", "tglink")
+
+# Functions returning Status whose result must be consumed. Kept explicit
+# (rather than parsed out of headers) so the lint is fast and the contract
+# is reviewable; extend when new Status-returning APIs appear.
+STATUS_FUNCTIONS = (
+    "RecordMapping::Add",
+    "WriteCsv",
+    "LoadCsv",
+    "SaveResult",
+    "LoadResult",
+)
+# Method-call spellings of the above (obj.Add(...) / ptr->Add(...)).
+STATUS_METHOD_NAMES = ("Add",)
+
+SUPPRESS_RE = re.compile(r"//\s*tglink-lint:\s*disable=([\w,-]+)")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crude single-line scrub so tokens inside strings/comments don't trip
+    rules. Block comments spanning lines are handled by the caller."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    line = re.sub(r"//.*", "", line)
+    return line
+
+
+def expected_guard(relpath: str) -> str:
+    # src/tglink/util/csv.h -> TGLINK_UTIL_CSV_H_
+    inner = relpath[len("src") + 1 :]  # tglink/util/csv.h
+    stem = inner[: -len(".h")]
+    return stem.upper().replace(os.sep, "_").replace("-", "_") + "_H_"
+
+
+def suppressed(line: str, rule: str) -> bool:
+    m = SUPPRESS_RE.search(line)
+    return bool(m) and rule in m.group(1).split(",")
+
+
+def lint_file(root: str, relpath: str) -> list[Finding]:
+    findings: list[Finding] = []
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        return [Finding(relpath, 0, "io", f"unreadable: {e}")]
+
+    is_lib = relpath.startswith(LIB_PREFIX)
+    is_header = relpath.endswith(".h")
+    is_source = relpath.endswith((".cc", ".cpp"))
+
+    def add(line_no: int, rule: str, message: str) -> None:
+        if not suppressed(raw_lines[line_no - 1], rule):
+            findings.append(Finding(relpath, line_no, rule, message))
+
+    # --- header guard rules -------------------------------------------------
+    if is_header and is_lib:
+        text = "\n".join(raw_lines)
+        if "#pragma once" in text:
+            line = next(
+                i + 1 for i, l in enumerate(raw_lines) if "#pragma once" in l
+            )
+            add(line, "guard-missing",
+                "use a TGLINK_..._H_ include guard, not #pragma once")
+        else:
+            m = re.search(r"^#ifndef\s+(\S+)", text, re.MULTILINE)
+            want = expected_guard(relpath)
+            if not m:
+                add(1, "guard-missing", f"missing include guard {want}")
+            elif m.group(1) != want:
+                line = text[: m.start()].count("\n") + 1
+                add(line, "guard-mismatch",
+                    f"guard {m.group(1)} should be {want}")
+
+    # --- line-by-line rules -------------------------------------------------
+    in_block_comment = False
+    first_include: str | None = None
+    for i, raw in enumerate(raw_lines, start=1):
+        line = raw
+        if in_block_comment:
+            if "*/" in line:
+                line = line.split("*/", 1)[1]
+                in_block_comment = False
+            else:
+                continue
+        scrubbed = strip_comments_and_strings(line)
+        if "/*" in scrubbed and "*/" not in scrubbed:
+            in_block_comment = True
+            scrubbed = scrubbed.split("/*", 1)[0]
+
+        # Includes are parsed from the unscrubbed line: the quoted target is
+        # a string literal and must survive.
+        inc = re.match(r'\s*#\s*include\s+(["<])([^">]+)[">]', line)
+        if inc:
+            style, target = inc.group(1), inc.group(2)
+            if target.startswith(("../", "./")):
+                add(i, "include-relative",
+                    f'relative include "{target}"; include from the '
+                    f'source root as "tglink/..."')
+            if "tglink/" in target and style == "<":
+                add(i, "include-style",
+                    f"project header <{target}> must use quotes")
+            if (
+                style == '"'
+                and is_lib
+                and not target.startswith("tglink/")
+                and not target.startswith(("../", "./"))
+            ):
+                add(i, "include-style",
+                    f'"{target}" must be included by its full '
+                    f'"tglink/..." path')
+            if first_include is None:
+                first_include = target
+
+        if not is_lib:
+            continue
+
+        if re.search(r"(?<![\w:])s?rand\s*\(", scrubbed) or re.search(
+            r"std::random_shuffle", scrubbed
+        ):
+            add(i, "raw-rand",
+                "raw C PRNG in library code; use tglink/util/random.h")
+
+        if re.search(r"std::cout|(?<![\w:])printf\s*\(|(?<![\w:])puts\s*\(",
+                     scrubbed):
+            add(i, "raw-stdout",
+                "stdout output in library code; return data or use "
+                "TGLINK_LOG")
+
+        # Ignored Status: a bare call statement to a known Status API.
+        stmt = scrubbed.strip()
+        for fn in STATUS_FUNCTIONS:
+            bare = fn.split("::")[-1]
+            if re.match(rf"(?:\w+(?:\.|->))?{re.escape(bare)}\s*\(.*\)\s*;\s*$",
+                        stmt) and bare in [
+                f.split("::")[-1] for f in STATUS_FUNCTIONS
+            ]:
+                if bare in STATUS_METHOD_NAMES and not re.match(
+                    r"\w+(?:\.|->)", stmt
+                ):
+                    continue  # free function named Add: not ours
+                add(i, "ignored-status",
+                    f"result of Status-returning {bare}() is dropped; "
+                    f"assign it or wrap in TGLINK_CHECK_OK")
+                break
+
+        dm = re.search(r"TGLINK_DCHECK\s*\((.*)\)", scrubbed)
+        if dm:
+            cond = dm.group(1)
+            if re.search(r"\+\+|--", cond) or re.search(
+                r"(?<![=!<>+\-*/&|^])=(?![=])", cond
+            ):
+                add(i, "dcheck-side-effect",
+                    "TGLINK_DCHECK condition appears to mutate state; it "
+                    "is compiled out under NDEBUG")
+
+    # --- include-self -------------------------------------------------------
+    if is_source and is_lib and first_include is not None:
+        own = relpath[len("src") + 1 :]
+        own_header = re.sub(r"\.(cc|cpp)$", ".h", own).replace(os.sep, "/")
+        if first_include != own_header:
+            add(1, "include-self",
+                f'first include should be own header "{own_header}", '
+                f'found "{first_include}"')
+
+    return findings
+
+
+def collect_files(root: str) -> list[str]:
+    out: list[str] = []
+    for sub in ("src", "tools", "tests", "bench", "examples"):
+        base = os.path.join(root, sub)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            for name in sorted(filenames):
+                if name.endswith((".h", ".cc", ".cpp")):
+                    out.append(
+                        os.path.relpath(os.path.join(dirpath, name), root)
+                    )
+    return sorted(out)
+
+
+def run_lint(root: str) -> int:
+    findings: list[Finding] = []
+    files = collect_files(root)
+    if not files:
+        print(f"tglink_lint: no sources found under {root}", file=sys.stderr)
+        return 2
+    for relpath in files:
+        findings.extend(lint_file(root, relpath))
+    for f in findings:
+        print(f)
+    summary = f"tglink_lint: {len(files)} files, {len(findings)} finding(s)"
+    print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+# --- self-test -------------------------------------------------------------
+
+# Each fixture is (relative path, content, set of rules it must trigger).
+FIXTURES = [
+    (
+        "src/tglink/bad/pragma.h",
+        "#pragma once\nint X();\n",
+        {"guard-missing"},
+    ),
+    (
+        "src/tglink/bad/wrong_guard.h",
+        "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n",
+        {"guard-mismatch"},
+    ),
+    (
+        "src/tglink/bad/relative.cc",
+        '#include "tglink/bad/relative.h"\n#include "../util/csv.h"\n',
+        {"include-relative"},
+    ),
+    (
+        "src/tglink/bad/angle.cc",
+        '#include "tglink/bad/angle.h"\n#include <tglink/util/csv.h>\n',
+        {"include-style"},
+    ),
+    (
+        "src/tglink/bad/bare_include.cc",
+        '#include "tglink/bad/bare_include.h"\n#include "csv.h"\n',
+        {"include-style"},
+    ),
+    (
+        "src/tglink/bad/not_self_first.cc",
+        '#include "tglink/util/csv.h"\n'
+        '#include "tglink/bad/not_self_first.h"\n',
+        {"include-self"},
+    ),
+    (
+        "src/tglink/bad/uses_rand.cc",
+        '#include "tglink/bad/uses_rand.h"\n'
+        "int Noise() { return rand() % 6; }\n",
+        {"raw-rand"},
+    ),
+    (
+        "src/tglink/bad/uses_cout.cc",
+        '#include "tglink/bad/uses_cout.h"\n'
+        "#include <iostream>\n"
+        'void Shout() { std::cout << "loud";\n}\n',
+        {"raw-stdout"},
+    ),
+    (
+        "src/tglink/bad/drops_status.cc",
+        '#include "tglink/bad/drops_status.h"\n'
+        "void F(tglink::RecordMapping& m) {\n"
+        "  m.Add(1, 2);\n"
+        "}\n",
+        {"ignored-status"},
+    ),
+    (
+        "src/tglink/bad/dcheck_mutates.cc",
+        '#include "tglink/bad/dcheck_mutates.h"\n'
+        "void G(int n) {\n"
+        "  TGLINK_DCHECK(n++ < 10);\n"
+        "}\n",
+        {"dcheck-side-effect"},
+    ),
+    (
+        # A clean library file: none of the rules may fire on it.
+        "src/tglink/bad/clean.h",
+        "#ifndef TGLINK_BAD_CLEAN_H_\n"
+        "#define TGLINK_BAD_CLEAN_H_\n"
+        '#include "tglink/util/status.h"\n'
+        "namespace tglink {\n"
+        "int F();\n"
+        "}  // namespace tglink\n"
+        "#endif  // TGLINK_BAD_CLEAN_H_\n",
+        set(),
+    ),
+    (
+        # Suppression comment must silence the finding.
+        "src/tglink/bad/suppressed.cc",
+        '#include "tglink/bad/suppressed.h"\n'
+        "int H() { return rand(); }  // tglink-lint: disable=raw-rand\n",
+        set(),
+    ),
+]
+
+
+def run_selftest() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="tglink_lint_selftest") as tmp:
+        for relpath, content, expected in FIXTURES:
+            full = os.path.join(tmp, relpath)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="utf-8") as f:
+                f.write(content)
+            got = {f.rule for f in lint_file(tmp, relpath)}
+            missing = expected - got
+            unexpected = got - expected if not expected else set()
+            if missing or unexpected:
+                failures += 1
+                print(
+                    f"SELFTEST FAIL {relpath}: expected {sorted(expected)}, "
+                    f"got {sorted(got)}",
+                    file=sys.stderr,
+                )
+            os.remove(full)
+    if failures:
+        print(f"tglink_lint selftest: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"tglink_lint selftest: {len(FIXTURES)} fixtures OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)",
+    )
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="lint known-bad fixture snippets and verify each rule fires",
+    )
+    args = parser.parse_args()
+    if args.selftest:
+        return run_selftest()
+    return run_lint(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
