@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
   const bench::EvalPair ep = bench::MakeEvalPair(options);
   std::printf("== Ablation: design choices ==\n");
   bench::PrintPairHeader(ep, options);
+  obs::RunReportBuilder report =
+      bench::MakeRunReport("ablation_design_choices", options);
 
   TextTable table;
   table.SetHeader({"variant", "grp P%", "grp R%", "grp F%", "rec P%",
@@ -29,19 +31,20 @@ int main(int argc, char** argv) {
 
   struct Variant {
     std::string name;
+    std::string slug;  // machine-readable RunReport label
     std::function<void(LinkageConfig*)> tweak;
   };
   const std::vector<Variant> variants = {
-      {"default (all on)", [](LinkageConfig*) {}},
-      {"no group enrichment",
+      {"default (all on)", "default", [](LinkageConfig*) {}},
+      {"no group enrichment", "no_enrichment",
        [](LinkageConfig* c) { c->enrich_groups = false; }},
-      {"no uniqueness (α=.25, β=.75)",
+      {"no uniqueness (α=.25, β=.75)", "no_uniqueness",
        [](LinkageConfig* c) { c->group_weights = {0.25, 0.75}; }},
-      {"exhaustive pre-matching",
+      {"exhaustive pre-matching", "exhaustive",
        [](LinkageConfig* c) { c->blocking = BlockingConfig::MakeExhaustive(); }},
-      {"no vertex age gate",
+      {"no vertex age gate", "no_age_gate",
        [](LinkageConfig* c) { c->vertex_age_tolerance = 0; }},
-      {"no context residual",
+      {"no context residual", "no_context_residual",
        [](LinkageConfig* c) { c->context_residual = false; }},
   };
   for (const Variant& variant : variants) {
@@ -52,6 +55,9 @@ int main(int argc, char** argv) {
         LinkCensusPair(ep.pair.old_dataset, ep.pair.new_dataset, config);
     const double seconds = timer.ElapsedSeconds();
     const bench::Quality q = bench::EvaluatePaperProtocol(result, ep);
+    report.AddQuality(variant.slug + ".group", q.group)
+        .AddQuality(variant.slug + ".record", q.record)
+        .AddScalar(variant.slug + ".seconds", seconds);
     table.AddRow({variant.name, TextTable::Percent(q.group.precision()),
                   TextTable::Percent(q.group.recall()),
                   TextTable::Percent(q.group.f_measure()),
@@ -92,5 +98,6 @@ int main(int argc, char** argv) {
          TextTable::Percent(rec.f_measure())});
   }
   std::fputs(noise_table.ToString().c_str(), stdout);
+  bench::EmitRunArtifacts(report, options);
   return 0;
 }

@@ -5,6 +5,8 @@
 #ifndef TGLINK_BENCH_BENCH_COMMON_H_
 #define TGLINK_BENCH_BENCH_COMMON_H_
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,7 +15,10 @@
 #include "tglink/eval/metrics.h"
 #include "tglink/linkage/config.h"
 #include "tglink/linkage/iterative.h"
+#include "tglink/obs/run_report.h"
+#include "tglink/obs/trace.h"
 #include "tglink/synth/generator.h"
+#include "tglink/util/csv.h"
 #include "tglink/util/timer.h"
 
 namespace tglink {
@@ -27,23 +32,137 @@ struct BenchOptions {
   uint64_t seed = 42;
   /// Which successive pair to evaluate; 2 = 1871->1881, the paper's choice.
   int pair_index = 2;
+  /// When non-empty, EmitRunArtifacts writes a RunReport JSON here.
+  std::string report_path;
+  /// When non-empty, EmitRunArtifacts writes Chrome trace-event JSON here.
+  std::string trace_path;
 };
+
+namespace detail {
+
+/// Exits with status 2 — the conventional usage-error code, distinct from
+/// the exit(1) the harnesses use for runtime failures.
+[[noreturn]] inline void OptionError(const char* flag, const char* value,
+                                     const char* expected) {
+  std::fprintf(stderr, "error: bad value '%s' for %s (expected %s)\n", value,
+               flag, expected);
+  std::exit(2);
+}
+
+inline double ParseDoubleValue(const char* flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    OptionError(flag, value, "a number");
+  }
+  return parsed;
+}
+
+inline uint64_t ParseUint64Value(const char* flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  if (value[0] == '-') OptionError(flag, value, "a non-negative integer");
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    OptionError(flag, value, "a non-negative integer");
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+inline int ParseIntValue(const char* flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < INT_MIN ||
+      parsed > INT_MAX) {
+    OptionError(flag, value, "an integer");
+  }
+  return static_cast<int>(parsed);
+}
+
+}  // namespace detail
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv,
                                       BenchOptions options = {}) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
-      options.scale = std::atof(argv[i] + 8);
-    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--pair=", 7) == 0) {
-      options.pair_index = std::atoi(argv[i] + 7);
-    } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("options: --scale=F --seed=N --pair=K\n");
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      options.scale = detail::ParseDoubleValue("--scale", arg + 8);
+      if (options.scale <= 0.0) {
+        detail::OptionError("--scale", arg + 8, "a positive fraction");
+      }
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      options.seed = detail::ParseUint64Value("--seed", arg + 7);
+    } else if (std::strncmp(arg, "--pair=", 7) == 0) {
+      options.pair_index = detail::ParseIntValue("--pair", arg + 7);
+      if (options.pair_index < 0) {
+        detail::OptionError("--pair", arg + 7, "a non-negative index");
+      }
+    } else if (std::strncmp(arg, "--report=", 9) == 0) {
+      options.report_path = arg + 9;
+      if (options.report_path.empty()) {
+        detail::OptionError("--report", arg + 9, "a file path");
+      }
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      options.trace_path = arg + 8;
+      if (options.trace_path.empty()) {
+        detail::OptionError("--trace", arg + 8, "a file path");
+      }
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "options: --scale=F --seed=N --pair=K --report=FILE --trace=FILE\n"
+          "  --scale=F    fraction of Table 1 dataset sizes (default 0.25)\n"
+          "  --seed=N     synthetic-data RNG seed (default 42)\n"
+          "  --pair=K     successive census pair index (default 2)\n"
+          "  --report=FILE  write a RunReport JSON (tglink.run_report/1)\n"
+          "  --trace=FILE   write Chrome trace-event JSON (chrome://tracing)\n");
       std::exit(0);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s' (see --help)\n", arg);
+      std::exit(2);
     }
   }
+  // Span collection costs nothing unless someone asked for the artifacts.
+  if (!options.report_path.empty() || !options.trace_path.empty()) {
+    obs::GlobalTracer().SetEnabled(true);
+  }
   return options;
+}
+
+/// A RunReportBuilder pre-populated with the shared harness options.
+inline obs::RunReportBuilder MakeRunReport(const std::string& tool,
+                                           const BenchOptions& options) {
+  obs::RunReportBuilder report(tool);
+  report.AddOption("scale", options.scale)
+      .AddOption("seed", options.seed)
+      .AddOption("pair", static_cast<uint64_t>(options.pair_index));
+  return report;
+}
+
+/// Writes the --report / --trace artifacts the user asked for (no-op when
+/// neither flag was given). Call once at the end of main.
+inline void EmitRunArtifacts(const obs::RunReportBuilder& report,
+                             const BenchOptions& options) {
+  if (!options.report_path.empty()) {
+    const Status st = report.WriteFile(options.report_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: writing %s: %s\n",
+                   options.report_path.c_str(), st.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("report: %s\n", options.report_path.c_str());
+  }
+  if (!options.trace_path.empty()) {
+    const Status st = WriteStringToFile(
+        options.trace_path, obs::GlobalTracer().ToChromeTraceJson());
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: writing %s: %s\n",
+                   options.trace_path.c_str(), st.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("trace: %s\n", options.trace_path.c_str());
+  }
 }
 
 /// A synthetic census pair plus gold resolved in both protocols.

@@ -21,12 +21,15 @@ int main(int argc, char** argv) {
   const bench::EvalPair ep = bench::MakeEvalPair(options);
   std::printf("== Blocking strategies: completeness vs reduction ==\n");
   bench::PrintPairHeader(ep, options);
+  obs::RunReportBuilder report = bench::MakeRunReport("blocking_comparison",
+                                                      options);
 
   const double cross = static_cast<double>(ep.pair.old_dataset.num_records()) *
                        static_cast<double>(ep.pair.new_dataset.num_records());
 
   struct Strategy {
     std::string name;
+    std::string slug;  // machine-readable RunReport label
     std::function<std::vector<CandidatePair>()> generate;
   };
   auto snm = [&](size_t window) {
@@ -36,16 +39,16 @@ int main(int argc, char** argv) {
                                    config);
   };
   const std::vector<Strategy> strategies = {
-      {"multi-pass phonetic (default)",
+      {"multi-pass phonetic (default)", "phonetic",
        [&] {
          return GenerateCandidatePairs(ep.pair.old_dataset,
                                        ep.pair.new_dataset,
                                        BlockingConfig::MakeDefault());
        }},
-      {"sorted-neighborhood w=4", [&] { return snm(4); }},
-      {"sorted-neighborhood w=8", [&] { return snm(8); }},
-      {"sorted-neighborhood w=16", [&] { return snm(16); }},
-      {"phonetic ∪ SNM w=8",
+      {"sorted-neighborhood w=4", "snm4", [&] { return snm(4); }},
+      {"sorted-neighborhood w=8", "snm8", [&] { return snm(8); }},
+      {"sorted-neighborhood w=16", "snm16", [&] { return snm(16); }},
+      {"phonetic ∪ SNM w=8", "union8",
        [&] {
          return UnionCandidatePairs(
              GenerateCandidatePairs(ep.pair.old_dataset, ep.pair.new_dataset,
@@ -71,6 +74,10 @@ int main(int argc, char** argv) {
         ep.full.record_links.empty()
             ? 0.0
             : static_cast<double>(found) / ep.full.record_links.size();
+    report.AddScalar(strategy.slug + ".candidates",
+                     static_cast<double>(candidates.size()))
+        .AddScalar(strategy.slug + ".completeness", completeness)
+        .AddScalar(strategy.slug + ".seconds", seconds);
     table.AddRow({strategy.name, std::to_string(candidates.size()),
                   TextTable::Percent(completeness),
                   TextTable::Percent(1.0 - candidates.size() / cross),
@@ -85,5 +92,6 @@ int main(int argc, char** argv) {
       "(including movers with changed surnames) at ~98%% reduction; SNM "
       "completeness grows with the window; the union dominates either "
       "alone.\n");
+  bench::EmitRunArtifacts(report, options);
   return 0;
 }

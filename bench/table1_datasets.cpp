@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   defaults.scale = 1.0;
   const bench::BenchOptions options =
       bench::ParseBenchOptions(argc, argv, defaults);
+  obs::RunReportBuilder report = bench::MakeRunReport("table1_datasets",
+                                                      options);
 
   GeneratorConfig gen;
   gen.seed = options.seed;
@@ -29,8 +31,13 @@ int main(int argc, char** argv) {
 
   TextTable table;
   table.SetHeader({"t_i", "|R|", "|G|", "|fn+sn|", "ratio_mv", "avg |g|"});
+  report.AddScalar("generate_seconds", timer.ElapsedSeconds());
   for (const CensusDataset& snapshot : series.snapshots) {
     const DatasetStats stats = snapshot.Stats();
+    const std::string year = std::to_string(stats.year);
+    report.AddScalar("records." + year, static_cast<double>(stats.num_records))
+        .AddScalar("households." + year,
+                   static_cast<double>(stats.num_households));
     table.AddRow({std::to_string(stats.year), std::to_string(stats.num_records),
                   std::to_string(stats.num_households),
                   std::to_string(stats.unique_name_combinations),
@@ -47,5 +54,6 @@ int main(int argc, char** argv) {
       "| 1881 | 29051 | 6025 | 15505 | 4.09%% |\n"
       "| 1891 | 30087 | 6378 | 17130 | 6.33%% |\n"
       "| 1901 | 31059 | 6842 | 19910 | 6.51%% |\n");
+  bench::EmitRunArtifacts(report, options);
   return 0;
 }

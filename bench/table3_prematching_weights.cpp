@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
   const bench::EvalPair ep = bench::MakeEvalPair(options);
   std::printf("== Table 3: pre-matching weights and δ_low ==\n");
   bench::PrintPairHeader(ep, options);
+  obs::RunReportBuilder report =
+      bench::MakeRunReport("table3_prematching_weights", options);
 
   TextTable table;
   table.SetHeader({"ω", "δ_low", "grp P%", "grp R%", "grp F%", "rec P%",
@@ -30,6 +32,11 @@ int main(int argc, char** argv) {
           LinkCensusPair(ep.pair.old_dataset, ep.pair.new_dataset, config);
       const double seconds = timer.ElapsedSeconds();
       const bench::Quality q = bench::EvaluatePaperProtocol(result, ep);
+      const std::string label = "omega" + std::to_string(w) + ".dlow" +
+                                TextTable::Fixed(delta_low, 2);
+      report.AddQuality(label + ".group", q.group)
+          .AddQuality(label + ".record", q.record)
+          .AddScalar(label + ".seconds", seconds);
       table.AddRow({"ω" + std::to_string(w), TextTable::Fixed(delta_low, 2),
                     TextTable::Percent(q.group.precision()),
                     TextTable::Percent(q.group.recall()),
@@ -46,5 +53,6 @@ int main(int argc, char** argv) {
       "F; δ_low has little effect, best around 0.5.\n"
       "paper's values (group F): ω1 94.1-94.3, ω2 95.9-96.0; (record F): "
       "ω1 94.2-94.3, ω2 95.5-95.6.\n");
+  bench::EmitRunArtifacts(report, options);
   return 0;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <string>
 
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
+
 namespace tglink {
 
 BlockKeyFn SurnameFirstNameSortKey() {
@@ -21,6 +24,7 @@ SortedNeighborhoodConfig SortedNeighborhoodConfig::MakeDefault() {
 std::vector<CandidatePair> SortedNeighborhoodPairs(
     const CensusDataset& old_dataset, const CensusDataset& new_dataset,
     const SortedNeighborhoodConfig& config) {
+  TGLINK_TRACE_SPAN("blocking.sorted_neighborhood");
   struct Entry {
     std::string key;
     RecordId id;
@@ -62,6 +66,7 @@ std::vector<CandidatePair> SortedNeighborhoodPairs(
     pairs.push_back({static_cast<RecordId>(key >> 32),
                      static_cast<RecordId>(key & 0xFFFFFFFFu)});
   }
+  TGLINK_COUNTER_ADD("blocking.snm_candidate_pairs", pairs.size());
   return pairs;
 }
 

@@ -3,6 +3,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "tglink/obs/trace.h"
 #include "tglink/util/csv.h"
 #include "tglink/util/strings.h"
 
@@ -82,10 +83,12 @@ Result<CensusDataset> DatasetFromCsv(const std::string& text, int year) {
 }
 
 Status SaveDataset(const CensusDataset& dataset, const std::string& path) {
+  TGLINK_TRACE_SPAN("census.save");
   return WriteStringToFile(path, DatasetToCsv(dataset));
 }
 
 Result<CensusDataset> LoadDataset(const std::string& path, int year) {
+  TGLINK_TRACE_SPAN("census.load");
   auto text = ReadFileToString(path);
   if (!text.ok()) return text.status();
   return DatasetFromCsv(text.value(), year);

@@ -2,12 +2,16 @@
 
 #include <cassert>
 
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
+
 namespace tglink {
 
 EvolutionGraph::EvolutionGraph(
     const std::vector<CensusDataset>& datasets,
     const std::vector<RecordMapping>& record_mappings,
     const std::vector<GroupMapping>& group_mappings) {
+  TGLINK_TRACE_SPAN("evolution.build_graph");
   assert(!datasets.empty());
   assert(record_mappings.size() == datasets.size() - 1);
   assert(group_mappings.size() == datasets.size() - 1);
@@ -36,6 +40,8 @@ EvolutionGraph::EvolutionGraph(
       record_edges_.push_back({epoch, link.first, link.second});
     }
   }
+  TGLINK_COUNTER_ADD("evolution.group_edges", group_edges_.size());
+  TGLINK_COUNTER_ADD("evolution.record_edges", record_edges_.size());
 }
 
 size_t EvolutionGraph::total_households() const {

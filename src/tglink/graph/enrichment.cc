@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
+
 namespace tglink {
 
 RelType DeriveRelType(Role role_a, Role role_b) {
@@ -45,11 +48,13 @@ HouseholdGraph EnrichHousehold(const CensusDataset& dataset, GroupId group) {
 }
 
 std::vector<HouseholdGraph> EnrichAllHouseholds(const CensusDataset& dataset) {
+  TGLINK_TRACE_SPAN("graph.enrich_households");
   std::vector<HouseholdGraph> graphs;
   graphs.reserve(dataset.num_households());
   for (GroupId g = 0; g < dataset.num_households(); ++g) {
     graphs.push_back(EnrichHousehold(dataset, g));
   }
+  TGLINK_COUNTER_ADD("graph.enriched_households", graphs.size());
   return graphs;
 }
 

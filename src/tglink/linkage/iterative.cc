@@ -7,6 +7,8 @@
 #include "tglink/linkage/residual.h"
 #include "tglink/linkage/selection.h"
 #include "tglink/linkage/subgraph.h"
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
 #include "tglink/util/logging.h"
 
 namespace tglink {
@@ -87,6 +89,7 @@ std::string LinkageResult::Summary() const {
 LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
                              const CensusDataset& new_dataset,
                              const LinkageConfig& config) {
+  TGLINK_TRACE_SPAN("linkage.link_census_pair");
   TGLINK_CHECK(config.delta_step > 0.0)
       << "delta_step must be positive or the iteration cannot terminate";
   // δ_high above 1 is legal (an unreachable threshold disables subgraph
@@ -103,12 +106,15 @@ LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
 
   // Initialization: completeGroups — enrich the household graphs once; the
   // groups themselves never change during linkage.
-  const std::vector<HouseholdGraph> old_graphs =
-      config.enrich_groups ? EnrichAllHouseholds(old_dataset)
-                           : BuildStarGraphs(old_dataset);
-  const std::vector<HouseholdGraph> new_graphs =
-      config.enrich_groups ? EnrichAllHouseholds(new_dataset)
-                           : BuildStarGraphs(new_dataset);
+  std::vector<HouseholdGraph> old_graphs;
+  std::vector<HouseholdGraph> new_graphs;
+  {
+    TGLINK_TRACE_SPAN("linkage.complete_groups");
+    old_graphs = config.enrich_groups ? EnrichAllHouseholds(old_dataset)
+                                      : BuildStarGraphs(old_dataset);
+    new_graphs = config.enrich_groups ? EnrichAllHouseholds(new_dataset)
+                                      : BuildStarGraphs(new_dataset);
+  }
 
   // Pre-score all candidate pairs once at the loosest threshold the
   // schedule can reach (see PreMatcher docs).
@@ -123,6 +129,8 @@ LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
   // Iterative subgraph matching: δ_high down to δ_low in steps of Δ.
   double delta = config.delta_high;
   while (delta + 1e-9 >= config.delta_low) {
+    TGLINK_TRACE_SPAN("linkage.iteration", delta);
+    TGLINK_COUNTER_INC("linkage.iterations");
     const Clustering clustering =
         prematcher.Cluster(delta, active_old, active_new);
     std::vector<GroupPairSubgraph> subgraphs =
@@ -194,6 +202,8 @@ LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
                             sim_func_rem.threshold()});
 
   TGLINK_DCHECK(result.provenance.size() == result.record_mapping.size());
+  TGLINK_COUNTER_ADD("linkage.record_links", result.record_mapping.size());
+  TGLINK_COUNTER_ADD("linkage.group_links", result.group_mapping.size());
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "tglink/graph/union_find.h"
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
 
 namespace tglink {
 
@@ -13,6 +15,7 @@ PreMatcher::PreMatcher(const CensusDataset& old_dataset,
     : old_dataset_(old_dataset),
       new_dataset_(new_dataset),
       sim_func_(sim_func) {
+  TGLINK_TRACE_SPAN("prematch.score_candidates");
   const std::vector<CandidatePair> candidates =
       GenerateCandidatePairs(old_dataset, new_dataset, blocking);
   scored_pairs_.reserve(candidates.size() / 8);
@@ -20,10 +23,13 @@ PreMatcher::PreMatcher(const CensusDataset& old_dataset,
     const double sim = sim_func.AggregateSimilarity(
         old_dataset.record(cand.old_id), new_dataset.record(cand.new_id));
     if (sim >= min_threshold) {
+      TGLINK_HISTOGRAM_SCORE("prematch.kept_pair_sim", sim);
       scored_pairs_.push_back({cand.old_id, cand.new_id, sim});
       pair_sim_.emplace(Key(cand.old_id, cand.new_id), sim);
     }
   }
+  TGLINK_COUNTER_ADD("prematch.pairs_scored", candidates.size());
+  TGLINK_COUNTER_ADD("prematch.pairs_kept", scored_pairs_.size());
 }
 
 double PreMatcher::PairSimilarity(RecordId old_id, RecordId new_id) const {
@@ -36,6 +42,7 @@ double PreMatcher::PairSimilarity(RecordId old_id, RecordId new_id) const {
 Clustering PreMatcher::Cluster(double delta,
                                const std::vector<bool>& active_old,
                                const std::vector<bool>& active_new) const {
+  TGLINK_TRACE_SPAN("prematch.cluster", delta);
   const size_t n_old = old_dataset_.num_records();
   const size_t n_new = new_dataset_.num_records();
   assert(active_old.size() == n_old && active_new.size() == n_new);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
+
 namespace tglink {
 
 std::vector<ScoredPair> GreedyOneToOneMatch(
@@ -45,6 +48,7 @@ size_t MatchWithinLinkedHouseholds(const CensusDataset& old_dataset,
                                    RecordMapping* record_mapping,
                                    std::vector<bool>* active_old,
                                    std::vector<bool>* active_new) {
+  TGLINK_TRACE_SPAN("residual.context");
   std::vector<ScoredPair> scored;
   for (const GroupLink& link : group_mapping.SortedLinks()) {
     const Household& old_hh = old_dataset.household(link.first);
@@ -75,6 +79,7 @@ size_t MatchWithinLinkedHouseholds(const CensusDataset& old_dataset,
     (*active_new)[pair.new_id] = false;
     ++added;
   }
+  TGLINK_COUNTER_ADD("residual.context_links", added);
   return added;
 }
 
@@ -86,6 +91,7 @@ size_t MatchResidualRecords(const CensusDataset& old_dataset,
                             GroupMapping* group_mapping,
                             std::vector<bool>* active_old,
                             std::vector<bool>* active_new) {
+  TGLINK_TRACE_SPAN("residual.global");
   const std::vector<ScoredPair> links = GreedyOneToOneMatch(
       old_dataset, new_dataset, sim_func, blocking, *active_old, *active_new);
   for (const ScoredPair& link : links) {
@@ -97,6 +103,7 @@ size_t MatchResidualRecords(const CensusDataset& old_dataset,
     group_mapping->Add(old_dataset.record(link.old_id).group,
                        new_dataset.record(link.new_id).group);
   }
+  TGLINK_COUNTER_ADD("residual.global_links", links.size());
   return links.size();
 }
 

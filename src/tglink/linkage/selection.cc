@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
 #include "tglink/util/logging.h"
 
 namespace tglink {
@@ -11,6 +13,7 @@ SelectionResult SelectGroupLinks(std::vector<GroupPairSubgraph> subgraphs,
                                  RecordMapping* record_mapping,
                                  std::vector<bool>* active_old,
                                  std::vector<bool>* active_new) {
+  TGLINK_TRACE_SPAN("selection.greedy");
   // Descending g_sim is the priority-queue order of Algorithm 2; a total
   // order on ties keeps runs reproducible.
   std::sort(subgraphs.begin(), subgraphs.end(),
@@ -61,6 +64,11 @@ SelectionResult SelectGroupLinks(std::vector<GroupPairSubgraph> subgraphs,
       ++result.new_record_links;
     }
   }
+  TGLINK_COUNTER_ADD("selection.accepted_subgraphs",
+                     result.accepted_subgraphs);
+  TGLINK_COUNTER_ADD("selection.rejected_overlap",
+                     subgraphs.size() - result.accepted_subgraphs);
+  TGLINK_COUNTER_ADD("selection.record_links", result.new_record_links);
   return result;
 }
 

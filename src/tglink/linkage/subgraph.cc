@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
 #include "tglink/similarity/numeric.h"
 
 namespace tglink {
@@ -149,6 +151,7 @@ std::vector<GroupPairSubgraph> BuildAllSubgraphs(
     const std::vector<HouseholdGraph>& new_graphs,
     const Clustering& clustering, const PreMatcher& prematcher,
     const LinkageConfig& config, double delta) {
+  TGLINK_TRACE_SPAN("subgraph.build_score", delta);
   // Candidate group pairs: every (old household, new household) combination
   // sharing at least one cluster label.
   std::vector<uint64_t> group_pair_keys;
@@ -177,8 +180,15 @@ std::vector<GroupPairSubgraph> BuildAllSubgraphs(
         BuildGroupPairSubgraph(go, gn, old_graphs[go], new_graphs[gn],
                                clustering, prematcher, config, old_dataset,
                                new_dataset, delta);
-    if (!subgraph.empty()) subgraphs.push_back(std::move(subgraph));
+    if (!subgraph.empty()) {
+      TGLINK_HISTOGRAM_SIZE("subgraph.vertices", subgraph.vertices.size());
+      subgraphs.push_back(std::move(subgraph));
+    }
   }
+  TGLINK_COUNTER_ADD("subgraph.candidate_group_pairs", group_pair_keys.size());
+  TGLINK_COUNTER_ADD("subgraph.built", subgraphs.size());
+  TGLINK_COUNTER_ADD("subgraph.pruned_empty",
+                     group_pair_keys.size() - subgraphs.size());
   return subgraphs;
 }
 

@@ -1,0 +1,162 @@
+#include "tglink/obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "tglink/util/logging.h"
+
+namespace tglink {
+namespace obs {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched.
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void JsonWriter::BeforeValue() {
+  if (is_object_.empty()) return;
+  if (is_object_.back()) {
+    // Inside an object a value must have been announced by Key(), which
+    // already handled the comma.
+    TGLINK_DCHECK(pending_key_) << "JSON value inside object without Key()";
+    pending_key_ = false;
+    return;
+  }
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  is_object_.push_back(true);
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  TGLINK_DCHECK(!is_object_.empty() && is_object_.back())
+      << "EndObject with no open object";
+  out_ += '}';
+  is_object_.pop_back();
+  has_element_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  is_object_.push_back(false);
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  TGLINK_DCHECK(!is_object_.empty() && !is_object_.back())
+      << "EndArray with no open array";
+  out_ += ']';
+  is_object_.pop_back();
+  has_element_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  TGLINK_DCHECK(!is_object_.empty() && is_object_.back())
+      << "Key() outside an object";
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  out_ += JsonNumber(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace tglink

@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer for the observability layer (metrics
+// snapshots, Chrome trace events, run reports). Deterministic output: no
+// locale dependence, fixed float formatting, caller-controlled key order.
+// Not a general-purpose JSON library — no parsing, no DOM.
+
+#ifndef TGLINK_OBS_JSON_WRITER_H_
+#define TGLINK_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tglink {
+namespace obs {
+
+/// Escapes `text` per RFC 8259 (quotes, backslash, control characters);
+/// returns the escaped body WITHOUT surrounding quotes.
+[[nodiscard]] std::string JsonEscape(std::string_view text);
+
+/// Formats a double as a JSON number token. Uses shortest-round-trip-ish
+/// "%.17g"; NaN and infinities (not representable in JSON) become null.
+[[nodiscard]] std::string JsonNumber(double value);
+
+/// Streaming writer with nesting bookkeeping: commas are inserted
+/// automatically, Key() is required before values inside objects.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits `"name":` inside the current object.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Splices a pre-serialized JSON value (already valid JSON) in place.
+  JsonWriter& Raw(std::string_view json);
+
+  /// The document so far; valid JSON once every Begin has been Ended.
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true = object, false = array.
+  std::vector<bool> is_object_;
+  // Whether the current container already holds at least one element.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace tglink
+
+#endif  // TGLINK_OBS_JSON_WRITER_H_

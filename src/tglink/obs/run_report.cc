@@ -1,0 +1,117 @@
+#include "tglink/obs/run_report.h"
+
+#include <utility>
+
+#include "tglink/obs/json_writer.h"
+#include "tglink/util/csv.h"
+
+namespace tglink {
+namespace obs {
+
+RunReportBuilder::RunReportBuilder(std::string tool)
+    : tool_(std::move(tool)) {}
+
+RunReportBuilder& RunReportBuilder::AddOption(std::string name,
+                                             std::string value) {
+  options_.push_back({std::move(name), '"' + JsonEscape(value) + '"'});
+  return *this;
+}
+
+RunReportBuilder& RunReportBuilder::AddOption(std::string name, double value) {
+  options_.push_back({std::move(name), JsonNumber(value)});
+  return *this;
+}
+
+RunReportBuilder& RunReportBuilder::AddOption(std::string name,
+                                              uint64_t value) {
+  options_.push_back({std::move(name), std::to_string(value)});
+  return *this;
+}
+
+RunReportBuilder& RunReportBuilder::AddScalar(std::string name, double value) {
+  scalars_.push_back({std::move(name), value});
+  return *this;
+}
+
+RunReportBuilder& RunReportBuilder::AddQuality(std::string label,
+                                               const PrecisionRecall& pr) {
+  quality_.push_back({std::move(label), pr});
+  return *this;
+}
+
+RunReportBuilder& RunReportBuilder::AddIterations(
+    const std::vector<IterationStats>& stats) {
+  iterations_.insert(iterations_.end(), stats.begin(), stats.end());
+  return *this;
+}
+
+std::string RunReportBuilder::ToJson(
+    const MetricsSnapshot& metrics,
+    const std::vector<TraceEvent>& spans) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(kRunReportSchema);
+  w.Key("tool").String(tool_);
+
+  w.Key("options").BeginObject();
+  for (const Option& option : options_) w.Key(option.name).Raw(option.text);
+  w.EndObject();
+
+  w.Key("scalars").BeginObject();
+  for (const Scalar& scalar : scalars_) {
+    w.Key(scalar.name).Double(scalar.value);
+  }
+  w.EndObject();
+
+  w.Key("quality").BeginObject();
+  for (const Quality& q : quality_) {
+    w.Key(q.label).BeginObject();
+    w.Key("precision").Double(q.pr.precision());
+    w.Key("recall").Double(q.pr.recall());
+    w.Key("f_measure").Double(q.pr.f_measure());
+    w.Key("true_positives").UInt(q.pr.true_positives);
+    w.Key("false_positives").UInt(q.pr.false_positives);
+    w.Key("false_negatives").UInt(q.pr.false_negatives);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("iterations").BeginArray();
+  for (const IterationStats& it : iterations_) {
+    w.BeginObject();
+    w.Key("delta").Double(it.delta);
+    w.Key("scored_pairs").UInt(it.scored_pairs);
+    w.Key("candidate_subgraphs").UInt(it.candidate_subgraphs);
+    w.Key("accepted_subgraphs").UInt(it.accepted_subgraphs);
+    w.Key("new_group_links").UInt(it.new_group_links);
+    w.Key("new_record_links").UInt(it.new_record_links);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("metrics").Raw(metrics.ToJson());
+
+  w.Key("spans").BeginArray();
+  for (const SpanAggregate& agg : AggregateSpans(spans)) {
+    w.BeginObject();
+    w.Key("path").String(agg.path);
+    w.Key("count").UInt(agg.count);
+    w.Key("total_ms").Double(static_cast<double>(agg.total_ns) / 1e6);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.Take();
+}
+
+std::string RunReportBuilder::ToJson() const {
+  return ToJson(GlobalMetrics().Snapshot(), GlobalTracer().Snapshot());
+}
+
+Status RunReportBuilder::WriteFile(const std::string& path) const {
+  return WriteStringToFile(path, ToJson() + "\n");
+}
+
+}  // namespace obs
+}  // namespace tglink

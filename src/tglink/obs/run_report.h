@@ -1,0 +1,81 @@
+// RunReport — one machine-readable JSON document per pipeline run, merging
+// the global metrics snapshot, the aggregated span tree, the iterative
+// driver's per-δ IterationStats and any evaluation results. Emitted by the
+// bench harnesses (--report=FILE) and tglink_cli; the BENCH_*.json
+// perf-trajectory baselines are RunReports. Schema: "tglink.run_report/1",
+// documented in DESIGN.md §7 and validated by tools/check_report.py.
+
+#ifndef TGLINK_OBS_RUN_REPORT_H_
+#define TGLINK_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tglink/eval/metrics.h"
+#include "tglink/linkage/iterative.h"
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
+#include "tglink/util/status.h"
+
+namespace tglink {
+namespace obs {
+
+inline constexpr const char* kRunReportSchema = "tglink.run_report/1";
+
+/// Accumulates the pieces of one run's report, then serializes. Options,
+/// scalars and quality entries keep insertion order; metrics and spans are
+/// captured from the process-wide registry/tracer at serialization time
+/// unless explicit snapshots are supplied.
+class RunReportBuilder {
+ public:
+  explicit RunReportBuilder(std::string tool);
+
+  RunReportBuilder& AddOption(std::string name, std::string value);
+  RunReportBuilder& AddOption(std::string name, double value);
+  RunReportBuilder& AddOption(std::string name, uint64_t value);
+
+  /// Free-form numeric result, e.g. "link_seconds" or "record_links".
+  RunReportBuilder& AddScalar(std::string name, double value);
+
+  /// Precision/recall under a labeled protocol, e.g. "record.verified".
+  RunReportBuilder& AddQuality(std::string label, const PrecisionRecall& pr);
+
+  /// Per-δ iteration diagnostics of one LinkCensusPair run.
+  RunReportBuilder& AddIterations(const std::vector<IterationStats>& stats);
+
+  /// Serializes against explicit observability state (for tests).
+  [[nodiscard]] std::string ToJson(const MetricsSnapshot& metrics,
+                                   const std::vector<TraceEvent>& spans) const;
+
+  /// Serializes against GlobalMetrics() and GlobalTracer().
+  [[nodiscard]] std::string ToJson() const;
+
+  /// ToJson() written to `path`.
+  [[nodiscard]] Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string text;  // pre-rendered JSON value
+  };
+  struct Scalar {
+    std::string name;
+    double value;
+  };
+  struct Quality {
+    std::string label;
+    PrecisionRecall pr;
+  };
+
+  std::string tool_;
+  std::vector<Option> options_;
+  std::vector<Scalar> scalars_;
+  std::vector<Quality> quality_;
+  std::vector<IterationStats> iterations_;
+};
+
+}  // namespace obs
+}  // namespace tglink
+
+#endif  // TGLINK_OBS_RUN_REPORT_H_

@@ -1,0 +1,147 @@
+#include "tglink/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "tglink/obs/json_writer.h"
+#include "tglink/util/logging.h"
+
+namespace tglink {
+namespace obs {
+
+namespace {
+
+/// Per-thread span context: the stack of open span names, joined into the
+/// path of each recorded event. Only touched while tracing is enabled.
+struct ThreadSpanStack {
+  std::vector<std::string> names;
+  std::string JoinedPath() const {
+    std::string path;
+    for (const std::string& name : names) {
+      if (!path.empty()) path += '/';
+      path += name;
+    }
+    return path;
+  }
+};
+
+ThreadSpanStack& LocalStack() {
+  thread_local ThreadSpanStack stack;
+  return stack;
+}
+
+}  // namespace
+
+std::vector<SpanAggregate> AggregateSpans(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::string, SpanAggregate> by_path;
+  for (const TraceEvent& event : events) {
+    SpanAggregate& agg = by_path[event.path];
+    if (agg.count == 0) agg.path = event.path;
+    ++agg.count;
+    agg.total_ns += event.dur_ns;
+  }
+  std::vector<SpanAggregate> out;
+  out.reserve(by_path.size());
+  for (auto& [path, agg] : by_path) out.push_back(std::move(agg));
+  return out;
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  // Deterministic order: by thread, then start time, then longest first so
+  // parents precede their children.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.name < b.name;
+            });
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& event : events) {
+    w.BeginObject();
+    w.Key("name").String(event.name);
+    w.Key("cat").String("tglink");
+    w.Key("ph").String("X");
+    w.Key("ts").Double(static_cast<double>(event.start_ns) / 1e3);
+    w.Key("dur").Double(static_cast<double>(event.dur_ns) / 1e3);
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(event.tid);
+    w.Key("args").BeginObject();
+    w.Key("path").String(event.path);
+    w.Key("depth").UInt(event.depth);
+    if (event.has_arg) w.Key("value").Double(event.arg);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.EndObject();
+  return w.Take();
+}
+
+uint64_t Tracer::NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           origin)
+          .count());
+}
+
+Tracer& GlobalTracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void ScopedSpan::Enter(std::string name) {
+  if (!GlobalTracer().enabled()) return;
+  active_ = true;
+  ThreadSpanStack& stack = LocalStack();
+  event_.depth = static_cast<uint32_t>(stack.names.size());
+  stack.names.push_back(std::move(name));
+  event_.path = stack.JoinedPath();
+  event_.name = stack.names.back();
+  event_.tid = ThreadId();
+  event_.start_ns = Tracer::NowNs();
+}
+
+ScopedSpan::ScopedSpan(std::string name) { Enter(std::move(name)); }
+
+ScopedSpan::ScopedSpan(std::string name, double arg) {
+  Enter(std::move(name));
+  event_.has_arg = true;
+  event_.arg = arg;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  event_.dur_ns = Tracer::NowNs() - event_.start_ns;
+  ThreadSpanStack& stack = LocalStack();
+  TGLINK_DCHECK(!stack.names.empty() && stack.names.back() == event_.name)
+      << "span stack corrupted: scoped spans must strictly nest";
+  stack.names.pop_back();
+  GlobalTracer().Record(std::move(event_));
+}
+
+}  // namespace obs
+}  // namespace tglink

@@ -1,0 +1,117 @@
+// Scoped span tracer: hierarchical phase timings per thread, exported as
+// Chrome trace-event JSON (load in chrome://tracing or https://ui.perfetto.dev)
+// and as an aggregated span tree for RunReport.
+//
+//   TGLINK_TRACE_SPAN("subgraph.score");          // times the enclosing scope
+//   TGLINK_TRACE_SPAN("linkage.iteration", delta);  // with a numeric arg
+//
+// Disabled by default: a span construction is then a single relaxed atomic
+// load and nothing is recorded. When enabled, span entry/exit maintains a
+// thread-local name stack (so every event knows its full "a/b/c" path) and
+// appends the completed event to a mutex-guarded buffer on exit. Spans are
+// phase-granular (per pipeline stage, per δ round) — never per record pair —
+// so the lock is uncontended in practice and TSan-clean by construction.
+
+#ifndef TGLINK_OBS_TRACE_H_
+#define TGLINK_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tglink {
+namespace obs {
+
+/// A completed span. Times are nanoseconds since the tracer's process-wide
+/// origin (first use of the clock).
+struct TraceEvent {
+  std::string name;  // leaf name, e.g. "subgraph.score"
+  std::string path;  // slash-joined ancestry, e.g. "linkage.pair/subgraph.score"
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;    // small sequential thread id (tglink::ThreadId())
+  uint32_t depth = 0;  // nesting depth at entry, 0 = top level
+  bool has_arg = false;
+  double arg = 0.0;  // optional numeric annotation (e.g. the δ of a round)
+};
+
+/// One name-aggregated node of the span tree: all events sharing a path.
+struct SpanAggregate {
+  std::string path;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+};
+
+/// Collapses events by path; sorted by path. Deterministic for a fixed
+/// event multiset.
+[[nodiscard]] std::vector<SpanAggregate> AggregateSpans(
+    const std::vector<TraceEvent>& events);
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends a completed event (called by ScopedSpan on destruction).
+  void Record(TraceEvent event);
+
+  [[nodiscard]] std::vector<TraceEvent> Snapshot() const;
+  void Clear();
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in microseconds).
+  [[nodiscard]] std::string ToChromeTraceJson() const;
+
+  /// Nanoseconds since the process-wide trace origin.
+  [[nodiscard]] static uint64_t NowNs();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The process-wide tracer all TGLINK_TRACE_SPAN sites report to.
+Tracer& GlobalTracer();
+
+/// RAII span over the global tracer. Captures the enabled flag at entry;
+/// a span that started enabled is recorded even if tracing is turned off
+/// mid-flight (and vice versa nothing half-started is recorded).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name);
+  ScopedSpan(std::string name, double arg);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Enter(std::string name);
+
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace obs
+}  // namespace tglink
+
+#define TGLINK_OBS_CONCAT_INNER(a, b) a##b
+#define TGLINK_OBS_CONCAT(a, b) TGLINK_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as a span named `...` (a name, optionally
+/// followed by a numeric arg) on the global tracer.
+#define TGLINK_TRACE_SPAN(...)                                      \
+  ::tglink::obs::ScopedSpan TGLINK_OBS_CONCAT(tglink_trace_span_,   \
+                                              __LINE__)(__VA_ARGS__)
+
+#endif  // TGLINK_OBS_TRACE_H_

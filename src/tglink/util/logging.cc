@@ -1,8 +1,10 @@
 #include "tglink/util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace tglink {
 
@@ -22,16 +24,41 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// "2026-08-06T12:34:56.789Z" — ISO-8601 UTC with millisecond precision.
+void FormatUtcTimestamp(char* buf, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &utc);
+  std::snprintf(buf, size, "%s.%03dZ", date, static_cast<int>(millis));
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+uint32_t ThreadId() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local const uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 namespace internal {
 
 void EmitLog(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[tglink %s] %s\n", LevelName(level), message.c_str());
+  char timestamp[48];
+  FormatUtcTimestamp(timestamp, sizeof(timestamp));
+  std::fprintf(stderr, "[tglink %s %s t%u] %s\n", timestamp, LevelName(level),
+               ThreadId(), message.c_str());
 }
 
 void CheckFailed(const char* file, int line, const char* condition,

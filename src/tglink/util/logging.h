@@ -12,6 +12,7 @@
 #ifndef TGLINK_UTIL_LOGGING_H_
 #define TGLINK_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -22,6 +23,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Sets the global minimum level that is actually emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Small sequential id of the calling thread (1 = first thread to ask).
+/// Stable for the thread's lifetime; shared by log lines and trace events
+/// so the two can be correlated.
+uint32_t ThreadId();
 
 namespace internal {
 

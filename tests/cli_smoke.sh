@@ -20,8 +20,12 @@ test -s "$DIR/gold_1851_1861.csv"
 
 "$CLI" link --old "$DIR/census_1851.csv" --old-year 1851 \
     --new "$DIR/census_1861.csv" --new-year 1861 \
-    --out "$DIR/map.csv" > /dev/null
+    --out "$DIR/map.csv" --report "$DIR/report.json" \
+    --trace "$DIR/trace.json" > /dev/null
 test -s "$DIR/map.csv"
+grep -q "tglink.run_report/1" "$DIR/report.json"
+grep -q "traceEvents" "$DIR/trace.json"
+grep -q "linkage.link_census_pair" "$DIR/trace.json"
 
 "$CLI" evaluate --old "$DIR/census_1851.csv" --old-year 1851 \
     --new "$DIR/census_1861.csv" --new-year 1861 \
@@ -41,5 +45,8 @@ test -s "$DIR/evo.csv"
 # Unknown commands and missing options fail loudly.
 if "$CLI" frobnicate > /dev/null 2>&1; then exit 1; fi
 if "$CLI" link > /dev/null 2>&1; then exit 1; fi
+# Malformed numeric option values are rejected, not silently parsed as 0.
+if "$CLI" stats --census "$DIR/census_1851.csv" --year banana \
+    > /dev/null 2>&1; then exit 1; fi
 
 echo "cli smoke OK"

@@ -1,0 +1,117 @@
+#include "tglink/obs/run_report.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "tglink/linkage/config.h"
+#include "tglink/linkage/iterative.h"
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace obs {
+namespace {
+
+TEST(RunReportTest, SerializesAllSectionsAgainstExplicitState) {
+  RunReportBuilder report("unit_test");
+  report.AddOption("scale", 0.25)
+      .AddOption("seed", static_cast<uint64_t>(42))
+      .AddOption("mode", std::string("fast"))
+      .AddScalar("link_seconds", 1.5);
+  PrecisionRecall pr;
+  pr.true_positives = 8;
+  pr.false_positives = 2;
+  pr.false_negatives = 4;
+  report.AddQuality("record.verified", pr);
+  IterationStats iter;
+  iter.delta = 0.5;  // exactly representable -> stable "%.17g" rendering
+  iter.scored_pairs = 10;
+  iter.accepted_subgraphs = 3;
+  report.AddIterations({iter});
+
+  MetricsSnapshot metrics;
+  metrics.counters.push_back({"x.events", 7});
+  std::vector<TraceEvent> spans;
+  TraceEvent ev;
+  ev.name = "phase";
+  ev.path = "phase";
+  ev.dur_ns = 1000;
+  spans.push_back(ev);
+
+  const std::string json = report.ToJson(metrics, spans);
+  EXPECT_NE(json.find("\"schema\":\"tglink.run_report/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tool\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"scale\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"fast\""), std::string::npos);
+  EXPECT_NE(json.find("\"link_seconds\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"record.verified\""), std::string::npos);
+  EXPECT_NE(json.find("\"precision\""), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\""), std::string::npos);
+  EXPECT_NE(json.find("\"delta\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"x.events\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"phase\""), std::string::npos);
+}
+
+TEST(RunReportTest, WriteFileRoundTrips) {
+  RunReportBuilder report("file_test");
+  const std::string path = ::testing::TempDir() + "/run_report_test.json";
+  ASSERT_TRUE(report.WriteFile(path).ok());
+  // Written file is the serialized report (spot-check the header).
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const size_t n = fread(buf, 1, sizeof(buf) - 1, f);
+  fclose(f);
+  ASSERT_GT(n, 0u);
+  EXPECT_NE(std::string(buf).find("tglink.run_report/1"), std::string::npos);
+}
+
+// Golden-shape test: a real (tiny) LinkCensusPair run emits a report whose
+// span tree contains the pipeline's phase names. Pins the instrumentation
+// against silent removal.
+TEST(RunReportTest, LinkCensusPairEmitsExpectedSpans) {
+  GlobalMetrics().ResetAllForTesting();
+  GlobalTracer().Clear();
+  GlobalTracer().SetEnabled(true);
+
+  LinkageConfig config = configs::DefaultConfig();
+  config.blocking = BlockingConfig::MakeExhaustive();
+  const LinkageResult result =
+      LinkCensusPair(testing_example::MakeCensus1871(),
+                     testing_example::MakeCensus1881(), config);
+  GlobalTracer().SetEnabled(false);
+
+  RunReportBuilder report("golden_shape");
+  report.AddIterations(result.iterations);
+  const std::string json = report.ToJson();
+
+  for (const char* span : {"linkage.link_census_pair",
+                           "linkage.complete_groups",
+                           "linkage.iteration",
+                           "prematch.score_candidates",
+                           "prematch.cluster",
+                           "subgraph.build_score",
+                           "selection.greedy",
+                           "residual.global"}) {
+    EXPECT_NE(json.find(span), std::string::npos) << "missing span " << span;
+  }
+  for (const char* counter : {"linkage.iterations",
+                              "linkage.record_links",
+                              "prematch.pairs_scored",
+                              "selection.accepted_subgraphs",
+                              "similarity.agg_calls"}) {
+    EXPECT_NE(json.find(counter), std::string::npos)
+        << "missing counter " << counter;
+  }
+  EXPECT_NE(json.find("\"schema\":\"tglink.run_report/1\""),
+            std::string::npos);
+
+  GlobalTracer().Clear();
+  GlobalMetrics().ResetAllForTesting();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tglink

@@ -1,0 +1,113 @@
+// Multi-threaded hammer over the metrics registry and tracer. The point of
+// this binary is to run clean under the `tsan` preset (tools/check.sh runs
+// it there); the assertions also pin down update-count correctness.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
+
+namespace tglink {
+namespace obs {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kIterations = 20000;
+
+TEST(ObsThreadsTest, CountersGaugesHistogramsUnderContention) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Registration races with updates from other threads on purpose.
+      Counter& counter = registry.GetCounter("hammer.events");
+      Gauge& gauge = registry.GetGauge("hammer.level");
+      Histogram& hist =
+          registry.GetHistogram("hammer.sizes", Histogram::SizeBounds());
+      for (int i = 0; i < kIterations; ++i) {
+        counter.Increment();
+        gauge.Set(static_cast<double>(t));
+        hist.Observe(static_cast<double>(i % 64));
+        if (i % 512 == 0) {
+          // Concurrent snapshots must be safe (values are advisory).
+          (void)registry.Snapshot();
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value,
+            static_cast<uint64_t>(kThreads) * kIterations);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count,
+            static_cast<uint64_t>(kThreads) * kIterations);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.histograms[0].bucket_counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.histograms[0].count);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].max, 63.0);
+  // The gauge holds whichever thread wrote last — any valid id.
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_GE(snap.gauges[0].value, 0.0);
+  EXPECT_LT(snap.gauges[0].value, kThreads);
+}
+
+TEST(ObsThreadsTest, TracerUnderContention) {
+  GlobalTracer().Clear();
+  GlobalTracer().SetEnabled(true);
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TGLINK_TRACE_SPAN("hammer.outer");
+        TGLINK_TRACE_SPAN("hammer.inner", static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  GlobalTracer().SetEnabled(false);
+
+  const std::vector<TraceEvent> events = GlobalTracer().Snapshot();
+  EXPECT_EQ(events.size(),
+            static_cast<size_t>(2 * kThreads * kSpansPerThread));
+  // Per-thread name stacks must not bleed across threads: every inner span
+  // nests under its own thread's outer span.
+  for (const TraceEvent& e : events) {
+    if (e.name == "hammer.inner") {
+      EXPECT_EQ(e.path, "hammer.outer/hammer.inner");
+      EXPECT_EQ(e.depth, 1u);
+    }
+  }
+  const std::string json = GlobalTracer().ToChromeTraceJson();
+  EXPECT_NE(json.find("hammer.inner"), std::string::npos);
+  GlobalTracer().Clear();
+}
+
+TEST(ObsThreadsTest, MacroCachedReferencesAreThreadSafe) {
+  GlobalMetrics().ResetAllForTesting();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIterations; ++i) {
+        TGLINK_COUNTER_INC("hammer.macro_events");
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(GlobalMetrics().GetCounter("hammer.macro_events").Value(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tglink

@@ -1,0 +1,106 @@
+#include "tglink/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace obs {
+namespace {
+
+/// Tests drive the process-wide tracer (ScopedSpan is hard-wired to it), so
+/// each test starts from a clean, enabled state and disables on exit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalTracer().Clear();
+    GlobalTracer().SetEnabled(true);
+  }
+  void TearDown() override {
+    GlobalTracer().SetEnabled(false);
+    GlobalTracer().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  GlobalTracer().SetEnabled(false);
+  { TGLINK_TRACE_SPAN("quiet.phase"); }
+  EXPECT_TRUE(GlobalTracer().Snapshot().empty());
+}
+
+TEST_F(TraceTest, NestedSpansCarrySlashJoinedPaths) {
+  {
+    TGLINK_TRACE_SPAN("outer");
+    {
+      TGLINK_TRACE_SPAN("inner");
+    }
+  }
+  const std::vector<TraceEvent> events = GlobalTracer().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].path, "outer/inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].path, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  // The child interval nests inside the parent's.
+  EXPECT_GE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+}
+
+TEST_F(TraceTest, NumericArgIsRecorded) {
+  { TGLINK_TRACE_SPAN("round", 0.65); }
+  const std::vector<TraceEvent> events = GlobalTracer().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].has_arg);
+  EXPECT_DOUBLE_EQ(events[0].arg, 0.65);
+}
+
+TEST_F(TraceTest, AggregateCollapsesByPath) {
+  for (int i = 0; i < 3; ++i) {
+    TGLINK_TRACE_SPAN("repeat");
+  }
+  { TGLINK_TRACE_SPAN("once"); }
+  const std::vector<SpanAggregate> agg =
+      AggregateSpans(GlobalTracer().Snapshot());
+  ASSERT_EQ(agg.size(), 2u);  // sorted by path
+  EXPECT_EQ(agg[0].path, "once");
+  EXPECT_EQ(agg[0].count, 1u);
+  EXPECT_EQ(agg[1].path, "repeat");
+  EXPECT_EQ(agg[1].count, 3u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonHasCompleteEvents) {
+  {
+    TGLINK_TRACE_SPAN("phase.alpha");
+    TGLINK_TRACE_SPAN("phase.beta", 2.0);
+  }
+  const std::string json = GlobalTracer().ToChromeTraceJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"phase.alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"phase.beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearEmptiesTheBuffer) {
+  { TGLINK_TRACE_SPAN("gone"); }
+  ASSERT_FALSE(GlobalTracer().Snapshot().empty());
+  GlobalTracer().Clear();
+  EXPECT_TRUE(GlobalTracer().Snapshot().empty());
+}
+
+TEST_F(TraceTest, EnabledFlagCapturedAtEntry) {
+  // A span that started disabled records nothing even if tracing turns on
+  // mid-flight; nothing half-started leaks into the buffer.
+  GlobalTracer().SetEnabled(false);
+  {
+    TGLINK_TRACE_SPAN("straddle");
+    GlobalTracer().SetEnabled(true);
+  }
+  EXPECT_TRUE(GlobalTracer().Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tglink

@@ -39,6 +39,27 @@ python3 tools/tglink_lint.py --root "$root"
 
 run_preset release
 
+# Perf smoke: a scaled-down bench run must produce a schema-valid RunReport
+# and a loadable Chrome trace (tools/check_report.py validates both). This is
+# the gate that keeps the --report/--trace plumbing and the pipeline's span/
+# counter instrumentation alive.
+stage "perf smoke: table5_iterative --report/--trace"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+"$root/build-release/bench/table5_iterative" --scale=0.05 \
+  --report="$smoke_dir/report.json" --trace="$smoke_dir/trace.json" \
+  > "$smoke_dir/stdout.txt"
+python3 tools/check_report.py "$smoke_dir/report.json" \
+  --trace "$smoke_dir/trace.json" \
+  --expect-span linkage.link_census_pair \
+  --expect-span linkage.iteration \
+  --expect-span subgraph.build_score \
+  --expect-span selection.greedy \
+  --expect-span residual.global \
+  --expect-counter linkage.iterations \
+  --expect-counter blocking.candidate_pairs \
+  --expect-counter similarity.agg_calls
+
 if [ "$quick" -eq 0 ]; then
   run_preset asan
 fi

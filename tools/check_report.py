@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""check_report — validates a tglink RunReport JSON (and optionally the
+matching Chrome trace) against the tglink.run_report/1 schema.
+
+Usage:
+    python3 tools/check_report.py REPORT.json [--trace TRACE.json]
+            [--expect-span NAME ...] [--expect-counter NAME ...]
+
+Used by tools/check.sh's perf-smoke stage and usable standalone on any
+BENCH_*.json artifact. Exits non-zero with a message per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "tglink.run_report/1"
+TOP_LEVEL_KEYS = {
+    "schema", "tool", "options", "scalars", "quality", "iterations",
+    "metrics", "spans",
+}
+QUALITY_KEYS = {
+    "true_positives", "false_positives", "false_negatives",
+    "precision", "recall", "f_measure",
+}
+ITERATION_KEYS = {
+    "delta", "scored_pairs", "candidate_subgraphs", "accepted_subgraphs",
+    "new_group_links", "new_record_links",
+}
+
+
+def fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+
+
+def check_report(report: dict, expect_spans: list[str],
+                 expect_counters: list[str]) -> list[str]:
+    errors: list[str] = []
+    if report.get("schema") != SCHEMA:
+        fail(errors, f"schema is {report.get('schema')!r}, want {SCHEMA!r}")
+    missing = TOP_LEVEL_KEYS - report.keys()
+    if missing:
+        fail(errors, f"missing top-level keys: {sorted(missing)}")
+        return errors
+    extra = report.keys() - TOP_LEVEL_KEYS
+    if extra:
+        fail(errors, f"unknown top-level keys: {sorted(extra)}")
+    if not isinstance(report["tool"], str) or not report["tool"]:
+        fail(errors, "tool must be a non-empty string")
+    if not isinstance(report["options"], dict):
+        fail(errors, "options must be an object")
+    if not isinstance(report["scalars"], dict):
+        fail(errors, "scalars must be an object")
+    else:
+        for name, value in report["scalars"].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(errors, f"scalar {name!r} is not a number: {value!r}")
+
+    for label, pr in report.get("quality", {}).items():
+        missing = QUALITY_KEYS - pr.keys()
+        if missing:
+            fail(errors, f"quality[{label!r}] missing {sorted(missing)}")
+        for bound in ("precision", "recall", "f_measure"):
+            v = pr.get(bound)
+            if isinstance(v, (int, float)) and not 0.0 <= v <= 1.0:
+                fail(errors, f"quality[{label!r}].{bound} out of [0,1]: {v}")
+
+    for k, it in enumerate(report.get("iterations", [])):
+        missing = ITERATION_KEYS - it.keys()
+        if missing:
+            fail(errors, f"iterations[{k}] missing {sorted(missing)}")
+
+    metrics = report["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics:
+            fail(errors, f"metrics missing {section!r}")
+    for name, hist in metrics.get("histograms", {}).items():
+        for key in ("count", "sum", "buckets"):
+            if key not in hist:
+                fail(errors, f"histogram {name!r} missing {key!r}")
+        bucket_total = sum(b.get("count", 0) for b in hist.get("buckets", []))
+        if bucket_total > hist.get("count", 0):
+            fail(errors,
+                 f"histogram {name!r}: bucket counts ({bucket_total}) exceed "
+                 f"total count ({hist.get('count')})")
+
+    spans = report["spans"]
+    if not isinstance(spans, list):
+        fail(errors, "spans must be an array")
+        spans = []
+    paths = set()
+    for k, span in enumerate(spans):
+        for key in ("path", "count", "total_ms"):
+            if key not in span:
+                fail(errors, f"spans[{k}] missing {key!r}")
+        paths.add(span.get("path", ""))
+    leaf_names = {p.rsplit("/", 1)[-1] for p in paths}
+    for want in expect_spans:
+        if want not in leaf_names and want not in paths:
+            fail(errors, f"expected span {want!r} not present")
+
+    counters = metrics.get("counters", {})
+    for want in expect_counters:
+        if want not in counters:
+            fail(errors, f"expected counter {want!r} not present")
+
+    return errors
+
+
+def check_trace(trace: dict) -> list[str]:
+    errors: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace: traceEvents missing or not an array"]
+    if not events:
+        fail(errors, "trace: traceEvents is empty")
+    for k, ev in enumerate(events):
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                fail(errors, f"trace: event {k} missing {key!r}")
+                break
+        if ev.get("ph") != "X":
+            fail(errors, f"trace: event {k} has ph={ev.get('ph')!r}, "
+                         f"want complete event 'X'")
+            break
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="RunReport JSON file")
+    parser.add_argument("--trace", help="Chrome trace JSON to validate too")
+    parser.add_argument("--expect-span", action="append", default=[],
+                        help="span leaf name (or full path) that must appear")
+    parser.add_argument("--expect-counter", action="append", default=[],
+                        help="counter name that must appear")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_report: cannot load {args.report}: {e}",
+              file=sys.stderr)
+        return 1
+    errors = check_report(report, args.expect_span, args.expect_counter)
+
+    if args.trace:
+        try:
+            with open(args.trace, encoding="utf-8") as f:
+                errors.extend(check_trace(json.load(f)))
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"trace: cannot load {args.trace}: {e}")
+
+    for e in errors:
+        print(f"check_report: {e}", file=sys.stderr)
+    if not errors:
+        print(f"check_report: {args.report} OK"
+              + (f" (+ trace {args.trace})" if args.trace else ""))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

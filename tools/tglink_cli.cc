@@ -13,18 +13,22 @@
 //
 //   tglink_cli link --old FILE --old-year Y1 --new FILE --new-year Y2
 //              --out MAPPINGS [--delta-low F] [--alpha F] [--beta F]
-//              [--non-iterative] [--omega1]
-//       Runs iterative record and group linkage, writes the mappings CSV.
+//              [--non-iterative] [--omega1] [--report FILE] [--trace FILE]
+//       Runs iterative record and group linkage, writes the mappings CSV;
+//       --report writes a RunReport JSON, --trace a Chrome trace.
 //
 //   tglink_cli evaluate --old FILE --old-year Y1 --new FILE --new-year Y2
 //              --mappings FILE --gold FILE [--protocol full|verified]
 //       Precision/recall/F-measure of stored mappings against gold.
 //
 //   tglink_cli analyze --dir DIR --years Y1,Y2,... [--dot FILE] [--csv FILE]
+//              [--report FILE] [--trace FILE]
 //       Links the whole series in DIR (census_<year>.csv), prints evolution
 //       patterns, preserved-household chains, components and frequent
 //       trajectories; optionally exports the evolution graph.
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +47,8 @@
 #include "tglink/linkage/config.h"
 #include "tglink/linkage/iterative.h"
 #include "tglink/linkage/result_io.h"
+#include "tglink/obs/run_report.h"
+#include "tglink/obs/trace.h"
 #include "tglink/synth/generator.h"
 #include "tglink/util/csv.h"
 #include "tglink/util/strings.h"
@@ -76,11 +82,26 @@ class Args {
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == values_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+      BadValue(key, it->second, "a number");
+    }
+    return value;
   }
   int GetInt(const std::string& key, int fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+    if (it == values_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE ||
+        value < INT_MIN || value > INT_MAX) {
+      BadValue(key, it->second, "an integer");
+    }
+    return static_cast<int>(value);
   }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
@@ -95,8 +116,46 @@ class Args {
   }
 
  private:
+  [[noreturn]] static void BadValue(const std::string& key,
+                                    const std::string& value,
+                                    const char* expected) {
+    std::fprintf(stderr, "bad value '%s' for --%s (expected %s)\n",
+                 value.c_str(), key.c_str(), expected);
+    std::exit(2);
+  }
+
   std::map<std::string, std::string> values_;
 };
+
+/// Turns span collection on when the user asked for --report or --trace
+/// (the report embeds the aggregated span tree). Call before the work runs.
+void MaybeEnableTracing(const Args& args) {
+  if (args.Has("report") || args.Has("trace")) {
+    obs::GlobalTracer().SetEnabled(true);
+  }
+}
+
+/// Writes the --report / --trace artifacts; returns 1 on I/O failure.
+int EmitObsArtifacts(const obs::RunReportBuilder& report, const Args& args) {
+  if (args.Has("report")) {
+    const Status st = report.WriteFile(args.Get("report"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.Get("report").c_str());
+  }
+  if (args.Has("trace")) {
+    const Status st = WriteStringToFile(
+        args.Get("trace"), obs::GlobalTracer().ToChromeTraceJson());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.Get("trace").c_str());
+  }
+  return 0;
+}
 
 CensusDataset LoadOrDie(const std::string& path, int year) {
   auto dataset = LoadDataset(path, year);
@@ -188,6 +247,7 @@ LinkageConfig ConfigFromArgs(const Args& args) {
 }
 
 int CmdLink(const Args& args) {
+  MaybeEnableTracing(args);
   const CensusDataset old_dataset =
       LoadOrDie(args.Require("old"), args.GetInt("old-year", 0));
   const CensusDataset new_dataset =
@@ -195,8 +255,8 @@ int CmdLink(const Args& args) {
   Timer timer;
   const LinkageResult result =
       LinkCensusPair(old_dataset, new_dataset, ConfigFromArgs(args));
-  std::printf("%s (%.1fs)\n", result.Summary().c_str(),
-              timer.ElapsedSeconds());
+  const double seconds = timer.ElapsedSeconds();
+  std::printf("%s (%.1fs)\n", result.Summary().c_str(), seconds);
   const Status st =
       SaveMappings(result.record_mapping, result.group_mapping, old_dataset,
                    new_dataset, args.Require("out"));
@@ -205,7 +265,17 @@ int CmdLink(const Args& args) {
     return 1;
   }
   std::printf("wrote %s\n", args.Get("out").c_str());
-  return 0;
+
+  obs::RunReportBuilder report("tglink_cli.link");
+  report.AddOption("old", args.Get("old"))
+      .AddOption("new", args.Get("new"))
+      .AddScalar("link_seconds", seconds)
+      .AddScalar("record_links",
+                 static_cast<double>(result.record_mapping.size()))
+      .AddScalar("group_links",
+                 static_cast<double>(result.group_mapping.size()))
+      .AddIterations(result.iterations);
+  return EmitObsArtifacts(report, args);
 }
 
 int CmdEvaluate(const Args& args) {
@@ -268,6 +338,7 @@ int CmdEvaluate(const Args& args) {
 }
 
 int CmdAnalyze(const Args& args) {
+  MaybeEnableTracing(args);
   const std::string dir = args.Require("dir");
   const std::vector<std::string> year_strings =
       Split(args.Require("years"), ',');
@@ -287,6 +358,8 @@ int CmdAnalyze(const Args& args) {
   }
 
   const LinkageConfig config = ConfigFromArgs(args);
+  obs::RunReportBuilder report("tglink_cli.analyze");
+  report.AddOption("dir", dir).AddOption("years", args.Get("years"));
   std::vector<RecordMapping> record_mappings;
   std::vector<GroupMapping> group_mappings;
   for (size_t i = 0; i + 1 < datasets.size(); ++i) {
@@ -296,6 +369,8 @@ int CmdAnalyze(const Args& args) {
     std::printf("linked %d->%d: %s (%.1fs)\n", datasets[i].year(),
                 datasets[i + 1].year(), result.Summary().c_str(),
                 timer.ElapsedSeconds());
+    report.AddScalar("link_seconds." + std::to_string(datasets[i].year()),
+                     timer.ElapsedSeconds());
     record_mappings.push_back(std::move(result.record_mapping));
     group_mappings.push_back(std::move(result.group_mapping));
   }
@@ -326,6 +401,9 @@ int CmdAnalyze(const Args& args) {
   std::printf("\nlargest connected component: %zu households (%.1f%%)\n",
               components.largest_component,
               100.0 * components.largest_coverage);
+  report.AddScalar("largest_component",
+                   static_cast<double>(components.largest_component))
+      .AddScalar("largest_coverage", components.largest_coverage);
 
   const auto trajectories = ExtractTrajectories(graph);
   std::printf("\ntop household trajectories:\n");
@@ -352,7 +430,7 @@ int CmdAnalyze(const Args& args) {
     }
     std::printf("wrote %s\n", args.Get("csv").c_str());
   }
-  return 0;
+  return EmitObsArtifacts(report, args);
 }
 
 int Usage() {

@@ -26,6 +26,11 @@ Rules (library code = everything under src/tglink/):
                      TGLINK_CHECK_OK it
   dcheck-side-effect TGLINK_DCHECK conditions must not contain obvious
                      mutations (++/--/=), since they vanish under NDEBUG
+  raw-stopwatch      no hand-rolled std::chrono stopwatches or
+                     tglink/util/timer.h in library code — instrument with
+                     the tglink/obs metrics/tracing APIs instead (the obs
+                     layer itself, util/timer.h and logging.cc implement
+                     the clocks and are exempt)
 
 Suppression: append  // tglink-lint: disable=<rule>  to the offending line.
 """
@@ -54,6 +59,18 @@ STATUS_FUNCTIONS = (
 STATUS_METHOD_NAMES = ("Add",)
 
 SUPPRESS_RE = re.compile(r"//\s*tglink-lint:\s*disable=([\w,-]+)")
+
+# Library files allowed to touch std::chrono directly: the observability
+# layer and the timing/timestamp utilities ARE the sanctioned clocks.
+STOPWATCH_EXEMPT = (
+    os.path.join("src", "tglink", "obs") + os.sep,
+    os.path.join("src", "tglink", "util", "timer.h"),
+    os.path.join("src", "tglink", "util", "logging.cc"),
+)
+
+STOPWATCH_RE = re.compile(
+    r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+)
 
 
 class Finding:
@@ -100,6 +117,7 @@ def lint_file(root: str, relpath: str) -> list[Finding]:
     is_lib = relpath.startswith(LIB_PREFIX)
     is_header = relpath.endswith(".h")
     is_source = relpath.endswith((".cc", ".cpp"))
+    stopwatch_exempt = relpath.startswith(STOPWATCH_EXEMPT)
 
     def add(line_no: int, rule: str, message: str) -> None:
         if not suppressed(raw_lines[line_no - 1], rule):
@@ -161,11 +179,24 @@ def lint_file(root: str, relpath: str) -> list[Finding]:
                 add(i, "include-style",
                     f'"{target}" must be included by its full '
                     f'"tglink/..." path')
+            if (
+                is_lib
+                and not stopwatch_exempt
+                and target == "tglink/util/timer.h"
+            ):
+                add(i, "raw-stopwatch",
+                    "util/timer.h in library code; time phases with "
+                    "TGLINK_TRACE_SPAN / tglink/obs metrics instead")
             if first_include is None:
                 first_include = target
 
         if not is_lib:
             continue
+
+        if not stopwatch_exempt and STOPWATCH_RE.search(scrubbed):
+            add(i, "raw-stopwatch",
+                "hand-rolled std::chrono stopwatch in library code; use "
+                "TGLINK_TRACE_SPAN / tglink/obs metrics instead")
 
         if re.search(r"(?<![\w:])s?rand\s*\(", scrubbed) or re.search(
             r"std::random_shuffle", scrubbed
@@ -310,6 +341,33 @@ FIXTURES = [
         "  TGLINK_DCHECK(n++ < 10);\n"
         "}\n",
         {"dcheck-side-effect"},
+    ),
+    (
+        "src/tglink/bad/stopwatch.cc",
+        '#include "tglink/bad/stopwatch.h"\n'
+        "#include <chrono>\n"
+        "double Now() {\n"
+        "  auto t = std::chrono::steady_clock::now();\n"
+        "  return t.time_since_epoch().count();\n"
+        "}\n",
+        {"raw-stopwatch"},
+    ),
+    (
+        "src/tglink/bad/timer_include.cc",
+        '#include "tglink/bad/timer_include.h"\n'
+        '#include "tglink/util/timer.h"\n',
+        {"raw-stopwatch"},
+    ),
+    (
+        # The obs layer implements the clocks — exempt from raw-stopwatch.
+        "src/tglink/obs/exempt_clock.cc",
+        '#include "tglink/obs/exempt_clock.h"\n'
+        "#include <chrono>\n"
+        "long Tick() {\n"
+        "  return std::chrono::steady_clock::now()"
+        ".time_since_epoch().count();\n"
+        "}\n",
+        set(),
     ),
     (
         # A clean library file: none of the rules may fire on it.
