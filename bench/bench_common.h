@@ -19,6 +19,7 @@
 #include "tglink/obs/trace.h"
 #include "tglink/synth/generator.h"
 #include "tglink/util/csv.h"
+#include "tglink/util/parallel.h"
 #include "tglink/util/timer.h"
 
 namespace tglink {
@@ -36,6 +37,10 @@ struct BenchOptions {
   std::string report_path;
   /// When non-empty, EmitRunArtifacts writes Chrome trace-event JSON here.
   std::string trace_path;
+  /// Worker threads for the parallel pipeline stages: 1 = serial (the
+  /// default, today's behaviour), 0 = one per hardware thread. Results are
+  /// identical for every value — see util/parallel.h.
+  int threads = 1;
 };
 
 namespace detail {
@@ -109,12 +114,21 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv,
       if (options.trace_path.empty()) {
         detail::OptionError("--trace", arg + 8, "a file path");
       }
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.threads = detail::ParseIntValue("--threads", arg + 10);
+      if (options.threads < 0) {
+        detail::OptionError("--threads", arg + 10,
+                            "0 (hardware) or a positive count");
+      }
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "options: --scale=F --seed=N --pair=K --report=FILE --trace=FILE\n"
+          "options: --scale=F --seed=N --pair=K --threads=N --report=FILE "
+          "--trace=FILE\n"
           "  --scale=F    fraction of Table 1 dataset sizes (default 0.25)\n"
           "  --seed=N     synthetic-data RNG seed (default 42)\n"
           "  --pair=K     successive census pair index (default 2)\n"
+          "  --threads=N  worker threads; 1 = serial (default), 0 = one per\n"
+          "               hardware thread; results are identical either way\n"
           "  --report=FILE  write a RunReport JSON (tglink.run_report/1)\n"
           "  --trace=FILE   write Chrome trace-event JSON (chrome://tracing)\n");
       std::exit(0);
@@ -127,6 +141,7 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv,
   if (!options.report_path.empty() || !options.trace_path.empty()) {
     obs::GlobalTracer().SetEnabled(true);
   }
+  SetParallelThreadCount(options.threads);
   return options;
 }
 
@@ -136,7 +151,8 @@ inline obs::RunReportBuilder MakeRunReport(const std::string& tool,
   obs::RunReportBuilder report(tool);
   report.AddOption("scale", options.scale)
       .AddOption("seed", options.seed)
-      .AddOption("pair", static_cast<uint64_t>(options.pair_index));
+      .AddOption("pair", static_cast<uint64_t>(options.pair_index))
+      .AddOption("threads", static_cast<uint64_t>(ParallelThreadCount()));
   return report;
 }
 

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "tglink/linkage/prematching.h"
+#include "tglink/similarity/sim_cache.h"
+#include "tglink/util/parallel.h"
 
 namespace tglink {
 
@@ -84,17 +86,28 @@ RecordMapping CollectiveLink(const CensusDataset& old_dataset,
   sim_func.set_year_gap(year_gap);
 
   // Score candidates once; apply the age filter and the similarity floor.
+  // Scoring fans out over the shared pool with memoized string measures;
+  // the -1 sentinel marks age-filtered pairs so the serial merge below
+  // keeps exactly what the serial loop kept, in the same order.
+  const std::vector<CandidatePair> raw_candidates =
+      GenerateCandidatePairs(old_dataset, new_dataset, config.blocking);
+  const SimCache sim_cache(sim_func, old_dataset, new_dataset);
+  const std::vector<double> sims = ParallelMap<double>(
+      raw_candidates.size(), "collective.score_chunk", [&](size_t i) {
+        const CandidatePair& cand = raw_candidates[i];
+        const PersonRecord& ro = old_dataset.record(cand.old_id);
+        const PersonRecord& rn = new_dataset.record(cand.new_id);
+        if (ro.has_age() && rn.has_age() &&
+            std::abs(ro.age + year_gap - rn.age) > config.max_age_difference) {
+          return -1.0;
+        }
+        return sim_cache.Aggregate(cand.old_id, cand.new_id);
+      });
   std::unordered_map<uint64_t, double> attr_sim;
   std::vector<ScoredPair> candidates;
-  for (const CandidatePair& cand :
-       GenerateCandidatePairs(old_dataset, new_dataset, config.blocking)) {
-    const PersonRecord& ro = old_dataset.record(cand.old_id);
-    const PersonRecord& rn = new_dataset.record(cand.new_id);
-    if (ro.has_age() && rn.has_age() &&
-        std::abs(ro.age + year_gap - rn.age) > config.max_age_difference) {
-      continue;
-    }
-    const double sim = sim_func.AggregateSimilarity(ro, rn);
+  for (size_t i = 0; i < raw_candidates.size(); ++i) {
+    const CandidatePair& cand = raw_candidates[i];
+    const double sim = sims[i];
     if (sim < config.min_similarity) continue;
     candidates.push_back({cand.old_id, cand.new_id, sim});
     attr_sim.emplace(

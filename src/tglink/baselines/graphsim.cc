@@ -7,6 +7,7 @@
 #include "tglink/graph/enrichment.h"
 #include "tglink/linkage/residual.h"
 #include "tglink/similarity/numeric.h"
+#include "tglink/util/parallel.h"
 
 namespace tglink {
 
@@ -54,53 +55,61 @@ GraphSimResult GraphSimLink(const CensusDataset& old_dataset,
   for (const auto& [key, links] : pair_links) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
 
-  for (uint64_t key : keys) {
-    const GroupId go = static_cast<GroupId>(key >> 32);
-    const GroupId gn = static_cast<GroupId>(key & 0xFFFFFFFFu);
-    const std::vector<RecordLink>& links = pair_links[key];
+  // Household pairs score independently over the fixed record mapping, so
+  // the scoring fans out over the shared pool; the accept loop below walks
+  // the combined scores in the sorted key order the serial code used.
+  const std::vector<double> combined_scores = ParallelMap<double>(
+      keys.size(), "graphsim.household_chunk", [&](size_t key_index) {
+        const uint64_t key = keys[key_index];
+        const GroupId go = static_cast<GroupId>(key >> 32);
+        const GroupId gn = static_cast<GroupId>(key & 0xFFFFFFFFu);
+        const std::vector<RecordLink>& links = pair_links.at(key);
 
-    double sim_sum = 0.0;
-    for (const RecordLink& link : links) {
-      sim_sum +=
-          link_sim.at((static_cast<uint64_t>(link.first) << 32) | link.second);
-    }
-    const double avg_sim = sim_sum / static_cast<double>(links.size());
-
-    // Edge similarity over the linked member pairs, Dice-normalized by the
-    // households' total (enriched) relationship counts, as in Eq. 6.
-    const HouseholdGraph& old_graph = old_graphs[go];
-    const HouseholdGraph& new_graph = new_graphs[gn];
-    double rp_sum = 0.0;
-    for (size_t i = 0; i < links.size(); ++i) {
-      for (size_t j = i + 1; j < links.size(); ++j) {
-        const RelEdge* old_edge =
-            old_graph.EdgeBetween(links[i].first, links[j].first);
-        const RelEdge* new_edge =
-            new_graph.EdgeBetween(links[i].second, links[j].second);
-        if (old_edge == nullptr || new_edge == nullptr) continue;
-        if (old_edge->type != new_edge->type) continue;
-        if (old_edge->age_diff_known && new_edge->age_diff_known) {
-          const int d_old = old_graph.OrientedAgeDiff(*old_edge, links[i].first,
-                                                      links[j].first);
-          const int d_new = new_graph.OrientedAgeDiff(
-              *new_edge, links[i].second, links[j].second);
-          const double rp =
-              AgeDiffSimilarity(d_old, d_new, config.edge_age_tolerance);
-          if (rp > 0.0) rp_sum += rp;
-        } else {
-          rp_sum += 0.5;
+        double sim_sum = 0.0;
+        for (const RecordLink& link : links) {
+          sim_sum +=
+              link_sim.at((static_cast<uint64_t>(link.first) << 32) | link.second);
         }
-      }
-    }
-    const size_t total_edges = old_graph.num_edges() + new_graph.num_edges();
-    const double e_sim =
-        total_edges == 0 ? 0.0
-                         : 2.0 * rp_sum / static_cast<double>(total_edges);
+        const double avg_sim = sim_sum / static_cast<double>(links.size());
 
-    const double combined = config.record_weight * avg_sim +
-                            (1.0 - config.record_weight) * e_sim;
-    if (combined >= config.group_threshold) {
-      result.group_mapping.Add(go, gn);
+        // Edge similarity over the linked member pairs, Dice-normalized by the
+        // households' total (enriched) relationship counts, as in Eq. 6.
+        const HouseholdGraph& old_graph = old_graphs[go];
+        const HouseholdGraph& new_graph = new_graphs[gn];
+        double rp_sum = 0.0;
+        for (size_t i = 0; i < links.size(); ++i) {
+          for (size_t j = i + 1; j < links.size(); ++j) {
+            const RelEdge* old_edge =
+                old_graph.EdgeBetween(links[i].first, links[j].first);
+            const RelEdge* new_edge =
+                new_graph.EdgeBetween(links[i].second, links[j].second);
+            if (old_edge == nullptr || new_edge == nullptr) continue;
+            if (old_edge->type != new_edge->type) continue;
+            if (old_edge->age_diff_known && new_edge->age_diff_known) {
+              const int d_old = old_graph.OrientedAgeDiff(*old_edge, links[i].first,
+                                                          links[j].first);
+              const int d_new = new_graph.OrientedAgeDiff(
+                  *new_edge, links[i].second, links[j].second);
+              const double rp =
+                  AgeDiffSimilarity(d_old, d_new, config.edge_age_tolerance);
+              if (rp > 0.0) rp_sum += rp;
+            } else {
+              rp_sum += 0.5;
+            }
+          }
+        }
+        const size_t total_edges = old_graph.num_edges() + new_graph.num_edges();
+        const double e_sim =
+            total_edges == 0 ? 0.0
+                             : 2.0 * rp_sum / static_cast<double>(total_edges);
+
+        return config.record_weight * avg_sim +
+               (1.0 - config.record_weight) * e_sim;
+      });
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (combined_scores[i] >= config.group_threshold) {
+      result.group_mapping.Add(static_cast<GroupId>(keys[i] >> 32),
+                               static_cast<GroupId>(keys[i] & 0xFFFFFFFFu));
     }
   }
 

@@ -44,17 +44,6 @@ std::vector<HouseholdGraph> BuildStarGraphs(const CensusDataset& dataset) {
   return graphs;
 }
 
-size_t CountPairsAtDelta(const std::vector<ScoredPair>& pairs, double delta,
-                         const std::vector<bool>& active_old,
-                         const std::vector<bool>& active_new) {
-  size_t count = 0;
-  for (const ScoredPair& p : pairs) {
-    if (p.sim + 1e-12 >= delta && active_old[p.old_id] && active_new[p.new_id])
-      ++count;
-  }
-  return count;
-}
-
 #ifndef NDEBUG
 size_t CountActive(const std::vector<bool>& active) {
   size_t count = 0;
@@ -139,8 +128,8 @@ LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
 
     IterationStats stats;
     stats.delta = delta;
-    stats.scored_pairs = CountPairsAtDelta(prematcher.scored_pairs(), delta,
-                                           active_old, active_new);
+    stats.scored_pairs =
+        prematcher.CountPairsAtDelta(delta, active_old, active_new);
     stats.candidate_subgraphs = subgraphs.size();
 
 #ifndef NDEBUG

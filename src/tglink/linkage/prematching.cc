@@ -1,10 +1,12 @@
 #include "tglink/linkage/prematching.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "tglink/graph/union_find.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
+#include "tglink/util/parallel.h"
 
 namespace tglink {
 
@@ -14,29 +16,66 @@ PreMatcher::PreMatcher(const CensusDataset& old_dataset,
                        const BlockingConfig& blocking, double min_threshold)
     : old_dataset_(old_dataset),
       new_dataset_(new_dataset),
-      sim_func_(sim_func) {
+      sim_cache_(sim_func, old_dataset, new_dataset) {
   TGLINK_TRACE_SPAN("prematch.score_candidates");
   const std::vector<CandidatePair> candidates =
       GenerateCandidatePairs(old_dataset, new_dataset, blocking);
+  // Score chunks in parallel; the per-candidate results come back in
+  // candidate order, so the serial keep/merge below is bit-identical to
+  // the single-threaded path.
+  const std::vector<double> sims = ParallelMap<double>(
+      candidates.size(), "prematch.score_chunk", [this, &candidates](size_t i) {
+        const CandidatePair& cand = candidates[i];
+        return sim_cache_.Aggregate(cand.old_id, cand.new_id);
+      });
   scored_pairs_.reserve(candidates.size() / 8);
-  for (const CandidatePair& cand : candidates) {
-    const double sim = sim_func.AggregateSimilarity(
-        old_dataset.record(cand.old_id), new_dataset.record(cand.new_id));
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double sim = sims[i];
     if (sim >= min_threshold) {
       TGLINK_HISTOGRAM_SCORE("prematch.kept_pair_sim", sim);
-      scored_pairs_.push_back({cand.old_id, cand.new_id, sim});
-      pair_sim_.emplace(Key(cand.old_id, cand.new_id), sim);
+      scored_pairs_.push_back({candidates[i].old_id, candidates[i].new_id, sim});
+      pair_sim_.emplace(Key(candidates[i].old_id, candidates[i].new_id), sim);
     }
   }
+  // Descending-sim order makes the pairs admissible at any δ a prefix, so
+  // the per-iteration Cluster/CountPairsAtDelta never rescan pairs the
+  // current threshold already excludes. Ties break on (old, new) for
+  // deterministic union-find label assignment.
+  std::sort(scored_pairs_.begin(), scored_pairs_.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              if (a.sim != b.sim) return a.sim > b.sim;
+              if (a.old_id != b.old_id) return a.old_id < b.old_id;
+              return a.new_id < b.new_id;
+            });
   TGLINK_COUNTER_ADD("prematch.pairs_scored", candidates.size());
   TGLINK_COUNTER_ADD("prematch.pairs_kept", scored_pairs_.size());
+}
+
+size_t PreMatcher::PrefixAtDelta(double delta) const {
+  const auto it = std::partition_point(
+      scored_pairs_.begin(), scored_pairs_.end(),
+      [delta](const ScoredPair& p) { return p.sim + 1e-12 >= delta; });
+  return static_cast<size_t>(it - scored_pairs_.begin());
+}
+
+size_t PreMatcher::CountPairsAtDelta(double delta,
+                                     const std::vector<bool>& active_old,
+                                     const std::vector<bool>& active_new)
+    const {
+  const size_t prefix = PrefixAtDelta(delta);
+  size_t count = 0;
+  for (size_t i = 0; i < prefix; ++i) {
+    const ScoredPair& p = scored_pairs_[i];
+    if (active_old[p.old_id] && active_new[p.new_id]) ++count;
+  }
+  return count;
 }
 
 double PreMatcher::PairSimilarity(RecordId old_id, RecordId new_id) const {
   auto it = pair_sim_.find(Key(old_id, new_id));
   if (it != pair_sim_.end()) return it->second;
-  return sim_func_.AggregateSimilarity(old_dataset_.record(old_id),
-                                       new_dataset_.record(new_id));
+  TGLINK_COUNTER_INC("simcache.prematch_miss");
+  return sim_cache_.Aggregate(old_id, new_id);
 }
 
 Clustering PreMatcher::Cluster(double delta,
@@ -48,10 +87,12 @@ Clustering PreMatcher::Cluster(double delta,
   assert(active_old.size() == n_old && active_new.size() == n_new);
 
   // Transitive closure over accepted pairs; node space is old records
-  // followed by new records.
+  // followed by new records. Only the δ prefix of the descending-sim
+  // order can contribute unions.
+  const size_t prefix = PrefixAtDelta(delta);
   UnionFind uf(n_old + n_new);
-  for (const ScoredPair& pair : scored_pairs_) {
-    if (pair.sim + 1e-12 < delta) continue;
+  for (size_t i = 0; i < prefix; ++i) {
+    const ScoredPair& pair = scored_pairs_[i];
     if (!active_old[pair.old_id] || !active_new[pair.new_id]) continue;
     uf.Union(pair.old_id, n_old + pair.new_id);
   }

@@ -7,7 +7,12 @@
 // Algorithm 1 (only δ and the set of still-unmatched records do), PreMatcher
 // scores each candidate pair exactly once — at the lowest threshold the
 // schedule will ever use — and each iteration's clustering is a cheap filter
-// over the cached scores.
+// over the cached scores. Scoring fans out over the shared thread pool
+// (util/parallel.h) with an ordered merge, and individual string-measure
+// results are memoized in a SimCache, so the output is bit-identical to a
+// serial, uncached run. The kept pairs are then sorted by descending
+// similarity once, so each δ round touches only the prefix of pairs at or
+// above its threshold instead of rescanning everything.
 
 #ifndef TGLINK_LINKAGE_PREMATCHING_H_
 #define TGLINK_LINKAGE_PREMATCHING_H_
@@ -19,6 +24,7 @@
 #include "tglink/blocking/blocking.h"
 #include "tglink/census/dataset.h"
 #include "tglink/similarity/composite.h"
+#include "tglink/similarity/sim_cache.h"
 
 namespace tglink {
 
@@ -51,18 +57,32 @@ struct Clustering {
 
 class PreMatcher {
  public:
-  /// Scores all blocking candidates once; pairs below `min_threshold`
-  /// (normally δ_low) are discarded. The datasets and similarity function
-  /// must outlive the PreMatcher.
+  /// Scores all blocking candidates once (in parallel over the shared
+  /// pool); pairs below `min_threshold` (normally δ_low) are discarded.
+  /// The datasets and similarity function must outlive the PreMatcher.
   PreMatcher(const CensusDataset& old_dataset, const CensusDataset& new_dataset,
              const SimilarityFunction& sim_func, const BlockingConfig& blocking,
              double min_threshold);
 
-  /// Cached pairs with sim >= min_threshold, sorted by (old, new).
+  /// Cached pairs with sim >= min_threshold, sorted by descending sim
+  /// (ties by ascending (old, new)) so that the pairs admissible at any δ
+  /// form a prefix — see PrefixAtDelta.
   const std::vector<ScoredPair>& scored_pairs() const { return scored_pairs_; }
 
+  /// Number of leading scored_pairs() entries with sim >= delta (within
+  /// the usual 1e-12 tolerance). O(log n).
+  [[nodiscard]] size_t PrefixAtDelta(double delta) const;
+
+  /// Pairs admissible at `delta` between still-active records — the
+  /// per-iteration "scored pairs" diagnostic. Walks only the δ prefix.
+  [[nodiscard]] size_t CountPairsAtDelta(
+      double delta, const std::vector<bool>& active_old,
+      const std::vector<bool>& active_new) const;
+
   /// agg_sim for any record pair: cached when above min_threshold, computed
-  /// on demand otherwise (needed for transitively-clustered pairs).
+  /// on demand otherwise (needed for transitively-clustered pairs). Misses
+  /// route through the similarity memo layer and are counted as
+  /// "simcache.prematch_miss". Safe to call concurrently.
   double PairSimilarity(RecordId old_id, RecordId new_id) const;
 
   /// Clusters active records using pairs with sim >= delta (the
@@ -78,8 +98,8 @@ class PreMatcher {
 
   const CensusDataset& old_dataset_;
   const CensusDataset& new_dataset_;
-  const SimilarityFunction& sim_func_;
-  std::vector<ScoredPair> scored_pairs_;
+  SimCache sim_cache_;
+  std::vector<ScoredPair> scored_pairs_;  // descending sim
   std::unordered_map<uint64_t, double> pair_sim_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
+#include "tglink/util/parallel.h"
 
 namespace tglink {
 
@@ -12,14 +13,25 @@ std::vector<ScoredPair> GreedyOneToOneMatch(
     const CensusDataset& old_dataset, const CensusDataset& new_dataset,
     const SimilarityFunction& sim_func, const BlockingConfig& blocking,
     const std::vector<bool>& active_old, const std::vector<bool>& active_new) {
-  std::vector<ScoredPair> scored;
+  // Filter to active candidates serially, fan the scoring out over the
+  // shared pool, then keep threshold survivors in candidate order — the
+  // same list the serial loop builds, for any thread count.
+  std::vector<CandidatePair> candidates;
   for (const CandidatePair& cand :
        GenerateCandidatePairs(old_dataset, new_dataset, blocking)) {
     if (!active_old[cand.old_id] || !active_new[cand.new_id]) continue;
-    const double sim = sim_func.AggregateSimilarity(
-        old_dataset.record(cand.old_id), new_dataset.record(cand.new_id));
-    if (sim >= sim_func.threshold()) {
-      scored.push_back({cand.old_id, cand.new_id, sim});
+    candidates.push_back(cand);
+  }
+  const std::vector<double> sims = ParallelMap<double>(
+      candidates.size(), "residual.score_chunk", [&](size_t i) {
+        return sim_func.AggregateSimilarity(
+            old_dataset.record(candidates[i].old_id),
+            new_dataset.record(candidates[i].new_id));
+      });
+  std::vector<ScoredPair> scored;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (sims[i] >= sim_func.threshold()) {
+      scored.push_back({candidates[i].old_id, candidates[i].new_id, sims[i]});
     }
   }
   std::sort(scored.begin(), scored.end(),

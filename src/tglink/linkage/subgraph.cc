@@ -6,6 +6,7 @@
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 #include "tglink/similarity/numeric.h"
+#include "tglink/util/parallel.h"
 
 namespace tglink {
 
@@ -172,14 +173,20 @@ std::vector<GroupPairSubgraph> BuildAllSubgraphs(
       std::unique(group_pair_keys.begin(), group_pair_keys.end()),
       group_pair_keys.end());
 
+  // Each candidate group pair builds and scores independently; results
+  // come back in the sorted key order, so the kept-subgraph list below is
+  // identical to the serial path for any thread count.
+  std::vector<GroupPairSubgraph> built = ParallelMap<GroupPairSubgraph>(
+      group_pair_keys.size(), "subgraph.build_chunk", [&](size_t i) {
+        const uint64_t key = group_pair_keys[i];
+        const GroupId go = static_cast<GroupId>(key >> 32);
+        const GroupId gn = static_cast<GroupId>(key & 0xFFFFFFFFu);
+        return BuildGroupPairSubgraph(go, gn, old_graphs[go], new_graphs[gn],
+                                      clustering, prematcher, config,
+                                      old_dataset, new_dataset, delta);
+      });
   std::vector<GroupPairSubgraph> subgraphs;
-  for (uint64_t key : group_pair_keys) {
-    const GroupId go = static_cast<GroupId>(key >> 32);
-    const GroupId gn = static_cast<GroupId>(key & 0xFFFFFFFFu);
-    GroupPairSubgraph subgraph =
-        BuildGroupPairSubgraph(go, gn, old_graphs[go], new_graphs[gn],
-                               clustering, prematcher, config, old_dataset,
-                               new_dataset, delta);
+  for (GroupPairSubgraph& subgraph : built) {
     if (!subgraph.empty()) {
       TGLINK_HISTOGRAM_SIZE("subgraph.vertices", subgraph.vertices.size());
       subgraphs.push_back(std::move(subgraph));

@@ -101,49 +101,10 @@ std::vector<double> SimilarityFunction::Compare(const PersonRecord& a,
 double SimilarityFunction::AggregateSimilarity(const PersonRecord& a,
                                                const PersonRecord& b) const {
   SimCallSample sample;
-  double weighted_sum = 0.0;
-  double weight_total = 0.0;    // full weight mass, for normalization
-  double weight_counted = 0.0;  // weight mass entering the denominator
-  double weight_covered = 0.0;  // weight of attributes present on BOTH sides
-  for (const AttributeSpec& spec : specs_) {
-    weight_total += spec.weight;
-    bool missing_one = false, missing_both = false;
-    const double s = ComponentSimilarity(spec, a, b, &missing_one,
-                                         &missing_both);
-    if (missing_one || missing_both) {
-      switch (missing_policy_) {
-        case MissingPolicy::kRedistribute:
-          if (missing_both) continue;  // no evidence either way: excluded
-          weight_counted += spec.weight;  // one-sided: disagreement, s = 0
-          continue;
-        case MissingPolicy::kZero:
-          weight_counted += spec.weight;
-          continue;
-        case MissingPolicy::kNeutral:
-          weight_counted += spec.weight;
-          weighted_sum += spec.weight * 0.5;
-          continue;
-      }
-    }
-    weight_counted += spec.weight;
-    weight_covered += spec.weight;
-    weighted_sum += spec.weight * s;
-  }
-  if (weight_counted <= 0.0) return 0.0;  // every attribute missing
-  double agg = 0.0;
-  if (missing_policy_ == MissingPolicy::kRedistribute) {
-    // Coverage floor: refuse to call two records similar when most of the
-    // weight mass was unobservable on both sides.
-    if (weight_covered < 0.5 * weight_total) return 0.0;
-    agg = weighted_sum / weight_counted;
-  } else {
-    agg = weighted_sum / weight_total;
-  }
-  // Eq. 3 is a convex combination of per-attribute similarities, so the
-  // aggregate must stay inside [0,1] for every missing policy.
-  TGLINK_DCHECK(agg >= 0.0 && agg <= 1.0)
-      << "aggregate similarity out of range: " << agg;
-  return agg;
+  return AggregateWith(
+      [this, &a, &b](size_t i, bool* missing_one, bool* missing_both) {
+        return ComponentSimilarity(specs_[i], a, b, missing_one, missing_both);
+      });
 }
 
 bool SimilarityFunction::Matches(const PersonRecord& a,

@@ -10,6 +10,7 @@
 
 #include "tglink/census/record.h"
 #include "tglink/similarity/field_similarity.h"
+#include "tglink/util/logging.h"
 
 namespace tglink {
 
@@ -73,6 +74,67 @@ class SimilarityFunction {
   [[nodiscard]] double AggregateSimilarity(const PersonRecord& a,
                                            const PersonRecord& b) const;
 
+  /// Similarity of one component: specs()[i] evaluated on (a, b), with the
+  /// missing flags ComponentSimilarity-style callers (and the memo layer in
+  /// similarity/sim_cache.h) need to apply the missing policy themselves.
+  [[nodiscard]] double ComponentSimilarity(const AttributeSpec& spec,
+                                           const PersonRecord& a,
+                                           const PersonRecord& b,
+                                           bool* missing_one,
+                                           bool* missing_both) const;
+
+  /// The aggregation arithmetic of Eq. 3, shared by the direct path
+  /// (AggregateSimilarity) and the memoized path (SimCache::Aggregate) so
+  /// the two can never drift: `component(i, &missing_one, &missing_both)`
+  /// must return ComponentSimilarity of specs()[i] — from any source that
+  /// is bit-identical to it, e.g. a memo table of pure measure results.
+  template <typename ComponentFn>
+  [[nodiscard]] double AggregateWith(ComponentFn&& component) const {
+    double weighted_sum = 0.0;
+    double weight_total = 0.0;    // full weight mass, for normalization
+    double weight_counted = 0.0;  // weight mass entering the denominator
+    double weight_covered = 0.0;  // weight of attributes present on BOTH sides
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      const AttributeSpec& spec = specs_[i];
+      weight_total += spec.weight;
+      bool missing_one = false, missing_both = false;
+      const double s = component(i, &missing_one, &missing_both);
+      if (missing_one || missing_both) {
+        switch (missing_policy_) {
+          case MissingPolicy::kRedistribute:
+            if (missing_both) continue;  // no evidence either way: excluded
+            weight_counted += spec.weight;  // one-sided: disagreement, s = 0
+            continue;
+          case MissingPolicy::kZero:
+            weight_counted += spec.weight;
+            continue;
+          case MissingPolicy::kNeutral:
+            weight_counted += spec.weight;
+            weighted_sum += spec.weight * 0.5;
+            continue;
+        }
+      }
+      weight_counted += spec.weight;
+      weight_covered += spec.weight;
+      weighted_sum += spec.weight * s;
+    }
+    if (weight_counted <= 0.0) return 0.0;  // every attribute missing
+    double agg = 0.0;
+    if (missing_policy_ == MissingPolicy::kRedistribute) {
+      // Coverage floor: refuse to call two records similar when most of the
+      // weight mass was unobservable on both sides.
+      if (weight_covered < 0.5 * weight_total) return 0.0;
+      agg = weighted_sum / weight_counted;
+    } else {
+      agg = weighted_sum / weight_total;
+    }
+    // Eq. 3 is a convex combination of per-attribute similarities, so the
+    // aggregate must stay inside [0,1] for every missing policy.
+    TGLINK_DCHECK(agg >= 0.0 && agg <= 1.0)
+        << "aggregate similarity out of range: " << agg;
+    return agg;
+  }
+
   /// True iff AggregateSimilarity(a,b) >= threshold().
   [[nodiscard]] bool Matches(const PersonRecord& a,
                              const PersonRecord& b) const;
@@ -81,10 +143,6 @@ class SimilarityFunction {
   [[nodiscard]] std::string ToString() const;
 
  private:
-  double ComponentSimilarity(const AttributeSpec& spec, const PersonRecord& a,
-                             const PersonRecord& b, bool* missing_one,
-                             bool* missing_both) const;
-
   std::vector<AttributeSpec> specs_;
   double threshold_ = 0.7;
   MissingPolicy missing_policy_ = MissingPolicy::kRedistribute;

@@ -1,0 +1,107 @@
+#include "tglink/similarity/sim_cache.h"
+
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "tglink/obs/metrics.h"
+#include "tglink/util/logging.h"
+
+namespace tglink {
+
+namespace {
+
+/// A component is worth memoizing when the measure does real string work.
+/// Age components are temporal arithmetic, and exact comparisons are
+/// cheaper than the hash lookup that would replace them.
+bool IsCacheable(const AttributeSpec& spec) {
+  return spec.field != Field::kAge && spec.measure != Measure::kExact;
+}
+
+std::vector<uint32_t> InternRecords(
+    const std::vector<PersonRecord>& records, Field field,
+    std::unordered_map<std::string, uint32_t>* table) {
+  std::vector<uint32_t> ids;
+  ids.reserve(records.size());
+  for (const PersonRecord& record : records) {
+    const auto [it, inserted] = table->emplace(
+        GetFieldValue(record, field), static_cast<uint32_t>(table->size()));
+    ids.push_back(it->second);
+    (void)inserted;
+  }
+  return ids;
+}
+
+}  // namespace
+
+SimCache::SimCache(const SimilarityFunction& fn,
+                   const CensusDataset& old_dataset,
+                   const CensusDataset& new_dataset)
+    : fn_(fn), old_dataset_(old_dataset), new_dataset_(new_dataset) {
+  spec_caches_.resize(fn.specs().size());
+  for (size_t i = 0; i < fn.specs().size(); ++i) {
+    const AttributeSpec& spec = fn.specs()[i];
+    if (!IsCacheable(spec)) continue;
+    auto it = field_ids_.find(spec.field);
+    if (it == field_ids_.end()) {
+      std::unordered_map<std::string, uint32_t> table;
+      FieldIds ids;
+      ids.old_ids = InternRecords(old_dataset.records(), spec.field, &table);
+      ids.new_ids = InternRecords(new_dataset.records(), spec.field, &table);
+      TGLINK_COUNTER_ADD("simcache.interned_values", table.size());
+      it = field_ids_.emplace(spec.field, std::move(ids)).first;
+    }
+    SpecCache& cache = spec_caches_[i];
+    cache.enabled = true;
+    cache.ids = &it->second;
+    cache.shards = std::make_unique<Shard[]>(kNumShards);
+  }
+}
+
+double SimCache::Aggregate(RecordId old_id, RecordId new_id) const {
+  const PersonRecord& a = old_dataset_.record(old_id);
+  const PersonRecord& b = new_dataset_.record(new_id);
+  return fn_.AggregateWith([this, old_id, new_id, &a, &b](
+                               size_t i, bool* missing_one,
+                               bool* missing_both) {
+    const SpecCache& cache = spec_caches_[i];
+    const AttributeSpec& spec = fn_.specs()[i];
+    if (!cache.enabled) {
+      return fn_.ComponentSimilarity(spec, a, b, missing_one, missing_both);
+    }
+    // Mirror ComponentSimilarity's missing-value protocol exactly; the
+    // memo only ever holds both-present measure results.
+    const bool ma = IsFieldMissing(a, spec.field);
+    const bool mb = IsFieldMissing(b, spec.field);
+    *missing_both = ma && mb;
+    *missing_one = (ma || mb) && !*missing_both;
+    if (ma || mb) return 0.0;
+    const uint64_t key =
+        (static_cast<uint64_t>(cache.ids->old_ids[old_id]) << 32) |
+        cache.ids->new_ids[new_id];
+    Shard& shard = cache.shards[ShardIndex(key)];
+    {
+      std::shared_lock<std::shared_mutex> read(shard.mu);
+      const auto it = shard.memo.find(key);
+      if (it != shard.memo.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        TGLINK_COUNTER_INC("simcache.hits");
+        return it->second;
+      }
+    }
+    const double s = ComputeMeasure(spec.measure, GetFieldValue(a, spec.field),
+                                    GetFieldValue(b, spec.field));
+    TGLINK_DCHECK(s >= 0.0 && s <= 1.0)
+        << "measure " << MeasureName(spec.measure) << " on "
+        << FieldName(spec.field) << " returned " << s;
+    {
+      std::unique_lock<std::shared_mutex> write(shard.mu);
+      shard.memo.emplace(key, s);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    TGLINK_COUNTER_INC("simcache.misses");
+    return s;
+  });
+}
+
+}  // namespace tglink

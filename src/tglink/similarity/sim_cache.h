@@ -1,0 +1,108 @@
+// Similarity memoization for the pre-matching hot path. Census name pools
+// are heavily skewed (the paper's Table 1: a few thousand distinct
+// first-name/surname values over tens of thousands of records), so the same
+// (value, value) string comparisons recur constantly across candidate
+// pairs. SimCache interns the string values each similarity component
+// reads — one dense id space per field, covering both snapshots — and
+// memoizes per-component measure results in a sharded, read-mostly
+// concurrent table keyed on the interned id pair, so repeated comparisons
+// hit a hash lookup instead of re-running q-gram/Jaro/metaphone.
+//
+// Correctness: the memoized value is the exact ComputeMeasure result (a
+// pure function of the two strings), and the aggregation arithmetic is
+// SimilarityFunction::AggregateWith — the same code path the direct
+// AggregateSimilarity uses — so Aggregate(o, n) is bit-identical to
+// fn.AggregateSimilarity(old.record(o), new.record(n)) and independent of
+// thread count or lookup order.
+//
+// Thread safety: construction is single-threaded; Aggregate is safe to
+// call concurrently from pool workers (shared locks on hit, one exclusive
+// insert per distinct value pair). Hits/misses report to the
+// "simcache.hits" / "simcache.misses" counters.
+
+#ifndef TGLINK_SIMILARITY_SIM_CACHE_H_
+#define TGLINK_SIMILARITY_SIM_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "tglink/census/dataset.h"
+#include "tglink/similarity/composite.h"
+
+namespace tglink {
+
+class SimCache {
+ public:
+  /// Interns the field values of every cacheable component of `fn` over
+  /// both datasets. All three arguments must outlive the cache.
+  SimCache(const SimilarityFunction& fn, const CensusDataset& old_dataset,
+           const CensusDataset& new_dataset);
+
+  SimCache(const SimCache&) = delete;
+  SimCache& operator=(const SimCache&) = delete;
+
+  /// Memoized agg_sim; bit-identical to
+  /// fn.AggregateSimilarity(old.record(old_id), new.record(new_id)).
+  [[nodiscard]] double Aggregate(RecordId old_id, RecordId new_id) const;
+
+  [[nodiscard]] const SimilarityFunction& fn() const { return fn_; }
+
+  /// Component-level lookup statistics for this cache instance (the global
+  /// "simcache.*" counters aggregate across instances).
+  [[nodiscard]] uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // 16 shards keep exclusive inserts from serializing concurrent scoring;
+  // the tables are read-mostly once the distinct value pairs are seen.
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint64_t, double> memo;
+  };
+
+  /// Interned value ids for one field, dense over both snapshots (a value
+  /// appearing in either snapshot gets one id).
+  struct FieldIds {
+    std::vector<uint32_t> old_ids;  // per old record
+    std::vector<uint32_t> new_ids;  // per new record
+  };
+
+  /// Memo state of one component of fn.specs(). Non-cacheable components
+  /// (age: cheap arithmetic, exact: cheaper than a hash lookup) fall
+  /// through to the direct ComponentSimilarity.
+  struct SpecCache {
+    bool enabled = false;
+    const FieldIds* ids = nullptr;
+    std::unique_ptr<Shard[]> shards;
+  };
+
+  static size_t ShardIndex(uint64_t key) {
+    key ^= key >> 33;
+    key *= 0xFF51AFD7ED558CCDULL;
+    key ^= key >> 33;
+    return static_cast<size_t>(key) & (kNumShards - 1);
+  }
+
+  const SimilarityFunction& fn_;
+  const CensusDataset& old_dataset_;
+  const CensusDataset& new_dataset_;
+  std::map<Field, FieldIds> field_ids_;  // stable addresses for SpecCache
+  std::vector<SpecCache> spec_caches_;   // parallel to fn.specs()
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace tglink
+
+#endif  // TGLINK_SIMILARITY_SIM_CACHE_H_

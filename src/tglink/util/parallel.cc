@@ -1,0 +1,199 @@
+#include "tglink/util/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>  // tglink-lint: disable=raw-thread
+
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
+#include "tglink/util/logging.h"
+
+namespace tglink {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+/// Fixed-size worker pool executing one batch of indexed tasks at a time.
+/// Batches are issued from a single controller thread (the pipeline driver);
+/// workers pull task indices from a shared cursor under the batch mutex, so
+/// scheduling is dynamic but the task *results* are merged by index by the
+/// caller, keeping output deterministic.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    TGLINK_CHECK(num_threads >= 1) << "pool needs at least one worker";
+    threads_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(0) .. fn(num_tasks - 1) on the workers; blocks until all
+  /// completed. Rethrows the first task exception. Only one batch may be
+  /// in flight (single controller thread).
+  void Execute(size_t num_tasks, const std::function<void(size_t)>& fn) {
+    std::unique_lock<std::mutex> lock(mu_);
+    TGLINK_CHECK(task_fn_ == nullptr)
+        << "nested ThreadPool::Execute from the controller thread";
+    task_fn_ = &fn;
+    next_task_ = 0;
+    tasks_done_ = 0;
+    total_tasks_ = num_tasks;
+    first_error_ = nullptr;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return tasks_done_ == total_tasks_; });
+    task_fn_ = nullptr;
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  void WorkerLoop() {
+    t_in_worker = true;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      work_cv_.wait(lock, [this] {
+        return shutdown_ || (task_fn_ != nullptr && next_task_ < total_tasks_);
+      });
+      if (shutdown_) return;
+      while (task_fn_ != nullptr && next_task_ < total_tasks_) {
+        const size_t index = next_task_++;
+        const std::function<void(size_t)>* fn = task_fn_;
+        lock.unlock();
+        try {
+          (*fn)(index);
+        } catch (...) {
+          lock.lock();
+          if (!first_error_) first_error_ = std::current_exception();
+          FinishTask();
+          continue;
+        }
+        lock.lock();
+        FinishTask();
+      }
+    }
+  }
+
+  /// Marks one task complete; wakes the controller on the last one.
+  /// Caller holds mu_.
+  void FinishTask() {
+    if (++tasks_done_ == total_tasks_) done_cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* task_fn_ = nullptr;  // guarded by mu_
+  size_t next_task_ = 0;
+  size_t total_tasks_ = 0;
+  size_t tasks_done_ = 0;
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;  // tglink-lint: disable=raw-thread
+};
+
+struct PoolState {
+  std::mutex mu;
+  int target = 1;  // resolved: >= 1
+  std::unique_ptr<ThreadPool> pool;  // lazily started; joined at exit
+};
+
+PoolState& GlobalPoolState() {
+  static PoolState state;
+  return state;
+}
+
+int ResolveThreadCount(int count) {
+  if (count > 0) return count;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Returns the shared pool sized to the current target, (re)starting it if
+/// needed. nullptr when the target is serial.
+ThreadPool* AcquirePool() {
+  PoolState& state = GlobalPoolState();
+  std::unique_lock<std::mutex> lock(state.mu);
+  if (state.target <= 1) return nullptr;
+  if (state.pool == nullptr || state.pool->size() != state.target) {
+    state.pool.reset();  // join a stale-sized pool before replacing it
+    state.pool = std::make_unique<ThreadPool>(state.target);
+  }
+  return state.pool.get();
+}
+
+void RunChunksSerially(size_t n, size_t num_chunks, size_t chunk_size,
+                       const std::function<void(size_t, size_t)>& body) {
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    body(begin, end);
+  }
+}
+
+}  // namespace
+
+void SetParallelThreadCount(int count) {
+  TGLINK_CHECK(count >= 0) << "thread count must be >= 0, got " << count;
+  PoolState& state = GlobalPoolState();
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.target = ResolveThreadCount(count);
+  // An existing pool of the wrong size is replaced lazily by AcquirePool;
+  // a pool that is no longer wanted at all is drained right away.
+  if (state.target <= 1) state.pool.reset();
+}
+
+int ParallelThreadCount() {
+  PoolState& state = GlobalPoolState();
+  std::unique_lock<std::mutex> lock(state.mu);
+  return state.target;
+}
+
+bool InParallelWorker() { return t_in_worker; }
+
+void ParallelFor(size_t n, std::string_view span_name,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  // Static chunking: a fixed split computed up front from n and the worker
+  // count. A small over-decomposition (4 chunks per worker) smooths load
+  // imbalance between heterogeneous chunks without giving up the fixed
+  // chunk boundaries the serial fallback shares.
+  ThreadPool* pool = t_in_worker ? nullptr : AcquirePool();
+  const size_t workers = pool == nullptr ? 1 : static_cast<size_t>(pool->size());
+  const size_t max_chunks = std::min(n, workers * 4);
+  const size_t chunk_size = (n + max_chunks - 1) / max_chunks;
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  TGLINK_COUNTER_ADD("parallel.tasks", num_chunks);
+  TGLINK_GAUGE_SET("parallel.threads", workers);
+  if (pool == nullptr) {
+    RunChunksSerially(n, num_chunks, chunk_size, body);
+    return;
+  }
+  const std::string span(span_name);
+  pool->Execute(num_chunks, [&body, &span, n, chunk_size](size_t c) {
+    obs::ScopedSpan chunk_span(span);
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    body(begin, end);
+  });
+}
+
+}  // namespace tglink

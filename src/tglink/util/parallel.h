@@ -1,0 +1,74 @@
+// Parallel-execution layer: a lazily-started, size-configurable thread pool
+// with ParallelFor / ParallelMap primitives.
+//
+// Determinism contract: both primitives use static chunking of the index
+// space and an ordered merge — ParallelMap stores fn(i) at index i, and
+// ParallelFor hands each chunk a disjoint [begin, end) range — so as long as
+// the per-index work is independent (no shared mutable state beyond the
+// thread-safe obs layer), the output is bit-identical to the serial path
+// regardless of thread count. Every caller in the linkage pipeline relies on
+// this: floating-point results are computed per index, never reduced across
+// chunk boundaries.
+//
+// Thread count policy (SetParallelThreadCount): 0 = hardware concurrency,
+// 1 = fully serial (no pool is started, the body runs inline on the calling
+// thread — exactly the pre-parallelism behavior), N = exactly N workers.
+// The setting is process-wide and read at the start of each parallel
+// section; calling it concurrently with a running section is unsupported.
+//
+// Nested sections degrade gracefully: a ParallelFor issued from inside a
+// pool worker runs inline (serial) instead of deadlocking on the pool.
+//
+// Observability: each section reports its chunk count to the
+// "parallel.tasks" counter and the live pool size to the "parallel.threads"
+// gauge; chunks run under a caller-supplied span label, so worker activity
+// shows up per thread in the Perfetto export.
+
+#ifndef TGLINK_UTIL_PARALLEL_H_
+#define TGLINK_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+namespace tglink {
+
+/// Sets the process-wide worker count target: 0 = hardware concurrency,
+/// 1 = serial, N = exactly N threads. Takes effect on the next parallel
+/// section; an already-running pool of a different size is drained and
+/// restarted lazily. Not thread-safe against in-flight sections.
+void SetParallelThreadCount(int count);
+
+/// The resolved worker count the next parallel section will use (>= 1).
+[[nodiscard]] int ParallelThreadCount();
+
+/// True while the calling thread is a pool worker (used to run nested
+/// sections inline; exposed for tests and debug checks).
+[[nodiscard]] bool InParallelWorker();
+
+/// Invokes `body(begin, end)` over disjoint statically-chunked ranges
+/// covering [0, n), in parallel on the shared pool. Blocks until every
+/// chunk finished; rethrows the first exception a chunk raised. Chunks are
+/// traced as spans named `span_name` on their worker thread. Runs inline
+/// (serially, in index order) when n is small, the configured thread count
+/// is 1, or the caller is itself a pool worker.
+void ParallelFor(size_t n, std::string_view span_name,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Applies `fn(i)` to every index of [0, n) in parallel and returns the
+/// results in index order — the ordered-merge primitive the determinism
+/// guarantee is built on. T must be default-constructible and movable.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> ParallelMap(size_t n, std::string_view span_name,
+                                         Fn&& fn) {
+  std::vector<T> results(n);
+  ParallelFor(n, span_name, [&results, &fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) results[i] = fn(i);
+  });
+  return results;
+}
+
+}  // namespace tglink
+
+#endif  // TGLINK_UTIL_PARALLEL_H_

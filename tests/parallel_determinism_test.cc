@@ -1,0 +1,109 @@
+// End-to-end determinism of the parallel pipeline (the tentpole guarantee
+// of util/parallel.h): LinkCensusPair must produce byte-identical results —
+// mappings, per-iteration statistics, provenance — for every thread count.
+// Runs under the `tsan` preset too (tools/check.sh).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tglink/linkage/iterative.h"
+#include "tglink/synth/generator.h"
+#include "tglink/util/parallel.h"
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using namespace testing_example;
+
+/// The thread counts under test: serial baseline, a small pool, and the
+/// hardware default (whatever this machine resolves 0 to).
+std::vector<int> ThreadCounts() {
+  SetParallelThreadCount(0);
+  const int hw = ParallelThreadCount();
+  SetParallelThreadCount(1);
+  std::vector<int> counts = {1, 2};
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+void ExpectIdenticalResults(const LinkageResult& base,
+                            const LinkageResult& got, int threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  // Record links, in insertion order: parallel scoring must not even
+  // reorder them.
+  ASSERT_EQ(got.record_mapping.links(), base.record_mapping.links());
+  ASSERT_EQ(got.group_mapping.SortedLinks(), base.group_mapping.SortedLinks());
+  EXPECT_EQ(got.context_record_links, base.context_record_links);
+  EXPECT_EQ(got.residual_record_links, base.residual_record_links);
+
+  ASSERT_EQ(got.iterations.size(), base.iterations.size());
+  for (size_t i = 0; i < base.iterations.size(); ++i) {
+    const IterationStats& b = base.iterations[i];
+    const IterationStats& g = got.iterations[i];
+    EXPECT_EQ(g.delta, b.delta) << "iteration " << i;
+    EXPECT_EQ(g.scored_pairs, b.scored_pairs) << "iteration " << i;
+    EXPECT_EQ(g.candidate_subgraphs, b.candidate_subgraphs)
+        << "iteration " << i;
+    EXPECT_EQ(g.accepted_subgraphs, b.accepted_subgraphs) << "iteration " << i;
+    EXPECT_EQ(g.new_group_links, b.new_group_links) << "iteration " << i;
+    EXPECT_EQ(g.new_record_links, b.new_record_links) << "iteration " << i;
+  }
+
+  ASSERT_EQ(got.provenance.size(), base.provenance.size());
+  for (size_t i = 0; i < base.provenance.size(); ++i) {
+    EXPECT_EQ(got.provenance[i].phase, base.provenance[i].phase)
+        << "link " << i;
+    EXPECT_EQ(got.provenance[i].delta, base.provenance[i].delta)
+        << "link " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, PaperExampleIdenticalAcrossThreadCounts) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  LinkageConfig config = configs::DefaultConfig();
+  config.blocking = BlockingConfig::MakeExhaustive();
+
+  SetParallelThreadCount(1);
+  const LinkageResult base = LinkCensusPair(old_d, new_d, config);
+  // Sanity: the serial baseline still solves the running example.
+  ASSERT_TRUE(base.group_mapping.Contains(kG1871A, kG1881A));
+  ASSERT_TRUE(base.group_mapping.Contains(kG1871B, kG1881B));
+
+  for (int threads : ThreadCounts()) {
+    SetParallelThreadCount(threads);
+    const LinkageResult got = LinkCensusPair(old_d, new_d, config);
+    ExpectIdenticalResults(base, got, threads);
+  }
+  SetParallelThreadCount(1);
+}
+
+TEST(ParallelDeterminismTest, SyntheticPairIdenticalAcrossThreadCounts) {
+  // A messier instance than the hand-built example: corrupted names,
+  // missing values, real blocking — enough candidate pairs that every
+  // parallel stage actually chunks.
+  GeneratorConfig gen;
+  gen.seed = 7;
+  gen.scale = 0.05;
+  gen.num_censuses = 2;
+  const SyntheticPair pair = GenerateCensusPair(gen, 0);
+  const LinkageConfig config = configs::DefaultConfig();
+
+  SetParallelThreadCount(1);
+  const LinkageResult base =
+      LinkCensusPair(pair.old_dataset, pair.new_dataset, config);
+  ASSERT_GT(base.record_mapping.size(), 0u);
+
+  for (int threads : ThreadCounts()) {
+    SetParallelThreadCount(threads);
+    const LinkageResult got =
+        LinkCensusPair(pair.old_dataset, pair.new_dataset, config);
+    ExpectIdenticalResults(base, got, threads);
+  }
+  SetParallelThreadCount(1);
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,112 @@
+// SimCache correctness: the memoized aggregate must be bit-identical to the
+// direct SimilarityFunction path (they share the AggregateWith arithmetic),
+// hits/misses must reflect the skew of the value pools, and missing-value
+// handling must mirror ComponentSimilarity exactly.
+
+#include "tglink/similarity/sim_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "tglink/linkage/config.h"
+#include "tests/paper_example.h"
+
+namespace tglink {
+namespace {
+
+using namespace testing_example;
+
+SimilarityFunction PaperSimFunc() {
+  SimilarityFunction fn = configs::DefaultConfig().sim_func;
+  fn.set_year_gap(10);
+  return fn;
+}
+
+TEST(SimCacheTest, BitIdenticalToDirectAggregationOverFullCrossProduct) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  const SimilarityFunction fn = PaperSimFunc();
+  const SimCache cache(fn, old_d, new_d);
+
+  for (RecordId o = 0; o < old_d.num_records(); ++o) {
+    for (RecordId n = 0; n < new_d.num_records(); ++n) {
+      const double direct =
+          fn.AggregateSimilarity(old_d.record(o), new_d.record(n));
+      // EXPECT_EQ, not NEAR: the cache must reproduce the exact bits, both
+      // on first computation (miss) and on replay (hit).
+      EXPECT_EQ(cache.Aggregate(o, n), direct) << "pair (" << o << "," << n
+                                               << ") first pass";
+      EXPECT_EQ(cache.Aggregate(o, n), direct) << "pair (" << o << "," << n
+                                               << ") cached pass";
+    }
+  }
+}
+
+TEST(SimCacheTest, RepeatedValuePairsHitTheMemo) {
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  const SimilarityFunction fn = PaperSimFunc();
+  const SimCache cache(fn, old_d, new_d);
+
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  for (RecordId o = 0; o < old_d.num_records(); ++o) {
+    for (RecordId n = 0; n < new_d.num_records(); ++n) {
+      (void)cache.Aggregate(o, n);
+    }
+  }
+  const uint64_t first_pass_misses = cache.misses();
+  // The census fixture reuses names heavily (three johns, three
+  // elizabeths, two smith households...), so even the first full pass must
+  // find repeated (value, value) component pairs.
+  EXPECT_GT(first_pass_misses, 0u);
+  EXPECT_GT(cache.hits(), 0u);
+
+  // A second pass over the same pairs computes nothing new.
+  for (RecordId o = 0; o < old_d.num_records(); ++o) {
+    for (RecordId n = 0; n < new_d.num_records(); ++n) {
+      (void)cache.Aggregate(o, n);
+    }
+  }
+  EXPECT_EQ(cache.misses(), first_pass_misses);
+}
+
+TEST(SimCacheTest, MissingValuesFollowTheDirectPath) {
+  // Records with empty occupation / age exercise every missing-value branch;
+  // the cache must agree with the direct path on all of them, under every
+  // missing policy.
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  for (MissingPolicy policy : {MissingPolicy::kRedistribute,
+                               MissingPolicy::kZero, MissingPolicy::kNeutral}) {
+    SimilarityFunction fn = PaperSimFunc();
+    fn.set_missing_policy(policy);
+    const SimCache cache(fn, old_d, new_d);
+    for (RecordId o = 0; o < old_d.num_records(); ++o) {
+      for (RecordId n = 0; n < new_d.num_records(); ++n) {
+        EXPECT_EQ(cache.Aggregate(o, n),
+                  fn.AggregateSimilarity(old_d.record(o), new_d.record(n)))
+            << "policy " << static_cast<int>(policy) << " pair (" << o << ","
+            << n << ")";
+      }
+    }
+  }
+}
+
+TEST(SimCacheTest, WorksForOmega1Too) {
+  // The ablation similarity function (different specs/weights) must be
+  // cacheable through the same layer.
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  SimilarityFunction fn = configs::Omega1();
+  fn.set_year_gap(10);
+  const SimCache cache(fn, old_d, new_d);
+  for (RecordId o = 0; o < old_d.num_records(); ++o) {
+    for (RecordId n = 0; n < new_d.num_records(); ++n) {
+      EXPECT_EQ(cache.Aggregate(o, n),
+                fn.AggregateSimilarity(old_d.record(o), new_d.record(n)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tglink

@@ -62,6 +62,16 @@ python3 tools/check_report.py "$smoke_dir/report.json" \
 
 if [ "$quick" -eq 0 ]; then
   run_preset asan
+
+  # The multi-threaded surface — pool, sim-cache, obs — under TSan. Scoped
+  # to the thread-hammer tests so the stage stays bounded; the full suite
+  # already runs under release and asan above.
+  stage "configure+build: tsan (threaded tests)"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs" \
+    --target obs_threads_test parallel_test parallel_determinism_test
+  stage "ctest: tsan (threaded tests)"
+  ctest --preset tsan -R '^(obs_threads_test|parallel_test|parallel_determinism_test)$'
 fi
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -13,16 +13,19 @@
 //
 //   tglink_cli link --old FILE --old-year Y1 --new FILE --new-year Y2
 //              --out MAPPINGS [--delta-low F] [--alpha F] [--beta F]
-//              [--non-iterative] [--omega1] [--report FILE] [--trace FILE]
+//              [--non-iterative] [--omega1] [--threads N]
+//              [--report FILE] [--trace FILE]
 //       Runs iterative record and group linkage, writes the mappings CSV;
-//       --report writes a RunReport JSON, --trace a Chrome trace.
+//       --threads picks the worker count (1 = serial, 0 = hardware; the
+//       mappings are identical either way), --report writes a RunReport
+//       JSON, --trace a Chrome trace.
 //
 //   tglink_cli evaluate --old FILE --old-year Y1 --new FILE --new-year Y2
 //              --mappings FILE --gold FILE [--protocol full|verified]
 //       Precision/recall/F-measure of stored mappings against gold.
 //
 //   tglink_cli analyze --dir DIR --years Y1,Y2,... [--dot FILE] [--csv FILE]
-//              [--report FILE] [--trace FILE]
+//              [--threads N] [--report FILE] [--trace FILE]
 //       Links the whole series in DIR (census_<year>.csv), prints evolution
 //       patterns, preserved-household chains, components and frequent
 //       trajectories; optionally exports the evolution graph.
@@ -51,6 +54,7 @@
 #include "tglink/obs/trace.h"
 #include "tglink/synth/generator.h"
 #include "tglink/util/csv.h"
+#include "tglink/util/parallel.h"
 #include "tglink/util/strings.h"
 #include "tglink/util/timer.h"
 
@@ -133,6 +137,18 @@ void MaybeEnableTracing(const Args& args) {
   if (args.Has("report") || args.Has("trace")) {
     obs::GlobalTracer().SetEnabled(true);
   }
+}
+
+/// Applies --threads (1 = serial, the default; 0 = one worker per hardware
+/// thread). The linkage output is identical for every value.
+void ApplyThreadOption(const Args& args) {
+  const int threads = args.GetInt("threads", 1);
+  if (threads < 0) {
+    std::fprintf(stderr,
+                 "bad value for --threads (expected 0 or a positive count)\n");
+    std::exit(2);
+  }
+  SetParallelThreadCount(threads);
 }
 
 /// Writes the --report / --trace artifacts; returns 1 on I/O failure.
@@ -248,6 +264,7 @@ LinkageConfig ConfigFromArgs(const Args& args) {
 
 int CmdLink(const Args& args) {
   MaybeEnableTracing(args);
+  ApplyThreadOption(args);
   const CensusDataset old_dataset =
       LoadOrDie(args.Require("old"), args.GetInt("old-year", 0));
   const CensusDataset new_dataset =
@@ -269,6 +286,7 @@ int CmdLink(const Args& args) {
   obs::RunReportBuilder report("tglink_cli.link");
   report.AddOption("old", args.Get("old"))
       .AddOption("new", args.Get("new"))
+      .AddOption("threads", static_cast<uint64_t>(ParallelThreadCount()))
       .AddScalar("link_seconds", seconds)
       .AddScalar("record_links",
                  static_cast<double>(result.record_mapping.size()))
@@ -339,6 +357,7 @@ int CmdEvaluate(const Args& args) {
 
 int CmdAnalyze(const Args& args) {
   MaybeEnableTracing(args);
+  ApplyThreadOption(args);
   const std::string dir = args.Require("dir");
   const std::vector<std::string> year_strings =
       Split(args.Require("years"), ',');

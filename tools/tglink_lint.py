@@ -31,6 +31,11 @@ Rules (library code = everything under src/tglink/):
                      the tglink/obs metrics/tracing APIs instead (the obs
                      layer itself, util/timer.h and logging.cc implement
                      the clocks and are exempt)
+  raw-thread         no std::thread / std::jthread / std::async in library
+                     code — parallel sections go through the shared pool in
+                     tglink/util/parallel.h so thread count, determinism
+                     and shutdown stay centrally controlled (util/parallel
+                     itself implements the pool and is exempt)
 
 Suppression: append  // tglink-lint: disable=<rule>  to the offending line.
 """
@@ -71,6 +76,15 @@ STOPWATCH_EXEMPT = (
 STOPWATCH_RE = re.compile(
     r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
 )
+
+# Library files allowed to spawn threads directly: the parallel-execution
+# layer IS the sanctioned thread owner.
+THREAD_EXEMPT = (
+    os.path.join("src", "tglink", "util", "parallel.h"),
+    os.path.join("src", "tglink", "util", "parallel.cc"),
+)
+
+THREAD_RE = re.compile(r"std::(?:jthread|thread|async)\b")
 
 
 class Finding:
@@ -118,6 +132,7 @@ def lint_file(root: str, relpath: str) -> list[Finding]:
     is_header = relpath.endswith(".h")
     is_source = relpath.endswith((".cc", ".cpp"))
     stopwatch_exempt = relpath.startswith(STOPWATCH_EXEMPT)
+    thread_exempt = relpath in THREAD_EXEMPT
 
     def add(line_no: int, rule: str, message: str) -> None:
         if not suppressed(raw_lines[line_no - 1], rule):
@@ -197,6 +212,11 @@ def lint_file(root: str, relpath: str) -> list[Finding]:
             add(i, "raw-stopwatch",
                 "hand-rolled std::chrono stopwatch in library code; use "
                 "TGLINK_TRACE_SPAN / tglink/obs metrics instead")
+
+        if not thread_exempt and THREAD_RE.search(scrubbed):
+            add(i, "raw-thread",
+                "raw thread spawn in library code; run the work through "
+                "ParallelFor/ParallelMap in tglink/util/parallel.h")
 
         if re.search(r"(?<![\w:])s?rand\s*\(", scrubbed) or re.search(
             r"std::random_shuffle", scrubbed
@@ -357,6 +377,33 @@ FIXTURES = [
         '#include "tglink/bad/timer_include.h"\n'
         '#include "tglink/util/timer.h"\n',
         {"raw-stopwatch"},
+    ),
+    (
+        "src/tglink/bad/spawns_thread.cc",
+        '#include "tglink/bad/spawns_thread.h"\n'
+        "#include <thread>\n"
+        "void Fire() {\n"
+        "  std::thread t([] {});\n"
+        "  t.join();\n"
+        "}\n",
+        {"raw-thread"},
+    ),
+    (
+        "src/tglink/bad/uses_async.cc",
+        '#include "tglink/bad/uses_async.h"\n'
+        "#include <future>\n"
+        "int Later() { return std::async([] { return 1; }).get(); }\n",
+        {"raw-thread"},
+    ),
+    (
+        # The parallel layer owns the workers — exempt from raw-thread.
+        "src/tglink/util/parallel.cc",
+        '#include "tglink/util/parallel.h"\n'
+        "#include <thread>\n"
+        "namespace tglink {\n"
+        "unsigned Hw() { return std::thread::hardware_concurrency(); }\n"
+        "}  // namespace tglink\n",
+        set(),
     ),
     (
         # The obs layer implements the clocks — exempt from raw-stopwatch.
