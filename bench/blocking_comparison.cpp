@@ -45,6 +45,27 @@ int main(int argc, char** argv) {
                                        ep.pair.new_dataset,
                                        BlockingConfig::MakeDefault());
        }},
+      {"inverted index (pruning off)", "index",
+       [&] {
+         return GenerateCandidatePairs(ep.pair.old_dataset,
+                                       ep.pair.new_dataset,
+                                       BlockingConfig::MakeInvertedIndex());
+       }},
+      {"inverted index (cap 512 + SNM fallback)", "index_pruned",
+       [&] {
+         BlockingConfig config = BlockingConfig::MakeInvertedIndex();
+         config.max_posting_len = 512;
+         config.fallback_window = 8;
+         return GenerateCandidatePairs(ep.pair.old_dataset,
+                                       ep.pair.new_dataset, config);
+       }},
+      {"inverted index (>=2 shared keys)", "index_conj",
+       [&] {
+         BlockingConfig config = BlockingConfig::MakeInvertedIndex();
+         config.min_shared_passes = 2;
+         return GenerateCandidatePairs(ep.pair.old_dataset,
+                                       ep.pair.new_dataset, config);
+       }},
       {"sorted-neighborhood w=4", "snm4", [&] { return snm(4); }},
       {"sorted-neighborhood w=8", "snm8", [&] { return snm(8); }},
       {"sorted-neighborhood w=16", "snm16", [&] { return snm(16); }},

@@ -1,0 +1,146 @@
+// Inverted-index candidate generation vs multi-pass hash blocking: the
+// tentpole benchmark behind BENCH_blocking_index.json.
+//
+// Two sections:
+//   * timing, at --scale (check-in runs use --scale=1.0, the paper's full
+//     Rawtenstall size): best-of-N candidate-generation wall time for both
+//     methods plus the speedup, after asserting both emit the identical
+//     candidate-pair set;
+//   * quality twin, always at the table5 reference point (scale 0.25,
+//     seed 42, pair 2): the four table5_iterative configurations re-run with
+//     --blocking=index. Because the index is candidate-set-equivalent, the
+//     resulting "quality" block must be byte-identical to
+//     BENCH_table5_iterative.json's.
+//
+//   ./blocking_index [--scale=1.0] [--seed=42] [--report=FILE]
+
+#include <vector>
+
+#include "bench_common.h"
+#include "tglink/eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace tglink;
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  obs::RunReportBuilder report = bench::MakeRunReport("blocking_index",
+                                                      options);
+  std::printf("== Inverted-index candidate generation vs hash blocking ==\n");
+
+  // ---- Timing at --scale -------------------------------------------------
+  GeneratorConfig gen;
+  gen.seed = options.seed;
+  gen.scale = options.scale;
+  gen.num_censuses = options.pair_index + 2;
+  const SyntheticPair pair = GenerateCensusPair(gen, options.pair_index);
+  std::printf("timing pair %d->%d at scale %.2f: %zu x %zu records\n",
+              pair.old_dataset.year(), pair.new_dataset.year(), options.scale,
+              pair.old_dataset.num_records(), pair.new_dataset.num_records());
+
+  struct Method {
+    const char* name;
+    const char* slug;
+    BlockingConfig config;
+  };
+  const std::vector<Method> methods = {
+      {"multi-pass hash blocking", "hash", BlockingConfig::MakeDefault()},
+      {"inverted candidate index", "index",
+       BlockingConfig::MakeInvertedIndex()},
+  };
+
+  // Equivalence sanity before timing anything: both methods must emit the
+  // same candidate-pair stream (the property the index is built on).
+  {
+    const auto hash_pairs = GenerateCandidatePairs(
+        pair.old_dataset, pair.new_dataset, methods[0].config);
+    const auto index_pairs = GenerateCandidatePairs(
+        pair.old_dataset, pair.new_dataset, methods[1].config);
+    if (hash_pairs.size() != index_pairs.size()) {
+      std::fprintf(stderr,
+                   "FATAL: candidate sets differ (hash %zu, index %zu)\n",
+                   hash_pairs.size(), index_pairs.size());
+      return 1;
+    }
+    for (size_t i = 0; i < hash_pairs.size(); ++i) {
+      if (hash_pairs[i].old_id != index_pairs[i].old_id ||
+          hash_pairs[i].new_id != index_pairs[i].new_id) {
+        std::fprintf(stderr, "FATAL: candidate sets differ at %zu\n", i);
+        return 1;
+      }
+    }
+    report.AddScalar("timing.candidates",
+                     static_cast<double>(hash_pairs.size()));
+    std::printf("both methods emit the identical %zu candidate pairs\n",
+                hash_pairs.size());
+  }
+
+  constexpr int kReps = 5;
+  TextTable table;
+  table.SetHeader({"method", "best s", "mean s", "pairs/s (best)"});
+  double best_by_slug[2] = {0.0, 0.0};
+  size_t candidates = 0;
+  for (size_t m = 0; m < methods.size(); ++m) {
+    double best = 0.0;
+    double sum = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Timer timer;
+      const auto generated = GenerateCandidatePairs(
+          pair.old_dataset, pair.new_dataset, methods[m].config);
+      const double seconds = timer.ElapsedSeconds();
+      candidates = generated.size();
+      sum += seconds;
+      if (rep == 0 || seconds < best) best = seconds;
+    }
+    best_by_slug[m] = best;
+    const double mean = sum / kReps;
+    report.AddScalar(std::string("timing.") + methods[m].slug + ".best_s",
+                     best)
+        .AddScalar(std::string("timing.") + methods[m].slug + ".mean_s",
+                   mean);
+    table.AddRow({methods[m].name, TextTable::Fixed(best, 3),
+                  TextTable::Fixed(mean, 3),
+                  std::to_string(static_cast<size_t>(candidates / best))});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  const double speedup = best_by_slug[0] / best_by_slug[1];
+  report.AddScalar("timing.speedup", speedup);
+  std::printf("candidate-generation speedup (hash best / index best): "
+              "%.2fx\n", speedup);
+
+  // ---- Quality twin at the table5 reference point ------------------------
+  // Fixed at scale 0.25 / seed 42 / pair 2 regardless of --scale so the
+  // emitted quality block stays comparable (and byte-identical) to
+  // BENCH_table5_iterative.json across check-in runs.
+  bench::BenchOptions quality_options;
+  quality_options.scale = 0.25;
+  quality_options.seed = 42;
+  quality_options.pair_index = 2;
+  quality_options.blocking = "index";
+  const bench::EvalPair ep = bench::MakeEvalPair(quality_options);
+  std::printf("\nquality twin (table5 configurations, index blocking):\n");
+  bench::PrintPairHeader(ep, quality_options);
+  for (const bool safety_nets : {true, false}) {
+    for (const bool iterative : {false, true}) {
+      LinkageConfig config = configs::DefaultConfig();
+      bench::ApplyBlockingOption(quality_options, &config);
+      if (!iterative) config.delta_high = config.delta_low = 0.5;
+      if (!safety_nets) {
+        config.vertex_age_tolerance = 0;
+        config.context_residual = false;
+      }
+      const LinkageResult result =
+          LinkCensusPair(ep.pair.old_dataset, ep.pair.new_dataset, config);
+      const bench::Quality q = bench::EvaluatePaperProtocol(result, ep);
+      const std::string label =
+          std::string(safety_nets ? "default." : "paper.") +
+          (iterative ? "iterative" : "one_shot");
+      report.AddQuality(label + ".group", q.group)
+          .AddQuality(label + ".record", q.record);
+      if (safety_nets && iterative) report.AddIterations(result.iterations);
+      std::printf("  %-18s group F %s  record F %s\n", label.c_str(),
+                  TextTable::Percent(q.group.f_measure()).c_str(),
+                  TextTable::Percent(q.record.f_measure()).c_str());
+    }
+  }
+  bench::EmitRunArtifacts(report, options);
+  return 0;
+}

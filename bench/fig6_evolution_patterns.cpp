@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
               "%.2f) ==\n",
               options.scale);
 
-  const LinkageConfig config = configs::DefaultConfig();
+  LinkageConfig config = configs::DefaultConfig();
+  bench::ApplyBlockingOption(options, &config);
   std::vector<RecordMapping> record_mappings;
   std::vector<GroupMapping> group_mappings;
   Timer timer;

@@ -36,8 +36,10 @@ int main(int argc, char** argv) {
                 TextTable::Fixed(gs_seconds, 1)});
 
   timer.Reset();
-  const LinkageResult ours = LinkCensusPair(
-      ep.pair.old_dataset, ep.pair.new_dataset, configs::DefaultConfig());
+  LinkageConfig ours_config = configs::DefaultConfig();
+  bench::ApplyBlockingOption(options, &ours_config);
+  const LinkageResult ours =
+      LinkCensusPair(ep.pair.old_dataset, ep.pair.new_dataset, ours_config);
   const double ours_seconds = timer.ElapsedSeconds();
   const bench::Quality q = bench::EvaluatePaperProtocol(ours, ep);
   table.AddRow({"iter-sub", TextTable::Percent(q.group.precision()),

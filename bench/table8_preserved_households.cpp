@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
               "==\n",
               options.scale);
 
-  const LinkageConfig config = configs::DefaultConfig();
+  LinkageConfig config = configs::DefaultConfig();
+  bench::ApplyBlockingOption(options, &config);
   std::vector<RecordMapping> record_mappings;
   std::vector<GroupMapping> group_mappings;
   for (size_t i = 0; i + 1 < series.snapshots.size(); ++i) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "tglink/blocking/candidate_index.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 
@@ -20,6 +21,12 @@ BlockingConfig BlockingConfig::MakeDefault() {
 BlockingConfig BlockingConfig::MakeExhaustive() {
   BlockingConfig config;
   config.mode = Mode::kExhaustive;
+  return config;
+}
+
+BlockingConfig BlockingConfig::MakeInvertedIndex() {
+  BlockingConfig config = MakeDefault();
+  config.mode = Mode::kInvertedIndex;
   return config;
 }
 
@@ -64,6 +71,16 @@ std::vector<CandidatePair> GenerateCandidatePairs(
     const CensusDataset& old_dataset, const CensusDataset& new_dataset,
     const BlockingConfig& config) {
   TGLINK_TRACE_SPAN("blocking.generate_candidates");
+  if (config.mode == BlockingConfig::Mode::kInvertedIndex) {
+    const CandidateIndex index(old_dataset, new_dataset,
+                               CandidateIndexConfig::FromBlocking(config));
+    std::vector<CandidatePair> pairs = index.GeneratePairs();
+    TGLINK_COUNTER_ADD("blocking.cross_product_pairs",
+                       static_cast<uint64_t>(old_dataset.num_records()) *
+                           new_dataset.num_records());
+    TGLINK_COUNTER_ADD("blocking.candidate_pairs", pairs.size());
+    return pairs;
+  }
   std::vector<uint64_t> pair_keys;
   if (config.mode == BlockingConfig::Mode::kExhaustive) {
     pair_keys.reserve(old_dataset.num_records() * new_dataset.num_records());

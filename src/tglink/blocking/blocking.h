@@ -25,20 +25,44 @@ struct CandidatePair {
 };
 
 struct BlockingConfig {
-  enum class Mode { kMultiPass, kExhaustive };
+  /// kMultiPass: per-pass hash blocks, global pair sort + dedup.
+  /// kExhaustive: the paper's literal cross product.
+  /// kInvertedIndex: token -> posting-list index with per-old-record union
+  /// emission (see blocking/candidate_index.h) — same candidate set as
+  /// kMultiPass over the same passes (when pruning is off), much faster at
+  /// scale.
+  enum class Mode { kMultiPass, kExhaustive, kInvertedIndex };
   Mode mode = Mode::kMultiPass;
 
-  /// Key functions for kMultiPass; a pair is a candidate if it shares a key
-  /// in at least one pass. Default (set by MakeDefault) is the two
-  /// phonetic-name passes.
+  /// Key functions for kMultiPass / kInvertedIndex; a pair is a candidate
+  /// if it shares a key in at least one pass. Default (set by MakeDefault)
+  /// is the three phonetic-name passes.
   std::vector<BlockKeyFn> passes;
 
-  /// Blocks larger than this (old-side count + new-side count) are skipped
-  /// in a pass; 0 disables the cap. A safety valve against degenerate keys.
+  /// kMultiPass: blocks larger than this (old-side count + new-side count)
+  /// are skipped in a pass; 0 disables the cap. A safety valve against
+  /// degenerate keys.
   size_t max_block_size = 0;
+
+  /// kInvertedIndex only: posting lists longer than this (both sides
+  /// summed) are pruned and their records routed to a sorted-neighborhood
+  /// fallback; 0 disables pruning (exact kMultiPass equivalence).
+  size_t max_posting_len = 0;
+
+  /// kInvertedIndex only: window of the sorted-neighborhood fallback over
+  /// records that carried a pruned key; 0 disables the fallback.
+  size_t fallback_window = 8;
+
+  /// kInvertedIndex only: minimum number of distinct blocking keys a pair
+  /// must share (1 = plain union; >= 2 = conjunctive galloping-intersect
+  /// refinement, a precision knob).
+  size_t min_shared_passes = 1;
 
   static BlockingConfig MakeDefault();
   static BlockingConfig MakeExhaustive();
+  /// The default passes served from the inverted candidate index. Pruning
+  /// is off by default, so the candidate set is identical to MakeDefault().
+  static BlockingConfig MakeInvertedIndex();
 };
 
 /// Generates deduplicated candidate pairs, sorted by (old_id, new_id).

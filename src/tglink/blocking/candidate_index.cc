@@ -1,0 +1,390 @@
+#include "tglink/blocking/candidate_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "tglink/blocking/sorted_neighborhood.h"
+#include "tglink/obs/metrics.h"
+#include "tglink/obs/trace.h"
+#include "tglink/util/logging.h"
+#include "tglink/util/parallel.h"
+
+namespace tglink {
+
+CandidateIndexConfig CandidateIndexConfig::MakeDefault() {
+  CandidateIndexConfig config;
+  config.passes = BlockingConfig::MakeDefault().passes;
+  return config;
+}
+
+CandidateIndexConfig CandidateIndexConfig::FromBlocking(
+    const BlockingConfig& blocking) {
+  CandidateIndexConfig config;
+  config.passes = blocking.passes;
+  config.max_posting_len = blocking.max_posting_len;
+  config.fallback_window = blocking.fallback_window;
+  config.min_shared_passes = blocking.min_shared_passes;
+  return config;
+}
+
+std::vector<RecordId> GallopingIntersect(const std::vector<RecordId>& a,
+                                         const std::vector<RecordId>& b) {
+  TGLINK_DCHECK(std::is_sorted(a.begin(), a.end()))
+      << "GallopingIntersect: left posting list not ascending";
+  TGLINK_DCHECK(std::is_sorted(b.begin(), b.end()))
+      << "GallopingIntersect: right posting list not ascending";
+  // Probe from the shorter list into the longer one: double the step until
+  // overshooting, then binary-search the bracketed range.
+  const std::vector<RecordId>& small = a.size() <= b.size() ? a : b;
+  const std::vector<RecordId>& large = a.size() <= b.size() ? b : a;
+  std::vector<RecordId> out;
+  out.reserve(small.size());
+  size_t lo = 0;
+  for (RecordId id : small) {
+    size_t step = 1;
+    size_t hi = lo;
+    while (hi < large.size() && large[hi] < id) {
+      lo = hi;
+      hi += step;
+      step <<= 1;
+    }
+    const auto first = large.begin() + static_cast<ptrdiff_t>(lo);
+    const auto last =
+        large.begin() + static_cast<ptrdiff_t>(std::min(hi + 1, large.size()));
+    const auto it = std::lower_bound(first, last, id);
+    lo = static_cast<size_t>(it - large.begin());
+    if (lo < large.size() && large[lo] == id) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<RecordId> UnionSortedPostings(
+    const std::vector<const std::vector<RecordId>*>& lists) {
+  std::vector<RecordId> out;
+  for (const std::vector<RecordId>* list : lists) {
+    TGLINK_DCHECK(list != nullptr) << "UnionSortedPostings: null list";
+    TGLINK_DCHECK(std::is_sorted(list->begin(), list->end()))
+        << "UnionSortedPostings: posting list not ascending";
+    out.insert(out.end(), list->begin(), list->end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+CandidateIndex::CandidateIndex(const CensusDataset& old_dataset,
+                               const CensusDataset& new_dataset,
+                               CandidateIndexConfig config)
+    : config_(std::move(config)),
+      old_dataset_(old_dataset),
+      new_dataset_(new_dataset) {
+  TGLINK_TRACE_SPAN("candindex.build");
+  const size_t num_old = old_dataset_.num_records();
+  const size_t num_new = new_dataset_.num_records();
+  old_record_tokens_.resize(num_old);
+
+  std::vector<uint32_t> old_posting_len;  // per token, old-side list length
+  // Token interning is per pass: a key string produced by two different
+  // passes is two distinct tokens, exactly as hash blocking treats each
+  // pass's block space independently.
+  for (const BlockKeyFn& pass : config_.passes) {
+    std::unordered_map<std::string, uint32_t> intern;
+    // Key computation dominates build cost (soundex + string assembly per
+    // record); it is pure per record, so fan it out over the pool.
+    std::vector<std::string> old_keys = ParallelMap<std::string>(
+        num_old, "candindex.keys",
+        [&](size_t r) { return pass(old_dataset_.record(RecordId(r))); });
+    std::vector<std::string> new_keys = ParallelMap<std::string>(
+        num_new, "candindex.keys",
+        [&](size_t r) { return pass(new_dataset_.record(RecordId(r))); });
+    for (RecordId r = 0; r < num_old; ++r) {
+      std::string& key = old_keys[r];
+      if (key.empty()) continue;
+      const auto [it, inserted] = intern.try_emplace(
+          std::move(key), static_cast<uint32_t>(new_postings_.size()));
+      if (inserted) {
+        new_postings_.emplace_back();
+        old_posting_len.push_back(0);
+      }
+      old_record_tokens_[r].push_back(it->second);
+      ++old_posting_len[it->second];
+    }
+    for (RecordId r = 0; r < num_new; ++r) {
+      std::string& key = new_keys[r];
+      if (key.empty()) continue;
+      const auto [it, inserted] = intern.try_emplace(
+          std::move(key), static_cast<uint32_t>(new_postings_.size()));
+      if (inserted) {
+        new_postings_.emplace_back();
+        old_posting_len.push_back(0);
+      }
+      new_postings_[it->second].push_back(r);
+    }
+  }
+  token_count_ = new_postings_.size();
+  for (size_t t = 0; t < token_count_; ++t) {
+    posting_count_ += old_posting_len[t] + new_postings_[t].size();
+  }
+
+  // A record may produce the same token through two passes (e.g. identical
+  // first name and surname); emission must see each token once.
+  for (std::vector<uint32_t>& tokens : old_record_tokens_) {
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  }
+
+  if (config_.max_posting_len > 0) {
+    std::vector<bool> pruned(token_count_, false);
+    std::vector<bool> fb_new(num_new, false);
+    for (size_t t = 0; t < token_count_; ++t) {
+      if (old_posting_len[t] + new_postings_[t].size() >
+          config_.max_posting_len) {
+        pruned[t] = true;
+        ++pruned_tokens_;
+        for (RecordId r : new_postings_[t]) fb_new[r] = true;
+        new_postings_[t].clear();
+        new_postings_[t].shrink_to_fit();
+      }
+    }
+    if (pruned_tokens_ > 0) {
+      for (RecordId r = 0; r < num_old; ++r) {
+        std::vector<uint32_t>& tokens = old_record_tokens_[r];
+        const auto dead = std::remove_if(
+            tokens.begin(), tokens.end(),
+            [&](uint32_t t) { return pruned[t]; });
+        if (dead != tokens.end()) {
+          tokens.erase(dead, tokens.end());
+          fallback_old_.push_back(r);
+        }
+      }
+      for (RecordId r = 0; r < num_new; ++r) {
+        if (fb_new[r]) fallback_new_.push_back(r);
+      }
+    }
+  }
+  TGLINK_COUNTER_ADD("candindex.postings", posting_count_);
+  TGLINK_COUNTER_ADD("candindex.pruned_keys", pruned_tokens_);
+}
+
+void CandidateIndex::AppendPairsForOldRecord(
+    RecordId old_id, std::vector<RecordId>* scratch,
+    std::vector<CandidatePair>* out) const {
+  const std::vector<uint32_t>& tokens = old_record_tokens_[old_id];
+  if (tokens.empty()) return;
+  const size_t min_shared = std::max<size_t>(1, config_.min_shared_passes);
+  if (min_shared > 1 && tokens.size() < min_shared) return;
+  if (min_shared == 1) {
+    // The emission hot path. Posting lists are sorted, so the union is a
+    // k-pointer merge emitting straight into `out` — O(total postings),
+    // no per-record sort, no scratch buffer. With the default three passes
+    // k <= 3.
+    constexpr size_t kMaxMergeLists = 8;
+    if (tokens.size() == 1) {
+      for (RecordId n : new_postings_[tokens[0]]) out->push_back({old_id, n});
+      return;
+    }
+    if (tokens.size() <= kMaxMergeLists) {
+      const std::vector<RecordId>* lists[kMaxMergeLists];
+      size_t idx[kMaxMergeLists];
+      const size_t k = tokens.size();
+      for (size_t i = 0; i < k; ++i) {
+        lists[i] = &new_postings_[tokens[i]];
+        idx[i] = 0;
+      }
+      for (;;) {
+        constexpr RecordId kDone = std::numeric_limits<RecordId>::max();
+        RecordId min_id = kDone;
+        for (size_t i = 0; i < k; ++i) {
+          if (idx[i] < lists[i]->size() && (*lists[i])[idx[i]] < min_id) {
+            min_id = (*lists[i])[idx[i]];
+          }
+        }
+        if (min_id == kDone) break;
+        out->push_back({old_id, min_id});
+        for (size_t i = 0; i < k; ++i) {
+          if (idx[i] < lists[i]->size() && (*lists[i])[idx[i]] == min_id) {
+            ++idx[i];
+          }
+        }
+      }
+      return;
+    }
+  }
+  scratch->clear();
+  if (min_shared == 2 && tokens.size() == 2) {
+    // The common conjunctive case: one galloping intersection, no sort.
+    *scratch = GallopingIntersect(new_postings_[tokens[0]],
+                                  new_postings_[tokens[1]]);
+  } else {
+    for (uint32_t t : tokens) {
+      const std::vector<RecordId>& posting = new_postings_[t];
+      scratch->insert(scratch->end(), posting.begin(), posting.end());
+    }
+    std::sort(scratch->begin(), scratch->end());
+    if (min_shared == 1) {
+      scratch->erase(std::unique(scratch->begin(), scratch->end()),
+                     scratch->end());
+    } else {
+      // Keep ids occurring in >= min_shared distinct posting lists (tokens
+      // are distinct per record, so run length == shared-token count).
+      size_t kept = 0;
+      for (size_t i = 0; i < scratch->size();) {
+        size_t j = i;
+        while (j < scratch->size() && (*scratch)[j] == (*scratch)[i]) ++j;
+        if (j - i >= min_shared) (*scratch)[kept++] = (*scratch)[i];
+        i = j;
+      }
+      scratch->resize(kept);
+    }
+  }
+  for (RecordId n : *scratch) out->push_back({old_id, n});
+}
+
+std::vector<CandidatePair> CandidateIndex::ShardPairs(size_t begin,
+                                                      size_t end) const {
+  std::vector<CandidatePair> out;
+  std::vector<RecordId> scratch;
+  for (size_t r = begin; r < end; ++r) {
+    AppendPairsForOldRecord(static_cast<RecordId>(r), &scratch, &out);
+  }
+  return out;
+}
+
+std::vector<CandidatePair> CandidateIndex::FallbackPairs() const {
+  if (config_.fallback_window == 0 ||
+      (fallback_old_.empty() && fallback_new_.empty())) {
+    return {};
+  }
+  // Sorted-neighborhood over only the flagged records: both sides are
+  // sorted together by the conventional census roster key and every
+  // cross-snapshot pair within the window becomes a candidate. This is the
+  // recall net for pairs that lived exclusively in pruned blocks.
+  const BlockKeyFn key = SurnameFirstNameSortKey();
+  struct Entry {
+    std::string key;
+    RecordId id;
+    bool is_old;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(fallback_old_.size() + fallback_new_.size());
+  for (RecordId r : fallback_old_) {
+    std::string k = key(old_dataset_.record(r));
+    if (!k.empty()) entries.push_back({std::move(k), r, true});
+  }
+  for (RecordId r : fallback_new_) {
+    std::string k = key(new_dataset_.record(r));
+    if (!k.empty()) entries.push_back({std::move(k), r, false});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              if (a.is_old != b.is_old) return a.is_old;
+              return a.id < b.id;
+            });
+  std::vector<uint64_t> pair_keys;
+  const size_t w = std::max<size_t>(2, config_.fallback_window);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size() && j < i + w; ++j) {
+      if (entries[i].is_old == entries[j].is_old) continue;
+      const RecordId o = entries[i].is_old ? entries[i].id : entries[j].id;
+      const RecordId n = entries[i].is_old ? entries[j].id : entries[i].id;
+      pair_keys.push_back((static_cast<uint64_t>(o) << 32) | n);
+    }
+  }
+  std::sort(pair_keys.begin(), pair_keys.end());
+  pair_keys.erase(std::unique(pair_keys.begin(), pair_keys.end()),
+                  pair_keys.end());
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(pair_keys.size());
+  for (uint64_t k : pair_keys) {
+    pairs.push_back({static_cast<RecordId>(k >> 32),
+                     static_cast<RecordId>(k & 0xFFFFFFFFu)});
+  }
+  return pairs;
+}
+
+namespace {
+
+bool PairLess(const CandidatePair& a, const CandidatePair& b) {
+  return a.old_id != b.old_id ? a.old_id < b.old_id : a.new_id < b.new_id;
+}
+
+bool PairEqual(const CandidatePair& a, const CandidatePair& b) {
+  return a.old_id == b.old_id && a.new_id == b.new_id;
+}
+
+}  // namespace
+
+std::vector<CandidatePair> CandidateIndex::GeneratePairs() const {
+  TGLINK_TRACE_SPAN("candindex.emit");
+  const size_t num_old = old_dataset_.num_records();
+  const size_t batch = std::max<size_t>(1, config_.batch_records);
+  const size_t num_shards = (num_old + batch - 1) / batch;
+  // Each shard emits an independent, already-sorted slice of the (old, new)
+  // pair space; ordered concatenation keeps the output bit-identical to the
+  // serial path for every thread count.
+  std::vector<std::vector<CandidatePair>> shards =
+      ParallelMap<std::vector<CandidatePair>>(
+          num_shards, "candindex.shard", [&](size_t s) {
+            return ShardPairs(s * batch, std::min(num_old, (s + 1) * batch));
+          });
+  size_t total = 0;
+  for (const std::vector<CandidatePair>& shard : shards) {
+    total += shard.size();
+  }
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(total);
+  for (const std::vector<CandidatePair>& shard : shards) {
+    pairs.insert(pairs.end(), shard.begin(), shard.end());
+  }
+  const std::vector<CandidatePair> fallback = FallbackPairs();
+  if (!fallback.empty()) {
+    std::vector<CandidatePair> merged;
+    merged.reserve(pairs.size() + fallback.size());
+    std::set_union(pairs.begin(), pairs.end(), fallback.begin(),
+                   fallback.end(), std::back_inserter(merged), PairLess);
+    merged.erase(std::unique(merged.begin(), merged.end(), PairEqual),
+                 merged.end());
+    pairs = std::move(merged);
+  }
+  TGLINK_COUNTER_ADD("candindex.pairs_emitted", pairs.size());
+  return pairs;
+}
+
+void CandidateIndex::EmitBatches(
+    const std::function<void(const std::vector<CandidatePair>&)>& sink) const {
+  TGLINK_TRACE_SPAN("candindex.emit");
+  const size_t num_old = old_dataset_.num_records();
+  const size_t batch = std::max<size_t>(1, config_.batch_records);
+  const std::vector<CandidatePair> fallback = FallbackPairs();
+  size_t fb_next = 0;  // next fallback pair not yet handed to the sink
+  size_t emitted = 0;
+  for (size_t begin = 0; begin < num_old; begin += batch) {
+    const size_t end = std::min(num_old, begin + batch);
+    std::vector<CandidatePair> shard = ShardPairs(begin, end);
+    // Fold in the fallback pairs that sort before this shard's upper bound
+    // (old_id < end), preserving global (old, new) order across batches.
+    const size_t fb_begin = fb_next;
+    while (fb_next < fallback.size() && fallback[fb_next].old_id < end) {
+      ++fb_next;
+    }
+    if (fb_next > fb_begin) {
+      std::vector<CandidatePair> merged;
+      merged.reserve(shard.size() + (fb_next - fb_begin));
+      std::set_union(shard.begin(), shard.end(), fallback.begin() + fb_begin,
+                     fallback.begin() + fb_next, std::back_inserter(merged),
+                     PairLess);
+      merged.erase(std::unique(merged.begin(), merged.end(), PairEqual),
+                   merged.end());
+      shard = std::move(merged);
+    }
+    emitted += shard.size();
+    if (!shard.empty()) sink(shard);
+  }
+  TGLINK_COUNTER_ADD("candindex.pairs_emitted", emitted);
+}
+
+}  // namespace tglink

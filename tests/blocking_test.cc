@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tglink/blocking/block_key.h"
+
 #include "tglink/linkage/config.h"
 #include "tglink/synth/generator.h"
 #include "tests/paper_example.h"

@@ -1,0 +1,222 @@
+// Differential verification of the inverted candidate index against the
+// multi-pass hash blocking it replaces (satellite of the candidate-index
+// tentpole; see DESIGN.md §9):
+//
+//   * equivalence: with pruning disabled, GeneratePairs() emits EXACTLY the
+//     candidate-pair set of blocking.cc hash blocking, across >= 50 seeded
+//     synthetic datasets covering every corruption preset;
+//   * batching: the concatenation of EmitBatches() batches is the same
+//     stream GeneratePairs() returns;
+//   * pruning: a token is pruned under exactly the condition hash blocking
+//     skips an oversized block (old + new > cap), so at an equal cap the
+//     pruned index plus its sorted-neighborhood fallback emits a superset
+//     of the capped hash baseline — gold-pair recall is never worse, and
+//     the set stays below the uncapped candidate count.
+//
+// Runs serially by default; TGLINK_TEST_THREADS=0 (a second ctest entry)
+// reruns everything on one worker per hardware thread — outputs must be
+// bit-identical, so every property holds under both.
+
+#include "tglink/blocking/candidate_index.h"
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tglink/blocking/blocking.h"
+#include "tglink/eval/gold.h"
+#include "tglink/util/parallel.h"
+#include "tests/proptest.h"
+
+namespace tglink {
+namespace {
+
+class CandidateIndexPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* threads = std::getenv("TGLINK_TEST_THREADS");
+    SetParallelThreadCount(threads != nullptr ? std::atoi(threads) : 1);
+  }
+  void TearDown() override { SetParallelThreadCount(1); }
+};
+
+std::string DescribePair(const SyntheticPair& pair) {
+  return std::to_string(pair.old_dataset.num_records()) + "x" +
+         std::to_string(pair.new_dataset.num_records()) + " records";
+}
+
+bool SamePairs(const std::vector<CandidatePair>& a,
+               const std::vector<CandidatePair>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].old_id != b[i].old_id || a[i].new_id != b[i].new_id) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Share of resolved gold record links contained in the candidate set.
+double GoldRecall(const std::vector<CandidatePair>& candidates,
+                  const ResolvedGold& gold) {
+  if (gold.record_links.empty()) return 1.0;
+  std::set<std::pair<RecordId, RecordId>> set;
+  for (const CandidatePair& c : candidates) set.emplace(c.old_id, c.new_id);
+  size_t found = 0;
+  for (const auto& link : gold.record_links) {
+    if (set.count(link) > 0) ++found;
+  }
+  return static_cast<double>(found) / gold.record_links.size();
+}
+
+// Pruning-disabled index output == hash blocking output, exactly, for 50
+// datasets: every corruption preset x 10 seeds (preset coverage is
+// deterministic, not sampled).
+TEST_F(CandidateIndexPropertyTest, ExactEquivalenceWithHashBlocking) {
+  for (const GeneratorConfig& preset : proptest::AllPresets()) {
+    proptest::Runner runner("candidate_index.equivalence", /*iterations=*/10);
+    runner.Run([&preset](proptest::Case& c) {
+      GeneratorConfig gen = preset;
+      gen.seed = c.rng().Next();
+      gen.scale = c.scale();
+      gen.num_censuses = 2;
+      const SyntheticPair pair = GenerateCensusPair(gen, 0);
+
+      const BlockingConfig hash = BlockingConfig::MakeDefault();
+      const std::vector<CandidatePair> expected =
+          GenerateCandidatePairs(pair.old_dataset, pair.new_dataset, hash);
+
+      const std::vector<CandidatePair> actual = GenerateCandidatePairs(
+          pair.old_dataset, pair.new_dataset,
+          BlockingConfig::MakeInvertedIndex());
+      c.ExpectTrue(SamePairs(expected, actual),
+                   "index pairs != hash pairs (" + DescribePair(pair) +
+                       ": hash " + std::to_string(expected.size()) +
+                       ", index " + std::to_string(actual.size()) + ")");
+    });
+    EXPECT_TRUE(runner.AllPassed()) << runner.Report();
+    EXPECT_GE(runner.iterations_ran(), 10);
+  }
+}
+
+// EmitBatches is the same stream as GeneratePairs, batch-concatenated —
+// with and without pruning (the fallback merge must respect batch order).
+TEST_F(CandidateIndexPropertyTest, BatchedEmissionMatchesGeneratePairs) {
+  proptest::Runner runner("candidate_index.batching", /*iterations=*/15);
+  runner.Run([](proptest::Case& c) {
+    const SyntheticPair pair = proptest::RandomCensusPair(&c);
+    for (const size_t max_posting_len : {size_t{0}, size_t{48}}) {
+      CandidateIndexConfig config = CandidateIndexConfig::MakeDefault();
+      config.max_posting_len = max_posting_len;
+      // Odd shard sizes probe batch-boundary handling.
+      config.batch_records = 1 + c.rng().NextBounded(257);
+      const CandidateIndex index(pair.old_dataset, pair.new_dataset, config);
+      const std::vector<CandidatePair> whole = index.GeneratePairs();
+      std::vector<CandidatePair> streamed;
+      index.EmitBatches([&streamed](const std::vector<CandidatePair>& batch) {
+        streamed.insert(streamed.end(), batch.begin(), batch.end());
+      });
+      c.ExpectTrue(SamePairs(whole, streamed),
+                   "EmitBatches stream != GeneratePairs (max_posting_len=" +
+                       std::to_string(max_posting_len) + ", batch=" +
+                       std::to_string(config.batch_records) + ")");
+    }
+  });
+  EXPECT_TRUE(runner.AllPassed()) << runner.Report();
+}
+
+// Frequency pruning + sorted-neighborhood fallback vs hash blocking at the
+// SAME oversize cap (the apples-to-apples baseline: both drop blocks with
+// old + new > cap): the index's candidate set is a superset — the fallback
+// only adds pairs back — so gold recall is never worse, for every
+// corruption preset.
+TEST_F(CandidateIndexPropertyTest, PrunedRecallNoWorseThanBaseline) {
+  constexpr size_t kCap = 96;
+  for (const GeneratorConfig& preset : proptest::AllPresets()) {
+    proptest::Runner runner("candidate_index.pruned_recall",
+                            /*iterations=*/10);
+    runner.Run([&preset](proptest::Case& c) {
+      GeneratorConfig gen = preset;
+      gen.seed = c.rng().Next();
+      gen.scale = c.scale();
+      gen.num_censuses = 2;
+      const SyntheticPair pair = GenerateCensusPair(gen, 0);
+      auto resolved =
+          ResolveGold(pair.gold, pair.old_dataset, pair.new_dataset);
+      ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+
+      BlockingConfig capped_hash = BlockingConfig::MakeDefault();
+      capped_hash.max_block_size = kCap;
+      const std::vector<CandidatePair> baseline = GenerateCandidatePairs(
+          pair.old_dataset, pair.new_dataset, capped_hash);
+
+      BlockingConfig pruned = BlockingConfig::MakeInvertedIndex();
+      pruned.max_posting_len = kCap;
+      pruned.fallback_window = 12;
+      const std::vector<CandidatePair> candidates = GenerateCandidatePairs(
+          pair.old_dataset, pair.new_dataset, pruned);
+
+      std::set<std::pair<RecordId, RecordId>> candidate_set;
+      for (const CandidatePair& p : candidates) {
+        candidate_set.emplace(p.old_id, p.new_id);
+      }
+      bool superset = true;
+      for (const CandidatePair& p : baseline) {
+        superset = superset && candidate_set.count({p.old_id, p.new_id}) > 0;
+      }
+      c.ExpectTrue(superset,
+                   "pruned index lost a capped-hash pair (" +
+                       DescribePair(pair) + ")");
+
+      const double base_recall = GoldRecall(baseline, resolved.value());
+      const double pruned_recall = GoldRecall(candidates, resolved.value());
+      c.ExpectTrue(pruned_recall >= base_recall,
+                   "pruned recall " + std::to_string(pruned_recall) +
+                       " < baseline " + std::to_string(base_recall) + " (" +
+                       DescribePair(pair) + ")");
+
+      // Pruning must still be a reduction relative to no cap at all.
+      const std::vector<CandidatePair> uncapped = GenerateCandidatePairs(
+          pair.old_dataset, pair.new_dataset,
+          BlockingConfig::MakeInvertedIndex());
+      c.ExpectTrue(candidates.size() <= uncapped.size(),
+                   "pruning + fallback grew the candidate set: " +
+                       std::to_string(candidates.size()) + " > " +
+                       std::to_string(uncapped.size()));
+    });
+    EXPECT_TRUE(runner.AllPassed()) << runner.Report();
+  }
+}
+
+// The conjunctive >=2-shared-keys mode is a strict subset of the union mode
+// and agrees with a set-based reference intersection.
+TEST_F(CandidateIndexPropertyTest, ConjunctiveModeIsSubsetOfUnion) {
+  proptest::Runner runner("candidate_index.conjunctive", /*iterations=*/15);
+  runner.Run([](proptest::Case& c) {
+    const SyntheticPair pair = proptest::RandomCensusPair(&c);
+    const std::vector<CandidatePair> unioned = GenerateCandidatePairs(
+        pair.old_dataset, pair.new_dataset,
+        BlockingConfig::MakeInvertedIndex());
+    BlockingConfig conj = BlockingConfig::MakeInvertedIndex();
+    conj.min_shared_passes = 2;
+    const std::vector<CandidatePair> intersected =
+        GenerateCandidatePairs(pair.old_dataset, pair.new_dataset, conj);
+    std::set<std::pair<RecordId, RecordId>> union_set;
+    for (const CandidatePair& p : unioned) {
+      union_set.emplace(p.old_id, p.new_id);
+    }
+    bool subset = intersected.size() <= unioned.size();
+    for (const CandidatePair& p : intersected) {
+      subset = subset && union_set.count({p.old_id, p.new_id}) > 0;
+    }
+    c.ExpectTrue(subset, "conjunctive pairs not a subset of union pairs");
+  });
+  EXPECT_TRUE(runner.AllPassed()) << runner.Report();
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,0 +1,26 @@
+// Fuzz target for census CSV ingestion (census/io): DatasetFromCsv over
+// arbitrary bytes must either fail with a Status or produce a dataset whose
+// own serialization loads back with identical shape (values are normalized
+// on the first parse, so the second round is exact).
+
+#include "tglink/census/io.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto dataset = tglink::DatasetFromCsv(text, 1871);
+  if (!dataset.ok()) return 0;
+
+  const std::string csv = tglink::DatasetToCsv(dataset.value());
+  auto reloaded = tglink::DatasetFromCsv(csv, 1871);
+  if (!reloaded.ok()) std::abort();  // our own output must always load
+  if (reloaded.value().num_records() != dataset.value().num_records() ||
+      reloaded.value().num_households() != dataset.value().num_households()) {
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Standalone driver for the fuzz targets when the toolchain has no
+// libFuzzer (GCC): replays every corpus input through
+// LLVMFuzzerTestOneInput, then runs a deterministic seeded mutation loop
+// (bit flips, byte writes, truncations, insertions, cross-splices of two
+// corpus inputs) until a run or wall-clock budget is exhausted. Under
+// -fsanitize=address;undefined this is a genuine, reproducible fuzz smoke;
+// with clang the same targets link against the real libFuzzer instead and
+// this file is not compiled.
+//
+//   ./fuzz_csv [--runs=N] [--time_budget_s=S] [--seed=K] [--max_len=L]
+//              corpus_dir_or_file...
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "tglink/util/random.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+using Input = std::vector<uint8_t>;
+
+bool ReadFile(const std::filesystem::path& path, Input* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// One random edit; composed edits approximate libFuzzer's mutators.
+void MutateOnce(tglink::Rng* rng, size_t max_len, Input* input) {
+  switch (rng->NextBounded(5)) {
+    case 0:  // bit flip
+      if (!input->empty()) {
+        (*input)[rng->NextBounded(input->size())] ^=
+            static_cast<uint8_t>(1u << rng->NextBounded(8));
+      }
+      break;
+    case 1:  // overwrite with an interesting byte
+      if (!input->empty()) {
+        static const uint8_t kBytes[] = {0, 1, '\n', '\r', '"', ',', 0x7F,
+                                         0xFF};
+        (*input)[rng->NextBounded(input->size())] =
+            kBytes[rng->NextBounded(std::size(kBytes))];
+      }
+      break;
+    case 2:  // truncate a tail
+      if (!input->empty()) {
+        input->resize(rng->NextBounded(input->size()));
+      }
+      break;
+    case 3:  // insert a random byte
+      if (input->size() < max_len) {
+        input->insert(input->begin() + rng->NextBounded(input->size() + 1),
+                      static_cast<uint8_t>(rng->NextBounded(256)));
+      }
+      break;
+    case 4:  // duplicate a random slice in place
+      if (!input->empty() && input->size() < max_len) {
+        const size_t from = rng->NextBounded(input->size());
+        const size_t len =
+            1 + rng->NextBounded(std::min<size_t>(32, input->size() - from));
+        Input slice(input->begin() + from, input->begin() + from + len);
+        input->insert(input->begin() + rng->NextBounded(input->size() + 1),
+                      slice.begin(), slice.end());
+      }
+      break;
+  }
+  if (input->size() > max_len) input->resize(max_len);
+}
+
+/// Splice: head of one corpus input + tail of another.
+Input Splice(tglink::Rng* rng, const Input& a, const Input& b) {
+  Input out(a.begin(), a.begin() + rng->NextBounded(a.size() + 1));
+  out.insert(out.end(), b.begin() + rng->NextBounded(b.size() + 1), b.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 20000;
+  uint64_t seed = 42;
+  size_t max_len = 1 << 16;
+  double time_budget_s = 0.0;  // 0 = no wall-clock budget
+  std::vector<std::filesystem::path> corpus_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--runs=", 0) == 0) {
+      runs = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--max_len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--time_budget_s=", 0) == 0) {
+      time_budget_s = std::atof(arg.c_str() + 16);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else {
+      corpus_paths.emplace_back(arg);
+    }
+  }
+
+  // Load the corpus: files, or every regular file inside a directory.
+  std::vector<Input> corpus;
+  for (const std::filesystem::path& path : corpus_paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());  // deterministic replay order
+      for (const auto& file : files) {
+        Input input;
+        if (ReadFile(file, &input)) corpus.push_back(std::move(input));
+      }
+    } else {
+      Input input;
+      if (!ReadFile(path, &input)) {
+        std::fprintf(stderr, "cannot read corpus input: %s\n",
+                     path.c_str());
+        return 2;
+      }
+      corpus.push_back(std::move(input));
+    }
+  }
+  if (corpus.empty()) corpus.push_back({});  // always have a mutation base
+
+  for (const Input& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", corpus.size());
+
+  tglink::Rng rng(seed);
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t executed = 0;
+  for (; executed < runs; ++executed) {
+    if (time_budget_s > 0 && (executed & 0xFF) == 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= time_budget_s) break;
+    }
+    Input input = corpus[rng.NextBounded(corpus.size())];
+    if (rng.NextBounded(4) == 0) {
+      input = Splice(&rng, input, corpus[rng.NextBounded(corpus.size())]);
+    }
+    const uint64_t edits = 1 + rng.NextBounded(8);
+    for (uint64_t e = 0; e < edits; ++e) MutateOnce(&rng, max_len, &input);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::fprintf(stderr, "executed %llu mutated runs (seed %llu): OK\n",
+               static_cast<unsigned long long>(executed),
+               static_cast<unsigned long long>(seed));
+  return 0;
+}

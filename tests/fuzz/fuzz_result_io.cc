@@ -1,0 +1,34 @@
+// Fuzz target for linkage-result CSV loading (linkage/result_io):
+// MappingsFromCsv resolves external ids against two fixed datasets (the
+// paper's running example) and enforces 1:1-ness; arbitrary bytes must
+// produce a Status or a mapping that round-trips through MappingsToCsv.
+
+#include "tglink/linkage/result_io.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "tests/paper_example.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const tglink::CensusDataset& old_d =
+      *new tglink::CensusDataset(tglink::testing_example::MakeCensus1871());
+  static const tglink::CensusDataset& new_d =
+      *new tglink::CensusDataset(tglink::testing_example::MakeCensus1881());
+
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto loaded = tglink::MappingsFromCsv(text, old_d, new_d);
+  if (!loaded.ok()) return 0;
+
+  const std::string csv = tglink::MappingsToCsv(
+      loaded.value().records, loaded.value().groups, old_d, new_d);
+  auto reloaded = tglink::MappingsFromCsv(csv, old_d, new_d);
+  if (!reloaded.ok()) std::abort();  // our own output must always load
+  if (reloaded.value().records.size() != loaded.value().records.size() ||
+      reloaded.value().groups.size() != loaded.value().groups.size()) {
+    std::abort();
+  }
+  return 0;
+}

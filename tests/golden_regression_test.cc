@@ -1,0 +1,120 @@
+// Golden quality-regression gate: the full LinkCensusPair pipeline on the
+// deterministic synthetic pair (--scale=0.125 --seed=42) must reproduce the
+// checked-in metrics byte-for-byte — exact-match precision/recall/F for
+// records and groups, per-δ iteration counts, and residual-phase counts.
+// Any change to blocking, similarity, subgraph scoring, selection, or the
+// residual matcher that shifts quality shows up as a one-line JSON diff.
+//
+// The same run is repeated with inverted-index blocking; it must produce
+// the identical mapping (the index's equivalence guarantee, end to end).
+//
+// To regenerate after an intentional quality change:
+//   TGLINK_REGEN_GOLDEN=1 ./golden_regression_test
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tglink/blocking/blocking.h"
+#include "tglink/eval/metrics.h"
+#include "tglink/linkage/iterative.h"
+#include "tglink/synth/generator.h"
+#include "tglink/util/csv.h"
+
+namespace tglink {
+namespace {
+
+constexpr double kScale = 0.125;
+constexpr uint64_t kSeed = 42;
+
+std::string GoldenPath() {
+  return std::string(TGLINK_SOURCE_DIR) +
+         "/tests/golden/link_scale0125_seed42.json";
+}
+
+void AppendCounts(const std::string& name, const PrecisionRecall& pr,
+                  std::string* out) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s\": {\"tp\": %zu, \"fp\": %zu, \"fn\": %zu, "
+                "\"precision\": %.6f, \"recall\": %.6f, \"f\": %.6f},\n",
+                name.c_str(), pr.true_positives, pr.false_positives,
+                pr.false_negatives, pr.precision(), pr.recall(),
+                pr.f_measure());
+  *out += buf;
+}
+
+/// The quality fingerprint of one linkage run, serialized deterministically.
+std::string QualityJson(const LinkageResult& result,
+                        const ResolvedGold& gold) {
+  std::string out = "{\n  \"schema\": \"tglink.golden_link/1\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "  \"scale\": %.6f,\n  \"seed\": %llu,\n",
+                kScale, static_cast<unsigned long long>(kSeed));
+  out += buf;
+  AppendCounts("records", EvaluateRecordMapping(result.record_mapping, gold),
+               &out);
+  AppendCounts("groups", EvaluateGroupMapping(result.group_mapping, gold),
+               &out);
+  out += "  \"iterations\": [\n";
+  for (size_t i = 0; i < result.iterations.size(); ++i) {
+    const IterationStats& it = result.iterations[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"delta\": %.6f, \"scored_pairs\": %zu, "
+                  "\"candidate_subgraphs\": %zu, \"accepted_subgraphs\": %zu, "
+                  "\"new_group_links\": %zu, \"new_record_links\": %zu}%s\n",
+                  it.delta, it.scored_pairs, it.candidate_subgraphs,
+                  it.accepted_subgraphs, it.new_group_links,
+                  it.new_record_links,
+                  i + 1 < result.iterations.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"context_record_links\": %zu,\n"
+                "  \"residual_record_links\": %zu\n}\n",
+                result.context_record_links, result.residual_record_links);
+  out += buf;
+  return out;
+}
+
+TEST(GoldenRegressionTest, FullLinkageMatchesCheckedInGolden) {
+  GeneratorConfig gen;
+  gen.seed = kSeed;
+  gen.scale = kScale;
+  gen.num_censuses = 2;
+  const SyntheticPair pair = GenerateCensusPair(gen, 0);
+  auto gold = ResolveGold(pair.gold, pair.old_dataset, pair.new_dataset);
+  ASSERT_TRUE(gold.ok()) << gold.status().ToString();
+
+  const LinkageConfig config = configs::DefaultConfig();
+  const LinkageResult result =
+      LinkCensusPair(pair.old_dataset, pair.new_dataset, config);
+  const std::string actual = QualityJson(result, gold.value());
+
+  if (std::getenv("TGLINK_REGEN_GOLDEN") != nullptr) {
+    ASSERT_TRUE(WriteStringToFile(GoldenPath(), actual).ok());
+    GTEST_SKIP() << "regenerated " << GoldenPath();
+  }
+
+  auto expected = ReadFileToString(GoldenPath());
+  ASSERT_TRUE(expected.ok())
+      << "missing golden file — run with TGLINK_REGEN_GOLDEN=1 to create it";
+  EXPECT_EQ(expected.value(), actual)
+      << "linkage quality drifted from the golden fingerprint; if the "
+         "change is intentional, regenerate with TGLINK_REGEN_GOLDEN=1";
+
+  // End-to-end equivalence: the inverted-index blocking path must yield the
+  // byte-identical quality fingerprint.
+  LinkageConfig index_config = config;
+  index_config.blocking = BlockingConfig::MakeInvertedIndex();
+  const LinkageResult index_result =
+      LinkCensusPair(pair.old_dataset, pair.new_dataset, index_config);
+  EXPECT_EQ(QualityJson(index_result, gold.value()), actual)
+      << "inverted-index blocking changed end-to-end linkage output";
+}
+
+}  // namespace
+}  // namespace tglink

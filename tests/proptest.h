@@ -1,0 +1,196 @@
+// proptest — a small seeded property-based testing mini-framework for the
+// tglink test suite.
+//
+// A property is a predicate over a randomly generated input; the runner
+// derives one deterministic Rng per iteration from a base seed, runs the
+// property across the configured iteration count, and on failure minimizes
+// the failing synthetic dataset by bisecting its generator scale (smaller
+// populations shrink the counterexample while keeping the failing seed and
+// corruption regime fixed).
+//
+// Usage:
+//   proptest::Runner runner("candidate_index.equivalence");
+//   runner.Run([](proptest::Case& c) {
+//     const SyntheticPair pair = proptest::RandomCensusPair(&c);
+//     ...generate, assert with c.ExpectTrue(cond, "message")...
+//   });
+//   EXPECT_TRUE(runner.AllPassed()) << runner.Report();
+//
+// Iteration count: Runner(name, iterations) or the
+// TGLINK_PROPTEST_ITERATIONS environment variable (the env var wins; CI can
+// crank every property suite up without touching code).
+
+#ifndef TGLINK_TESTS_PROPTEST_H_
+#define TGLINK_TESTS_PROPTEST_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tglink/synth/generator.h"
+#include "tglink/synth/presets.h"
+#include "tglink/util/random.h"
+
+namespace tglink {
+namespace proptest {
+
+/// Per-iteration context: the seeded Rng, the generator knobs the case used
+/// (recorded for minimization/reporting), and collected failures.
+class Case {
+ public:
+  Case(uint64_t seed, double scale) : rng_(seed), seed_(seed), scale_(scale) {}
+
+  Rng& rng() { return rng_; }
+  uint64_t seed() const { return seed_; }
+  /// The dataset scale this iteration generates at; the minimizer reruns
+  /// the property with smaller values.
+  double scale() const { return scale_; }
+
+  /// Records a failed expectation; the property keeps running so one
+  /// iteration reports every broken sub-property at once.
+  void ExpectTrue(bool condition, const std::string& message) {
+    if (!condition) failures_.push_back(message);
+  }
+
+  bool failed() const { return !failures_.empty(); }
+  const std::vector<std::string>& failures() const { return failures_; }
+
+ private:
+  Rng rng_;
+  uint64_t seed_;
+  double scale_;
+  std::vector<std::string> failures_;
+};
+
+using Property = std::function<void(Case&)>;
+
+/// One minimized counterexample: the iteration seed plus the smallest
+/// generator scale at which the property still fails.
+struct CounterExample {
+  uint64_t seed = 0;
+  double scale = 0.0;
+  std::vector<std::string> failures;
+};
+
+inline int IterationsFromEnv(int fallback) {
+  const char* env = std::getenv("TGLINK_PROPTEST_ITERATIONS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const int parsed = std::atoi(env);
+  return parsed > 0 ? parsed : fallback;
+}
+
+class Runner {
+ public:
+  /// `base_seed` fans out into per-iteration seeds via splitmix64, so suites
+  /// with different names/seeds never share datasets.
+  explicit Runner(std::string name, int iterations = 50,
+                  uint64_t base_seed = 42, double scale = 0.04)
+      : name_(std::move(name)),
+        iterations_(IterationsFromEnv(iterations)),
+        base_seed_(base_seed),
+        scale_(scale) {}
+
+  /// Runs the property `iterations` times. On a failing iteration the
+  /// dataset scale is bisected downward (the seed stays fixed) until the
+  /// property stops failing, and the smallest still-failing scale is kept
+  /// as the counterexample. Returns true when every iteration passed.
+  bool Run(const Property& property) {
+    for (int i = 0; i < iterations_; ++i) {
+      uint64_t state = base_seed_ + static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL;
+      const uint64_t seed = SplitMix64(&state);
+      Case c(seed, scale_);
+      property(c);
+      ++ran_;
+      if (c.failed()) {
+        counter_examples_.push_back(Minimize(property, seed, c));
+      }
+    }
+    return AllPassed();
+  }
+
+  bool AllPassed() const { return counter_examples_.empty(); }
+  int iterations_ran() const { return ran_; }
+  const std::vector<CounterExample>& counter_examples() const {
+    return counter_examples_;
+  }
+
+  /// Human-readable failure report with minimized counterexamples.
+  std::string Report() const {
+    std::string out = name_ + ": " + std::to_string(counter_examples_.size()) +
+                      "/" + std::to_string(ran_) + " iterations failed\n";
+    for (const CounterExample& ce : counter_examples_) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  minimized: seed=%llu scale=%.6f\n",
+                    static_cast<unsigned long long>(ce.seed), ce.scale);
+      out += line;
+      for (const std::string& f : ce.failures) out += "    " + f + "\n";
+    }
+    return out;
+  }
+
+ private:
+  /// Scale bisection: halve the failing scale while the property still
+  /// fails there; stop once it passes (or the dataset degenerates), keeping
+  /// the smallest failing scale. Deterministic — reruns reuse the seed.
+  CounterExample Minimize(const Property& property, uint64_t seed,
+                          const Case& original) {
+    CounterExample best{seed, scale_, original.failures()};
+    double lo = 0.0;       // largest known-passing scale (exclusive bound)
+    double hi = scale_;    // smallest known-failing scale
+    for (int step = 0; step < 6; ++step) {
+      const double mid = (lo + hi) / 2.0;
+      if (mid < 0.005) break;  // ~a handful of households; stop shrinking
+      Case c(seed, mid);
+      property(c);
+      if (c.failed()) {
+        hi = mid;
+        best = {seed, mid, c.failures()};
+      } else {
+        lo = mid;
+      }
+    }
+    return best;
+  }
+
+  std::string name_;
+  int iterations_;
+  uint64_t base_seed_;
+  double scale_;
+  int ran_ = 0;
+  std::vector<CounterExample> counter_examples_;
+};
+
+/// Value generators -------------------------------------------------------
+
+/// Every named corruption regime (tests that claim coverage "across all
+/// presets" iterate this).
+inline std::vector<GeneratorConfig> AllPresets() {
+  return {presets::Rawtenstall(), presets::HighMobilityTown(),
+          presets::StableRuralParish(), presets::PoorTranscription(),
+          presets::CleanTranscription()};
+}
+
+/// A generator configuration drawn from the case's Rng: random preset,
+/// the case's scale, a seed forked from the iteration seed.
+inline GeneratorConfig RandomGeneratorConfig(Case* c) {
+  std::vector<GeneratorConfig> presets = AllPresets();
+  GeneratorConfig gen = presets[c->rng().NextBounded(presets.size())];
+  gen.seed = c->rng().Next();
+  gen.scale = c->scale();
+  gen.num_censuses = 2;
+  return gen;
+}
+
+/// A random successive census pair (snapshot 0 -> 1) under a random preset.
+inline SyntheticPair RandomCensusPair(Case* c) {
+  return GenerateCensusPair(RandomGeneratorConfig(c), 0);
+}
+
+}  // namespace proptest
+}  // namespace tglink
+
+#endif  // TGLINK_TESTS_PROPTEST_H_

@@ -63,6 +63,17 @@ python3 tools/check_report.py "$smoke_dir/report.json" \
 if [ "$quick" -eq 0 ]; then
   run_preset asan
 
+  # Fuzz smoke under ASan+UBSan (~30 s): each harness replays its seed
+  # corpus, then runs a deterministic mutation loop against its parser.
+  # Finds memory errors and round-trip violations in the ingestion layer
+  # before any real corpus ever does.
+  stage "fuzz smoke (asan preset, 10 s per target)"
+  for target in fuzz_csv fuzz_census_io fuzz_result_io; do
+    corpus="${target#fuzz_}"
+    "$root/build-asan/tests/fuzz/$target" --time_budget_s=10 \
+      --runs=2000000 "$root/tests/fuzz/corpus/$corpus"
+  done
+
   # The multi-threaded surface — pool, sim-cache, obs — under TSan. Scoped
   # to the thread-hammer tests so the stage stays bounded; the full suite
   # already runs under release and asan above.
@@ -72,6 +83,22 @@ if [ "$quick" -eq 0 ]; then
     --target obs_threads_test parallel_test parallel_determinism_test
   stage "ctest: tsan (threaded tests)"
   ctest --preset tsan -R '^(obs_threads_test|parallel_test|parallel_determinism_test)$'
+
+  # Line-coverage floor over the blocking layer (gcov only — no lcov on the
+  # reference machine). Every candidate the pipeline ever scores comes out
+  # of src/tglink/blocking/, so untested lines there are a gate failure.
+  stage "configure+build: coverage (blocking suite)"
+  cmake --preset coverage
+  cmake --build --preset coverage -j "$jobs" \
+    --target blocking_test candidate_index_test \
+             candidate_index_property_test sorted_neighborhood_test
+  stage "ctest: coverage (blocking suite)"
+  find "$root/build-coverage" -name '*.gcda' -delete
+  ctest --preset coverage -R \
+    '^(blocking_test|candidate_index_test|candidate_index_property_test(_mt)?|sorted_neighborhood_test)$'
+  stage "coverage gate: src/tglink/blocking/ >= 90% lines"
+  python3 tools/check_coverage.py --build-dir "$root/build-coverage" \
+    --filter src/tglink/blocking/ --min-percent 90
 fi
 
 if command -v clang-tidy >/dev/null 2>&1; then

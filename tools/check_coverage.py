@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""check_coverage — gcov-based line-coverage gate, no lcov required.
+
+Walks a --coverage-instrumented build tree for .gcda counter files, asks
+gcov for JSON intermediate output (gcov -t --json-format, GCC 9+), unions
+executed lines per source file across every translation unit that compiled
+it (so header lines inlined into many tests count once), and enforces a
+minimum line-coverage percentage over the files matching --filter.
+
+Usage:
+  python3 tools/check_coverage.py --build-dir build-coverage \
+      --filter src/tglink/blocking/ --min-percent 90
+
+Exit status: 0 when the aggregate coverage meets the floor, 1 when it does
+not (or no matching coverage data was found), 2 on usage/tooling errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def collect_gcda(build_dir: str) -> list[str]:
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def gcov_json(gcda: str, gcov_bin: str) -> dict | None:
+    """Runs gcov on one .gcda and returns the parsed JSON report."""
+    try:
+        proc = subprocess.run(
+            [gcov_bin, "--stdout", "--json-format", gcda],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as e:
+        print(f"check_coverage: cannot run {gcov_bin}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if proc.returncode != 0 or not proc.stdout.strip():
+        # Stale counters (source changed since the run) or a non-instrumented
+        # object; skip rather than fail the whole gate.
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True,
+                        help="root of a TGLINK_COVERAGE=ON build tree")
+    parser.add_argument("--filter", default="src/tglink/blocking/",
+                        help="only count source paths containing this "
+                             "substring (default: src/tglink/blocking/)")
+    parser.add_argument("--min-percent", type=float, default=90.0,
+                        help="fail below this aggregate line coverage")
+    parser.add_argument("--gcov", default="gcov", help="gcov binary")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.build_dir):
+        print(f"check_coverage: no such build dir: {args.build_dir}",
+              file=sys.stderr)
+        return 2
+
+    gcda_files = collect_gcda(args.build_dir)
+    if not gcda_files:
+        print(f"check_coverage: no .gcda files under {args.build_dir}; "
+              f"run the instrumented tests first", file=sys.stderr)
+        return 1
+
+    # source path -> {line number -> max hit count across TUs}
+    lines_by_file: dict[str, dict[int, int]] = {}
+    for gcda in gcda_files:
+        report = gcov_json(gcda, args.gcov)
+        if report is None:
+            continue
+        for f in report.get("files", []):
+            path = f.get("file", "")
+            norm = path.replace("\\", "/")
+            if args.filter not in norm:
+                continue
+            # Normalize absolute paths to the repo-relative tail so the same
+            # header seen from different TUs lands in one bucket.
+            key = norm[norm.index(args.filter):]
+            bucket = lines_by_file.setdefault(key, {})
+            for ln in f.get("lines", []):
+                no = ln.get("line_number")
+                count = ln.get("count", 0)
+                if no is None:
+                    continue
+                bucket[no] = max(bucket.get(no, 0), count)
+
+    if not lines_by_file:
+        print(f"check_coverage: no coverage data matched filter "
+              f"'{args.filter}'", file=sys.stderr)
+        return 1
+
+    total = 0
+    covered = 0
+    width = max(len(p) for p in lines_by_file)
+    print(f"{'file':<{width}}  covered/total    %")
+    for path in sorted(lines_by_file):
+        bucket = lines_by_file[path]
+        file_total = len(bucket)
+        file_covered = sum(1 for c in bucket.values() if c > 0)
+        total += file_total
+        covered += file_covered
+        pct = 100.0 * file_covered / file_total if file_total else 100.0
+        print(f"{path:<{width}}  {file_covered:>5}/{file_total:<5}  "
+              f"{pct:6.2f}")
+
+    pct = 100.0 * covered / total if total else 0.0
+    verdict = "OK" if pct >= args.min_percent else "FAIL"
+    print(f"\ncheck_coverage: {covered}/{total} lines = {pct:.2f}% "
+          f"(floor {args.min_percent:.2f}%) {verdict}")
+    return 0 if pct >= args.min_percent else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

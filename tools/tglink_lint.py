@@ -36,6 +36,12 @@ Rules (library code = everything under src/tglink/):
                      tglink/util/parallel.h so thread count, determinism
                      and shutdown stay centrally controlled (util/parallel
                      itself implements the pool and is exempt)
+  blocking-test-missing
+                     every source file under src/tglink/blocking/ must have
+                     a test under tests/ that includes its header — the
+                     candidate-generation layer feeds every downstream
+                     linkage stage, so untested blocking code is banned
+                     (repo-level rule; no inline suppression)
 
 Suppression: append  // tglink-lint: disable=<rule>  to the offending line.
 """
@@ -269,6 +275,43 @@ def lint_file(root: str, relpath: str) -> list[Finding]:
     return findings
 
 
+def lint_blocking_tests(root: str) -> list[Finding]:
+    """Repo-level rule: each file in src/tglink/blocking/ needs a test under
+    tests/ that includes its header (a .cc is covered via its .h sibling)."""
+    findings: list[Finding] = []
+    blocking_dir = os.path.join(root, "src", "tglink", "blocking")
+    if not os.path.isdir(blocking_dir):
+        return findings
+
+    included: set[str] = set()
+    tests_dir = os.path.join(root, "tests")
+    include_re = re.compile(r'#\s*include\s+"(tglink/blocking/[^"]+)"')
+    for dirpath, dirnames, filenames in os.walk(tests_dir):
+        dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+        for name in filenames:
+            if not name.endswith((".h", ".cc", ".cpp")):
+                continue
+            try:
+                with open(os.path.join(dirpath, name), encoding="utf-8",
+                          errors="replace") as f:
+                    included.update(include_re.findall(f.read()))
+            except OSError:
+                continue
+
+    for name in sorted(os.listdir(blocking_dir)):
+        if not name.endswith((".h", ".cc", ".cpp")):
+            continue
+        stem = re.sub(r"\.(h|cc|cpp)$", "", name)
+        header = f"tglink/blocking/{stem}.h"
+        if header not in included:
+            findings.append(Finding(
+                os.path.join("src", "tglink", "blocking", name), 1,
+                "blocking-test-missing",
+                f'no test under tests/ includes "{header}"; add one '
+                f"exercising this file"))
+    return findings
+
+
 def collect_files(root: str) -> list[str]:
     out: list[str] = []
     for sub in ("src", "tools", "tests", "bench", "examples"):
@@ -291,6 +334,7 @@ def run_lint(root: str) -> int:
         return 2
     for relpath in files:
         findings.extend(lint_file(root, relpath))
+    findings.extend(lint_blocking_tests(root))
     for f in findings:
         print(f)
     summary = f"tglink_lint: {len(files)} files, {len(findings)} finding(s)"
@@ -438,6 +482,35 @@ FIXTURES = [
 ]
 
 
+# Repo-level fixtures: (files to create, set of rules lint_blocking_tests
+# must report across the whole tree).
+TREE_FIXTURES = [
+    (
+        # Orphan blocking file, no test includes its header -> two findings
+        # (one per sibling), same rule.
+        {
+            "src/tglink/blocking/orphan.h": "#ifndef X\n#define X\n#endif\n",
+            "src/tglink/blocking/orphan.cc":
+                '#include "tglink/blocking/orphan.h"\n',
+            "tests/unrelated_test.cc":
+                '#include "tglink/blocking/other.h"\n',
+        },
+        {"blocking-test-missing"},
+    ),
+    (
+        # Same tree plus a test including the header -> clean.
+        {
+            "src/tglink/blocking/orphan.h": "#ifndef X\n#define X\n#endif\n",
+            "src/tglink/blocking/orphan.cc":
+                '#include "tglink/blocking/orphan.h"\n',
+            "tests/orphan_test.cc":
+                '#include "tglink/blocking/orphan.h"\n',
+        },
+        set(),
+    ),
+]
+
+
 def run_selftest() -> int:
     failures = 0
     with tempfile.TemporaryDirectory(prefix="tglink_lint_selftest") as tmp:
@@ -457,10 +530,28 @@ def run_selftest() -> int:
                     file=sys.stderr,
                 )
             os.remove(full)
+    for i, (tree, expected) in enumerate(TREE_FIXTURES):
+        with tempfile.TemporaryDirectory(
+            prefix="tglink_lint_selftest_tree"
+        ) as tmp:
+            for relpath, content in tree.items():
+                full = os.path.join(tmp, relpath)
+                os.makedirs(os.path.dirname(full), exist_ok=True)
+                with open(full, "w", encoding="utf-8") as f:
+                    f.write(content)
+            got = {f.rule for f in lint_blocking_tests(tmp)}
+            if got != expected:
+                failures += 1
+                print(
+                    f"SELFTEST FAIL tree fixture {i}: expected "
+                    f"{sorted(expected)}, got {sorted(got)}",
+                    file=sys.stderr,
+                )
     if failures:
         print(f"tglink_lint selftest: {failures} failure(s)", file=sys.stderr)
         return 1
-    print(f"tglink_lint selftest: {len(FIXTURES)} fixtures OK")
+    print(f"tglink_lint selftest: {len(FIXTURES) + len(TREE_FIXTURES)} "
+          f"fixtures OK")
     return 0
 
 
