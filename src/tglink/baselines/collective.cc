@@ -86,9 +86,11 @@ RecordMapping CollectiveLink(const CensusDataset& old_dataset,
   sim_func.set_year_gap(year_gap);
 
   // Score candidates once; apply the age filter and the similarity floor.
-  // Scoring fans out over the shared pool with memoized string measures;
-  // the -1 sentinel marks age-filtered pairs so the serial merge below
-  // keeps exactly what the serial loop kept, in the same order.
+  // Scoring fans out over the shared pool through the batched kernels with
+  // the similarity floor passed down as the pruning cutoff; the -1
+  // sentinel marks both age-filtered and bound-pruned pairs (kPruned is
+  // also -1 and pruning is sound), so the serial merge below keeps exactly
+  // what the exact serial loop kept, in the same order.
   const std::vector<CandidatePair> raw_candidates =
       GenerateCandidatePairs(old_dataset, new_dataset, config.blocking);
   const SimCache sim_cache(sim_func, old_dataset, new_dataset);
@@ -101,7 +103,8 @@ RecordMapping CollectiveLink(const CensusDataset& old_dataset,
             std::abs(ro.age + year_gap - rn.age) > config.max_age_difference) {
           return -1.0;
         }
-        return sim_cache.Aggregate(cand.old_id, cand.new_id);
+        return sim_cache.AggregateWithThreshold(cand.old_id, cand.new_id,
+                                                config.min_similarity);
       });
   std::unordered_map<uint64_t, double> attr_sim;
   std::vector<ScoredPair> candidates;

@@ -22,11 +22,16 @@ PreMatcher::PreMatcher(const CensusDataset& old_dataset,
       GenerateCandidatePairs(old_dataset, new_dataset, blocking);
   // Score chunks in parallel; the per-candidate results come back in
   // candidate order, so the serial keep/merge below is bit-identical to
-  // the single-threaded path.
+  // the single-threaded path. Passing min_threshold down lets the batched
+  // kernels reject provably-losing pairs in O(1); the SimCache::kPruned
+  // sentinel (-1) is below every admissible threshold, so the keep filter
+  // needs no extra branch and the kept set equals the exact one.
   const std::vector<double> sims = ParallelMap<double>(
-      candidates.size(), "prematch.score_chunk", [this, &candidates](size_t i) {
+      candidates.size(), "prematch.score_chunk",
+      [this, &candidates, min_threshold](size_t i) {
         const CandidatePair& cand = candidates[i];
-        return sim_cache_.Aggregate(cand.old_id, cand.new_id);
+        return sim_cache_.AggregateWithThreshold(cand.old_id, cand.new_id,
+                                                 min_threshold);
       });
   scored_pairs_.reserve(candidates.size() / 8);
   for (size_t i = 0; i < candidates.size(); ++i) {

@@ -5,6 +5,7 @@
 
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
+#include "tglink/similarity/sim_cache.h"
 #include "tglink/util/parallel.h"
 
 namespace tglink {
@@ -15,18 +16,22 @@ std::vector<ScoredPair> GreedyOneToOneMatch(
     const std::vector<bool>& active_old, const std::vector<bool>& active_new) {
   // Filter to active candidates serially, fan the scoring out over the
   // shared pool, then keep threshold survivors in candidate order — the
-  // same list the serial loop builds, for any thread count.
+  // same list the serial loop builds, for any thread count. Scoring goes
+  // through the batched kernel substrate with the accept threshold as the
+  // pruning cutoff; kPruned (-1) never survives the keep filter and
+  // pruning is sound, so the kept set equals the exact one.
   std::vector<CandidatePair> candidates;
   for (const CandidatePair& cand :
        GenerateCandidatePairs(old_dataset, new_dataset, blocking)) {
     if (!active_old[cand.old_id] || !active_new[cand.new_id]) continue;
     candidates.push_back(cand);
   }
+  const SimCache sim_cache(sim_func, old_dataset, new_dataset);
   const std::vector<double> sims = ParallelMap<double>(
       candidates.size(), "residual.score_chunk", [&](size_t i) {
-        return sim_func.AggregateSimilarity(
-            old_dataset.record(candidates[i].old_id),
-            new_dataset.record(candidates[i].new_id));
+        return sim_cache.AggregateWithThreshold(candidates[i].old_id,
+                                                candidates[i].new_id,
+                                                sim_func.threshold());
       });
   std::vector<ScoredPair> scored;
   for (size_t i = 0; i < candidates.size(); ++i) {

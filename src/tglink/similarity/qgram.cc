@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <utility>
 
 namespace tglink {
 
@@ -31,6 +34,7 @@ std::vector<std::string> QGrams(std::string_view s, const QGramOptions& opts) {
 }
 
 namespace {
+
 /// |A ∩ B| for two sorted multisets.
 size_t MultisetIntersectionSize(const std::vector<std::string>& a,
                                 const std::vector<std::string>& b) {
@@ -48,6 +52,81 @@ size_t MultisetIntersectionSize(const std::vector<std::string>& a,
   }
   return common;
 }
+
+size_t MultisetIntersectionSize(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b) {
+  size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+/// Grams of length <= 7 pack into one machine word, which covers every q
+/// tglink configures (bigrams and trigrams); longer q falls back to the
+/// string decomposition.
+constexpr int kMaxPackedQ = 7;
+
+/// Packs one gram (any byte values, length <= 7) into a uint64_t: bytes
+/// left-aligned in the top 56 bits, length in the low byte. Injective, so
+/// packed-code equality ⟺ gram-string equality and sorted-merge
+/// intersection counts match the string multisets exactly.
+uint64_t PackGram(const unsigned char* bytes, size_t len) {
+  uint64_t code = static_cast<uint64_t>(len);
+  for (size_t i = 0; i < len; ++i) {
+    code |= static_cast<uint64_t>(bytes[i]) << (56 - 8 * i);
+  }
+  return code;
+}
+
+/// Appends the sorted packed q-gram multiset of `s` under `opts` to `*out`
+/// — the same windowing as QGrams (virtual '#'/'$' padding, whole-string
+/// gram for inputs shorter than q) without materializing the padded string
+/// or any per-gram std::string. Requires opts.q <= kMaxPackedQ.
+void PackedQGrams(std::string_view s, const QGramOptions& opts,
+                  std::vector<uint64_t>* out) {
+  const size_t q = static_cast<size_t>(opts.q);
+  const size_t pad = (opts.padded && q > 1) ? q - 1 : 0;
+  const size_t total = s.size() + 2 * pad;
+  const auto at = [&](size_t v) -> unsigned char {
+    if (v < pad) return '#';
+    if (v < pad + s.size()) return static_cast<unsigned char>(s[v - pad]);
+    return '$';
+  };
+  const size_t begin = out->size();
+  unsigned char buf[kMaxPackedQ];
+  if (total < q) {
+    if (total > 0) {
+      for (size_t v = 0; v < total; ++v) buf[v] = at(v);
+      out->push_back(PackGram(buf, total));
+    }
+    return;
+  }
+  out->reserve(begin + (total - q + 1));
+  for (size_t i = 0; i + q <= total; ++i) {
+    for (size_t k = 0; k < q; ++k) buf[k] = at(i + k);
+    out->push_back(PackGram(buf, q));
+  }
+  std::sort(out->begin() + begin, out->end());
+}
+
+struct QGramScratch {
+  std::vector<uint64_t> ga, gb;
+};
+
+QGramScratch& ThreadQGramScratch() {
+  thread_local QGramScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 double QGramSimilarity(std::string_view a, std::string_view b,
@@ -55,6 +134,31 @@ double QGramSimilarity(std::string_view a, std::string_view b,
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
   if (a == b) return 1.0;
+  if (opts.q <= kMaxPackedQ) {
+    // Packed fast path: identical windowing, so the gram multisets are in
+    // bijection with the string decomposition and every count below — and
+    // therefore the resulting double — is the same.
+    QGramScratch& scratch = ThreadQGramScratch();
+    scratch.ga.clear();
+    scratch.gb.clear();
+    PackedQGrams(a, opts, &scratch.ga);
+    PackedQGrams(b, opts, &scratch.gb);
+    const double common = static_cast<double>(
+        MultisetIntersectionSize(scratch.ga, scratch.gb));
+    switch (opts.coefficient) {
+      case QGramCoefficient::kDice:
+        return 2.0 * common /
+               static_cast<double>(scratch.ga.size() + scratch.gb.size());
+      case QGramCoefficient::kJaccard:
+        return common / static_cast<double>(scratch.ga.size() +
+                                            scratch.gb.size() - common);
+      case QGramCoefficient::kOverlap:
+        return common /
+               static_cast<double>(std::min(scratch.ga.size(),
+                                            scratch.gb.size()));
+    }
+    return 0.0;
+  }
   const std::vector<std::string> ga = QGrams(a, opts);
   const std::vector<std::string> gb = QGrams(b, opts);
   if (ga.empty() && gb.empty()) return 1.0;
@@ -73,26 +177,45 @@ double QGramSimilarity(std::string_view a, std::string_view b,
 }
 
 namespace {
+
+struct SvHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+struct SvEq {
+  using is_transparent = void;
+  bool operator()(std::string_view x, std::string_view y) const {
+    return x == y;
+  }
+};
+
 /// Census attribute values come from a small, heavily repeated vocabulary
 /// (Zipf-distributed names, a few dozen occupations, a few thousand
-/// addresses), so the padded-bigram decomposition is memoized. The cache is
-/// thread-local (no locking). References into the map stay valid across
-/// rehashes; the capacity bound is enforced by the caller *before* taking
-/// references.
-using BigramCache = std::unordered_map<std::string, std::vector<std::string>>;
+/// addresses), so the padded-bigram decomposition is memoized — as packed
+/// profiles, not gram strings, and with heterogeneous lookup so a cache hit
+/// allocates nothing. The cache is thread-local (no locking). References
+/// into the map stay valid across rehashes; the capacity bound is enforced
+/// by the caller *before* taking references.
+using BigramCache =
+    std::unordered_map<std::string, std::vector<uint64_t>, SvHash, SvEq>;
 
 BigramCache& ThreadBigramCache() {
   thread_local BigramCache cache;
   return cache;
 }
 
-const std::vector<std::string>& CachedBigrams(BigramCache& cache,
-                                              std::string_view s) {
-  auto it = cache.find(std::string(s));
+const std::vector<uint64_t>& CachedBigrams(BigramCache& cache,
+                                           std::string_view s) {
+  const auto it = cache.find(s);
   if (it != cache.end()) return it->second;
-  return cache.emplace(std::string(s), QGrams(s, QGramOptions{}))
-      .first->second;
+  std::vector<uint64_t> grams;
+  PackedQGrams(s, QGramOptions{}, &grams);
+  return cache.emplace(std::string(s), std::move(grams)).first->second;
 }
+
 }  // namespace
 
 double BigramDice(std::string_view a, std::string_view b) {
@@ -103,10 +226,8 @@ double BigramDice(std::string_view a, std::string_view b) {
   // Safety valve against unbounded vocabularies; checked before taking
   // references so the two lookups below stay valid.
   if (cache.size() >= (1u << 18)) cache.clear();
-  const std::vector<std::string>& ga = CachedBigrams(cache, a);
-  const std::vector<std::string>& gb = CachedBigrams(cache, b);
-  if (ga.empty() && gb.empty()) return 1.0;
-  if (ga.empty() || gb.empty()) return 0.0;
+  const std::vector<uint64_t>& ga = CachedBigrams(cache, a);
+  const std::vector<uint64_t>& gb = CachedBigrams(cache, b);
   const double common = static_cast<double>(MultisetIntersectionSize(ga, gb));
   return 2.0 * common / static_cast<double>(ga.size() + gb.size());
 }

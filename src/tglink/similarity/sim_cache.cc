@@ -1,72 +1,80 @@
 #include "tglink/similarity/sim_cache.h"
 
 #include <mutex>
-#include <string>
-#include <utility>
+#include <string_view>
 
 #include "tglink/obs/metrics.h"
+#include "tglink/similarity/batch_kernels.h"
 #include "tglink/util/logging.h"
 
 namespace tglink {
 
-namespace {
-
-/// A component is worth memoizing when the measure does real string work.
-/// Age components are temporal arithmetic, and exact comparisons are
-/// cheaper than the hash lookup that would replace them.
-bool IsCacheable(const AttributeSpec& spec) {
-  return spec.field != Field::kAge && spec.measure != Measure::kExact;
-}
-
-std::vector<uint32_t> InternRecords(
-    const std::vector<PersonRecord>& records, Field field,
-    std::unordered_map<std::string, uint32_t>* table) {
-  std::vector<uint32_t> ids;
-  ids.reserve(records.size());
-  for (const PersonRecord& record : records) {
-    const auto [it, inserted] = table->emplace(
-        GetFieldValue(record, field), static_cast<uint32_t>(table->size()));
-    ids.push_back(it->second);
-    (void)inserted;
-  }
-  return ids;
-}
-
-}  // namespace
-
 SimCache::SimCache(const SimilarityFunction& fn,
                    const CensusDataset& old_dataset,
                    const CensusDataset& new_dataset)
-    : fn_(fn), old_dataset_(old_dataset), new_dataset_(new_dataset) {
+    : fn_(fn),
+      old_dataset_(old_dataset),
+      new_dataset_(new_dataset),
+      use_batch_(BatchKernelsEnabled()),
+      batch_(fn, old_dataset, new_dataset) {
   spec_caches_.resize(fn.specs().size());
   for (size_t i = 0; i < fn.specs().size(); ++i) {
     const AttributeSpec& spec = fn.specs()[i];
-    if (!IsCacheable(spec)) continue;
-    auto it = field_ids_.find(spec.field);
-    if (it == field_ids_.end()) {
-      std::unordered_map<std::string, uint32_t> table;
-      FieldIds ids;
-      ids.old_ids = InternRecords(old_dataset.records(), spec.field, &table);
-      ids.new_ids = InternRecords(new_dataset.records(), spec.field, &table);
-      TGLINK_COUNTER_ADD("simcache.interned_values", table.size());
-      it = field_ids_.emplace(spec.field, std::move(ids)).first;
-    }
-    SpecCache& cache = spec_caches_[i];
-    cache.enabled = true;
-    cache.ids = &it->second;
-    cache.shards = std::make_unique<Shard[]>(kNumShards);
+    if (spec.field == Field::kAge) continue;  // temporal arithmetic, no memo
+    // Scalar mode memoizes everything but exact equality (cheaper than the
+    // lookup); batched mode memoizes only the measures without a kernel.
+    const bool memoize = use_batch_ ? !simkernel::HasBatchKernel(spec.measure)
+                                    : spec.measure != Measure::kExact;
+    if (!memoize) continue;
+    spec_caches_[i].enabled = true;
+    spec_caches_[i].shards = std::make_unique<Shard[]>(kNumShards);
   }
+  fallback_ = [this](size_t i, uint32_t old_vid, uint32_t new_vid,
+                     std::string_view a, std::string_view b) {
+    return MemoizedMeasure(i, old_vid, new_vid, a, b);
+  };
+}
+
+double SimCache::MemoizedMeasure(size_t spec_index, uint32_t old_vid,
+                                 uint32_t new_vid, std::string_view a,
+                                 std::string_view b) const {
+  const SpecCache& cache = spec_caches_[spec_index];
+  TGLINK_DCHECK(cache.enabled);
+  const uint64_t key = (static_cast<uint64_t>(old_vid) << 32) | new_vid;
+  Shard& shard = cache.shards[ShardIndex(key)];
+  {
+    std::shared_lock<std::shared_mutex> read(shard.mu);
+    const auto it = shard.memo.find(key);
+    if (it != shard.memo.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      TGLINK_COUNTER_INC("simcache.hits");
+      return it->second;
+    }
+  }
+  const AttributeSpec& spec = fn_.specs()[spec_index];
+  const double s = ComputeMeasure(spec.measure, a, b);
+  TGLINK_DCHECK(s >= 0.0 && s <= 1.0)
+      << "measure " << MeasureName(spec.measure) << " on "
+      << FieldName(spec.field) << " returned " << s;
+  {
+    std::unique_lock<std::shared_mutex> write(shard.mu);
+    shard.memo.emplace(key, s);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  TGLINK_COUNTER_INC("simcache.misses");
+  return s;
 }
 
 double SimCache::Aggregate(RecordId old_id, RecordId new_id) const {
+  TGLINK_COUNTER_INC("similarity.agg_calls");
+  if (use_batch_) return batch_.Aggregate(old_id, new_id, fallback_);
   const PersonRecord& a = old_dataset_.record(old_id);
   const PersonRecord& b = new_dataset_.record(new_id);
   return fn_.AggregateWith([this, old_id, new_id, &a, &b](
                                size_t i, bool* missing_one,
                                bool* missing_both) {
-    const SpecCache& cache = spec_caches_[i];
     const AttributeSpec& spec = fn_.specs()[i];
-    if (!cache.enabled) {
+    if (!spec_caches_[i].enabled) {
       return fn_.ComponentSimilarity(spec, a, b, missing_one, missing_both);
     }
     // Mirror ComponentSimilarity's missing-value protocol exactly; the
@@ -76,32 +84,20 @@ double SimCache::Aggregate(RecordId old_id, RecordId new_id) const {
     *missing_both = ma && mb;
     *missing_one = (ma || mb) && !*missing_both;
     if (ma || mb) return 0.0;
-    const uint64_t key =
-        (static_cast<uint64_t>(cache.ids->old_ids[old_id]) << 32) |
-        cache.ids->new_ids[new_id];
-    Shard& shard = cache.shards[ShardIndex(key)];
-    {
-      std::shared_lock<std::shared_mutex> read(shard.mu);
-      const auto it = shard.memo.find(key);
-      if (it != shard.memo.end()) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        TGLINK_COUNTER_INC("simcache.hits");
-        return it->second;
-      }
-    }
-    const double s = ComputeMeasure(spec.measure, GetFieldValue(a, spec.field),
-                                    GetFieldValue(b, spec.field));
-    TGLINK_DCHECK(s >= 0.0 && s <= 1.0)
-        << "measure " << MeasureName(spec.measure) << " on "
-        << FieldName(spec.field) << " returned " << s;
-    {
-      std::unique_lock<std::shared_mutex> write(shard.mu);
-      shard.memo.emplace(key, s);
-    }
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    TGLINK_COUNTER_INC("simcache.misses");
-    return s;
+    // The arena views hold the same bytes GetFieldValue returns, without
+    // re-materializing the strings per pair.
+    const uint32_t va = batch_.OldValueId(i, old_id);
+    const uint32_t vb = batch_.NewValueId(i, new_id);
+    return MemoizedMeasure(i, va, vb, batch_.ValueRef(i, va).view(),
+                           batch_.ValueRef(i, vb).view());
   });
+}
+
+double SimCache::AggregateWithThreshold(RecordId old_id, RecordId new_id,
+                                        double min_sim) const {
+  if (!use_batch_) return Aggregate(old_id, new_id);  // counts agg_calls
+  TGLINK_COUNTER_INC("similarity.agg_calls");
+  return batch_.AggregateWithThreshold(old_id, new_id, min_sim, fallback_);
 }
 
 }  // namespace tglink

@@ -1,59 +1,91 @@
-// Similarity memoization for the pre-matching hot path. Census name pools
-// are heavily skewed (the paper's Table 1: a few thousand distinct
-// first-name/surname values over tens of thousands of records), so the same
-// (value, value) string comparisons recur constantly across candidate
-// pairs. SimCache interns the string values each similarity component
-// reads — one dense id space per field, covering both snapshots — and
-// memoizes per-component measure results in a sharded, read-mostly
-// concurrent table keyed on the interned id pair, so repeated comparisons
-// hit a hash lookup instead of re-running q-gram/Jaro/metaphone.
+// Similarity evaluation for the pre-matching hot path, in one of two modes
+// chosen at construction from the process-wide BatchKernelsEnabled() toggle
+// (see sim_batch.h). Both modes aggregate through
+// SimilarityFunction::AggregateWith, so Aggregate(o, n) is bit-identical to
+// fn.AggregateSimilarity(old.record(o), new.record(n)) either way.
 //
-// Correctness: the memoized value is the exact ComputeMeasure result (a
-// pure function of the two strings), and the aggregation arithmetic is
-// SimilarityFunction::AggregateWith — the same code path the direct
-// AggregateSimilarity uses — so Aggregate(o, n) is bit-identical to
-// fn.AggregateSimilarity(old.record(o), new.record(n)) and independent of
-// thread count or lookup order.
+// Batched mode (default): components with an allocation-free kernel
+// (exact, q-gram Dice, edit/Jaro family, Soundex — see
+// simkernel::HasBatchKernel) are evaluated directly against SimBatch's
+// interned arena + precomputed profiles; they are cheap enough that a memo
+// lookup would cost more than the kernel. Only the heavyweight measures
+// without a kernel (Monge-Elkan, double-metaphone, Smith-Waterman, LCS) go
+// through the sharded memo. AggregateWithThreshold additionally applies the
+// bound-pruning screen and returns kPruned for pairs provably below the
+// cutoff.
 //
-// Thread safety: construction is single-threaded; Aggregate is safe to
-// call concurrently from pool workers (shared locks on hit, one exclusive
-// insert per distinct value pair). Hits/misses report to the
-// "simcache.hits" / "simcache.misses" counters.
+// Scalar mode: the pre-batch behavior, kept verbatim as the reference
+// oracle — every non-age, non-exact component is memoized on its interned
+// (value, value) id pair, with ComputeMeasure filling misses. Census name
+// pools are heavily skewed (the paper's Table 1: a few thousand distinct
+// first-name/surname values over tens of thousands of records), so repeated
+// comparisons hit a hash lookup instead of re-running q-gram/Jaro/metaphone.
+// AggregateWithThreshold never prunes in scalar mode — it returns the exact
+// aggregate and callers apply their >= threshold filter as before, so the
+// keep-set is identical across modes.
+//
+// Correctness: memoized values are exact ComputeMeasure results — pure
+// functions of the two strings, independent of any threshold — so results
+// do not depend on thread count, lookup order, or the min_sim a pair was
+// first scored with.
+//
+// Thread safety: construction is single-threaded; Aggregate and
+// AggregateWithThreshold are safe to call concurrently from pool workers
+// (shared locks on memo hit, one exclusive insert per distinct value pair).
+// Memo traffic reports to the "simcache.hits" / "simcache.misses" counters.
 
 #ifndef TGLINK_SIMILARITY_SIM_CACHE_H_
 #define TGLINK_SIMILARITY_SIM_CACHE_H_
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <shared_mutex>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "tglink/census/dataset.h"
 #include "tglink/similarity/composite.h"
+#include "tglink/similarity/sim_batch.h"
 
 namespace tglink {
 
 class SimCache {
  public:
-  /// Interns the field values of every cacheable component of `fn` over
-  /// both datasets. All three arguments must outlive the cache.
+  /// Sentinel returned by AggregateWithThreshold for pairs provably below
+  /// min_sim (batched mode only); real aggregates are in [0, 1].
+  static constexpr double kPruned = SimBatch::kPruned;
+
+  /// Interns the field values of every component of `fn` over both
+  /// datasets. All three arguments must outlive the cache. The kernel mode
+  /// is captured here from BatchKernelsEnabled().
   SimCache(const SimilarityFunction& fn, const CensusDataset& old_dataset,
            const CensusDataset& new_dataset);
 
   SimCache(const SimCache&) = delete;
   SimCache& operator=(const SimCache&) = delete;
 
-  /// Memoized agg_sim; bit-identical to
+  /// Exact agg_sim; bit-identical to
   /// fn.AggregateSimilarity(old.record(old_id), new.record(new_id)).
   [[nodiscard]] double Aggregate(RecordId old_id, RecordId new_id) const;
 
+  /// Exact agg_sim, or kPruned when the batched bounds prove it is below
+  /// min_sim. Callers keeping pairs with sim >= min_sim can treat kPruned
+  /// as any below-threshold value; the keep-set equals the exact one.
+  /// Scalar mode (and min_sim <= 0) always returns the exact aggregate.
+  [[nodiscard]] double AggregateWithThreshold(RecordId old_id,
+                                              RecordId new_id,
+                                              double min_sim) const;
+
   [[nodiscard]] const SimilarityFunction& fn() const { return fn_; }
 
-  /// Component-level lookup statistics for this cache instance (the global
-  /// "simcache.*" counters aggregate across instances).
+  /// True when this instance routes through the batched kernels.
+  [[nodiscard]] bool batched() const { return use_batch_; }
+
+  /// Memo lookup statistics for this cache instance (the global
+  /// "simcache.*" counters aggregate across instances). In batched mode
+  /// only fallback-measure components generate memo traffic.
   [[nodiscard]] uint64_t hits() const {
     return hits_.load(std::memory_order_relaxed);
   }
@@ -71,19 +103,11 @@ class SimCache {
     std::unordered_map<uint64_t, double> memo;
   };
 
-  /// Interned value ids for one field, dense over both snapshots (a value
-  /// appearing in either snapshot gets one id).
-  struct FieldIds {
-    std::vector<uint32_t> old_ids;  // per old record
-    std::vector<uint32_t> new_ids;  // per new record
-  };
-
-  /// Memo state of one component of fn.specs(). Non-cacheable components
-  /// (age: cheap arithmetic, exact: cheaper than a hash lookup) fall
-  /// through to the direct ComponentSimilarity.
+  /// Memo state of one component of fn.specs(). Which components get a
+  /// memo depends on the mode: scalar memoizes every non-age, non-exact
+  /// measure; batched memoizes only the measures without a kernel.
   struct SpecCache {
     bool enabled = false;
-    const FieldIds* ids = nullptr;
     std::unique_ptr<Shard[]> shards;
   };
 
@@ -94,11 +118,18 @@ class SimCache {
     return static_cast<size_t>(key) & (kNumShards - 1);
   }
 
+  /// ComputeMeasure of spec i on two interned values, through the memo.
+  [[nodiscard]] double MemoizedMeasure(size_t spec_index, uint32_t old_vid,
+                                       uint32_t new_vid, std::string_view a,
+                                       std::string_view b) const;
+
   const SimilarityFunction& fn_;
   const CensusDataset& old_dataset_;
   const CensusDataset& new_dataset_;
-  std::map<Field, FieldIds> field_ids_;  // stable addresses for SpecCache
-  std::vector<SpecCache> spec_caches_;   // parallel to fn.specs()
+  bool use_batch_;
+  SimBatch batch_;  // interning substrate for both modes
+  std::vector<SpecCache> spec_caches_;  // parallel to fn.specs()
+  SimBatch::FallbackFn fallback_;       // routes into MemoizedMeasure
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
 };

@@ -50,6 +50,48 @@ TEST(CompositeTest, CompareReturnsPerAttributeVector) {
   EXPECT_LT(sims[2], 1.0);
 }
 
+TEST(CompositeTest, CompareEncodesMissingValuesPerPolicy) {
+  // Compare() reports missing components with per-policy sentinels: -1
+  // (both missing, kRedistribute), 0 (kZero / one-sided), 0.5 (kNeutral) —
+  // the vector is what the attribute-weight tuner consumes.
+  SimilarityFunction f(
+      {
+          {Field::kFirstName, Measure::kExact, 0.5},
+          {Field::kOccupation, Measure::kExact, 0.3},
+          {Field::kAge, Measure::kExact, 0.2},
+      },
+      0.5);
+  PersonRecord a = Base();
+  PersonRecord b = Base();
+  a.occupation.clear();
+  b.occupation.clear();
+  b.age = -1;  // one-sided missing age
+
+  f.set_missing_policy(MissingPolicy::kRedistribute);
+  std::vector<double> sims = f.Compare(a, b);
+  ASSERT_EQ(sims.size(), 3u);
+  EXPECT_DOUBLE_EQ(sims[0], 1.0);
+  EXPECT_DOUBLE_EQ(sims[1], -1.0);  // both missing: excluded sentinel
+  EXPECT_DOUBLE_EQ(sims[2], 0.0);   // one-sided: weak disagreement
+
+  f.set_missing_policy(MissingPolicy::kZero);
+  sims = f.Compare(a, b);
+  EXPECT_DOUBLE_EQ(sims[1], 0.0);
+  EXPECT_DOUBLE_EQ(sims[2], 0.0);
+
+  f.set_missing_policy(MissingPolicy::kNeutral);
+  sims = f.Compare(a, b);
+  EXPECT_DOUBLE_EQ(sims[1], 0.5);
+  EXPECT_DOUBLE_EQ(sims[2], 0.5);
+}
+
+TEST(CompositeTest, ConstructorRejectsInvalidSpecs) {
+  EXPECT_DEATH(SimilarityFunction({}, 0.5), "at least one attribute");
+  EXPECT_DEATH(
+      SimilarityFunction({{Field::kFirstName, Measure::kExact, -0.1}}, 0.5),
+      "negative weight");
+}
+
 TEST(CompositeTest, MissingPolicyRedistributeBothMissing) {
   SimilarityFunction f(
       {

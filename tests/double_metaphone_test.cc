@@ -69,6 +69,76 @@ TEST(DoubleMetaphoneTest, CaseInsensitive) {
             DoubleMetaphone("obrien").primary);
 }
 
+TEST(DoubleMetaphoneTest, RuleFamilyBattery) {
+  // Regression pins across every rule family of the encoder — Germanic
+  // -ACH-, Italian CH/CC/CI, Greek CH, silent GH/S/W, Spanish -ILLO,
+  // French endings, Slavic -WICZ/-WITZ, pinyin ZH, and the J/G ambiguity
+  // pairs. The codes are this implementation's committed behaviour; a
+  // change here shifts blocking keys and phonetic similarity downstream,
+  // so it must be deliberate.
+  struct Pin {
+    const char* word;
+    const char* primary;
+    const char* secondary;
+  };
+  const Pin pins[] = {
+      {"bacher", "PKR", "PKR"},       {"bach", "PK", "PK"},
+      {"caesar", "SSR", "SSR"},       {"chianti", "KNT", "KNT"},
+      {"michael", "MKL", "MXL"},      {"charisma", "KRSM", "KRSM"},
+      {"chorus", "KRS", "KRS"},       {"chemistry", "KMST", "KMST"},
+      {"chore", "XR", "XR"},          {"orchestra", "ARKS", "ARKS"},
+      {"architect", "ARKT", "ARKT"},  {"orchid", "ARKT", "ARKT"},
+      {"wachtler", "AKTL", "FKTL"},   {"anchor", "ANXR", "ANKR"},
+      {"mchugh", "MK", "MK"},         {"czerny", "SRN", "XRN"},
+      {"ciao", "X", "X"},             {"focaccia", "FKX", "FKX"},
+      {"bellocchio", "PLX", "PLX"},   {"bacchus", "PKS", "PKS"},
+      {"accident", "AKST", "AKST"},   {"succeed", "SKST", "SKST"},
+      {"acquit", "AKT", "AKT"},       {"cecil", "SSL", "SSL"},
+      {"cider", "STR", "STR"},        {"cyrus", "SRS", "SRS"},
+      {"lucio", "LS", "LX"},          {"edge", "AJ", "AJ"},
+      {"edgar", "ATKR", "ATKR"},      {"ladd", "LT", "LT"},
+      {"ghislane", "JLN", "JLN"},     {"ghoul", "KL", "KL"},
+      {"hugh", "H", "H"},             {"brough", "PR", "PR"},
+      {"laugh", "LF", "LF"},          {"cough", "KF", "KF"},
+      {"rough", "RF", "RF"},          {"burgher", "PRKR", "PRKR"},
+      {"agnes", "AKNS", "ANS"},       {"wagner", "AKNR", "FKNR"},
+      {"cagney", "KKN", "KKN"},       {"gnocchi", "NX", "NX"},
+      {"tagliaro", "TKLR", "TLR"},    {"gerald", "KRLT", "JRLT"},
+      {"gyro", "KR", "JR"},           {"biaggi", "PJ", "PK"},
+      {"getty", "KT", "KT"},          {"ahab", "AHP", "AHP"},
+      {"harry", "HR", "HR"},          {"jose", "JS", "HS"},
+      {"san jose", "SNJS", "SNHS"},   {"raj", "RJ", "R"},
+      {"bajador", "PJTR", "PHTR"},    {"cabrillo", "KPRL", "KPR"},
+      {"llewellyn", "LLN", "LLN"},    {"dumb", "TM", "TM"},
+      {"plumber", "PLMR", "PLMR"},    {"campbell", "KMPL", "KMPL"},
+      {"quick", "KK", "KK"},          {"meyer", "MR", "MR"},
+      {"cartier", "KRT", "KRTR"},     {"isle", "AL", "AL"},
+      {"carlisle", "KRLL", "KRLL"},   {"island", "ALNT", "ALNT"},
+      {"sugar", "XKR", "SKR"},        {"sholz", "SLS", "SLS"},
+      {"shaw", "X", "XF"},            {"asia", "AS", "AX"},
+      {"laszlo", "LSL", "LXL"},       {"school", "SKL", "SKL"},
+      {"schermerhorn", "XRMR", "SKRM"}, {"schmidt", "XMT", "SMT"},
+      {"schwartz", "XRTS", "XFRT"},   {"science", "SNS", "SNS"},
+      {"scott", "SKT", "SKT"},        {"marais", "MR", "MRS"},
+      {"dubois", "TP", "TPS"},        {"nation", "NXN", "NXN"},
+      {"martial", "MRXL", "MRXL"},    {"thatcher", "0XR", "TXR"},
+      {"thames", "TMS", "TMS"},       {"this", "0S", "TS"},
+      {"vivian", "FFN", "FFN"},       {"wasserman", "ASRM", "FSRM"},
+      {"whale", "AL", "AL"},          {"arrow", "AR", "ARF"},
+      {"majewski", "MJSK", "MJFS"},   {"markowitz", "MRKT", "MRKF"},
+      {"filipowicz", "FLPT", "FLPF"}, {"xavier", "SF", "SFR"},
+      {"fox", "FKS", "FKS"},          {"breaux", "PR", "PR"},
+      {"giroux", "JR", "KR"},         {"zhao", "J", "J"},
+      {"mazza", "MS", "MTS"},         {"kazmarek", "KSMR", "KTSM"},
+      {"pizza", "PS", "PTS"},
+  };
+  for (const Pin& pin : pins) {
+    const MetaphoneCodes codes = DoubleMetaphone(pin.word, 4);
+    EXPECT_EQ(codes.primary, pin.primary) << pin.word;
+    EXPECT_EQ(codes.secondary, pin.secondary) << pin.word;
+  }
+}
+
 TEST(DoubleMetaphoneTest, SimilarityGrading) {
   // Same primary: 1.0.
   EXPECT_DOUBLE_EQ(DoubleMetaphoneSimilarity("smith", "smith"), 1.0);

@@ -14,6 +14,7 @@
 
 #include "tglink/linkage/config.h"
 #include "tglink/obs/metrics.h"
+#include "tglink/similarity/sim_batch.h"
 #include "tglink/similarity/sim_cache.h"
 #include "tests/paper_example.h"
 
@@ -157,7 +158,9 @@ TEST(ParallelTest, PoolHammerManyBatchesUnderContention) {
 TEST(ParallelTest, SimCacheHammerConcurrentLookupsStayBitIdentical) {
   // tsan target: pool workers hitting the sharded memo concurrently, with
   // every distinct value pair inserted exactly while others read. Results
-  // must equal the uncached serial scores bit for bit.
+  // must equal the uncached serial scores bit for bit. Scalar mode — the
+  // batched path bypasses the memo for every default-config measure.
+  ScopedBatchKernels scalar_mode(false);
   ThreadCountGuard guard;
   const CensusDataset old_d = MakeCensus1871();
   const CensusDataset new_d = MakeCensus1881();
@@ -188,6 +191,47 @@ TEST(ParallelTest, SimCacheHammerConcurrentLookupsStayBitIdentical) {
   }
   EXPECT_GT(cache.hits(), 0u);
   EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(ParallelTest, SimBatchHammerThresholdScoringStaysBitIdentical) {
+  // tsan target for the batched kernels: lock-free reads over the immutable
+  // arena plus thread-local kernel scratch, with the pruning screen active.
+  // Non-pruned values must equal the serial direct scores bit for bit, and
+  // pruning must never drop a pair at or above the cutoff.
+  ScopedBatchKernels batched_mode(true);
+  ThreadCountGuard guard;
+  const CensusDataset old_d = MakeCensus1871();
+  const CensusDataset new_d = MakeCensus1881();
+  SimilarityFunction fn = configs::DefaultConfig().sim_func;
+  fn.set_year_gap(10);
+  constexpr double kMinSim = 0.7;
+
+  const size_t n_pairs = old_d.num_records() * new_d.num_records();
+  std::vector<double> expected(n_pairs);
+  for (size_t i = 0; i < n_pairs; ++i) {
+    expected[i] = fn.AggregateSimilarity(
+        old_d.record(static_cast<RecordId>(i / new_d.num_records())),
+        new_d.record(static_cast<RecordId>(i % new_d.num_records())));
+  }
+
+  SetParallelThreadCount(4);
+  const SimCache cache(fn, old_d, new_d);
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::vector<double> got =
+        ParallelMap<double>(n_pairs, "test.simbatch_hammer", [&](size_t i) {
+          return cache.AggregateWithThreshold(
+              static_cast<RecordId>(i / new_d.num_records()),
+              static_cast<RecordId>(i % new_d.num_records()), kMinSim);
+        });
+    for (size_t i = 0; i < n_pairs; ++i) {
+      if (got[i] == SimCache::kPruned) {
+        ASSERT_LT(expected[i], kMinSim) << "pair " << i << " round " << round;
+      } else {
+        ASSERT_EQ(got[i], expected[i]) << "pair " << i << " round " << round;
+      }
+    }
+  }
 }
 
 }  // namespace

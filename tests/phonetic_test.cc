@@ -52,6 +52,30 @@ TEST(NysiisTest, KnownShapes) {
   EXPECT_EQ(Nysiis(""), "");
 }
 
+TEST(NysiisTest, RuleBattery) {
+  // One word per transformation rule: prefix rewrites (mac/kn/pf/sch/ph),
+  // the EV->AF digraph, the q/z/m letter maps, mid-word kn/k/sch/ph, the
+  // h- and w-collapse rules, every D-suffix rewrite (dt/rt/rd/nt/nd), and
+  // the trailing s / ay / a cleanups. Pinned so a rule regression shifts a
+  // known code instead of silently reshaping blocking keys.
+  const std::pair<const char*, const char*> pins[] = {
+      {"evans", "EVAN"},     {"evremond", "EVRANA"}, {"quick", "QAC"},
+      {"zeta", "ZAT"},       {"mummery", "MANARY"},  {"knight", "NAGT"},
+      {"hackney", "HACNY"},  {"kirk", "CARC"},       {"school", "SAL"},
+      {"mischa", "MASSS"},   {"phil", "FAL"},        {"raphael", "RAFFAL"},
+      {"john", "JAN"},       {"ruth", "RAT"},        {"lowe", "L"},
+      {"pfeiffer", "FAFAR"}, {"schmidt", "SNAD"},    {"macdonald", "MCDANA"},
+      {"mcgee", "MCGY"},     {"shawnee", "SANY"},    {"haugh", "HAG"},
+      {"bradt", "BRAD"},     {"hart", "HAD"},        {"ford", "FAD"},
+      {"grant", "GRAD"},     {"bond", "BAD"},        {"agnes", "AGN"},
+      {"free", "FRY"},       {"maggie", "MAGY"},     {"holiday", "HALADY"},
+      {"banks", "BANC"},     {"Daisy MAY", "DASYNY"},
+  };
+  for (const auto& [word, code] : pins) {
+    EXPECT_EQ(Nysiis(word), code) << word;
+  }
+}
+
 TEST(NysiisTest, BoundedLength) {
   for (const char* name :
        {"wolstenholme", "ramsbottom", "butterworth", "x", "macdonald"}) {

@@ -1,9 +1,47 @@
 #include "tglink/similarity/qgram.h"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace tglink {
 namespace {
+
+/// Reference coefficient computed from the public string-gram API — the
+/// pre-packed implementation of QGramSimilarity, kept here as the oracle
+/// for the packed fast path.
+double ReferenceSimilarity(std::string_view a, std::string_view b,
+                           const QGramOptions& opts) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+  const std::vector<std::string> ga = QGrams(a, opts);
+  const std::vector<std::string> gb = QGrams(b, opts);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t i = 0, j = 0, c = 0;
+  while (i < ga.size() && j < gb.size()) {
+    if (ga[i] < gb[j]) {
+      ++i;
+    } else if (gb[j] < ga[i]) {
+      ++j;
+    } else {
+      ++c, ++i, ++j;
+    }
+  }
+  const double common = static_cast<double>(c);
+  switch (opts.coefficient) {
+    case QGramCoefficient::kDice:
+      return 2.0 * common / static_cast<double>(ga.size() + gb.size());
+    case QGramCoefficient::kJaccard:
+      return common / static_cast<double>(ga.size() + gb.size() - common);
+    case QGramCoefficient::kOverlap:
+      return common / static_cast<double>(std::min(ga.size(), gb.size()));
+  }
+  return 0.0;
+}
 
 TEST(QGramTest, BigramDecompositionPadded) {
   QGramOptions opts;  // q=2, padded
@@ -66,6 +104,76 @@ TEST(QGramTest, MultisetSemanticsCountDuplicates) {
   QGramOptions opts;
   opts.padded = false;
   EXPECT_DOUBLE_EQ(QGramSimilarity("aaa", "aa", opts), 2.0 * 1 / (2 + 1));
+}
+
+TEST(QGramTest, PackedFastPathMatchesStringDecompositionExactly) {
+  // The packed path (q <= 7) must return the same bits as the string-gram
+  // oracle for every padded/unpadded/coefficient combination, including
+  // whole-gram short strings, the 7/8 packing boundary, sentinel bytes
+  // inside the input, and non-ASCII / high-bit bytes.
+  const std::vector<std::string> corpus = {
+      "",       "a",         "ab",          "abc",     "a#b$",
+      "###",    "$$$",       "#$",          "aaaaaaa", "aaaaaaaa",
+      "smith",  "smyth",     "ashworth",    "ashword", "elizabeth",
+      "\x01\xff\x80", std::string("a\0b", 3), "\xc3\xa9\xc3\xa8"};
+  for (const std::string& a : corpus) {
+    for (const std::string& b : corpus) {
+      for (int q = 1; q <= 8; ++q) {
+        for (const bool padded : {false, true}) {
+          for (const QGramCoefficient coeff :
+               {QGramCoefficient::kDice, QGramCoefficient::kJaccard,
+                QGramCoefficient::kOverlap}) {
+            QGramOptions opts;
+            opts.q = q;
+            opts.padded = padded;
+            opts.coefficient = coeff;
+            EXPECT_EQ(QGramSimilarity(a, b, opts),
+                      ReferenceSimilarity(a, b, opts))
+                << "a=" << a << " b=" << b << " q=" << q
+                << " padded=" << padded << " coeff=" << static_cast<int>(coeff);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QGramTest, UnpaddedShortStringKeepsWholeGramSemantics) {
+  // |s| < q without padding yields one whole-string gram, so two different
+  // short strings share nothing and a short string matches a long one only
+  // if a full q-gram equals it — never, since lengths differ.
+  QGramOptions opts;
+  opts.q = 3;
+  opts.padded = false;
+  EXPECT_DOUBLE_EQ(QGramSimilarity("ab", "abc", opts), 0.0);
+  EXPECT_DOUBLE_EQ(QGramSimilarity("ab", "ax", opts), 0.0);
+  // Identical short strings hit the equality shortcut.
+  EXPECT_DOUBLE_EQ(QGramSimilarity("ab", "ab", opts), 1.0);
+}
+
+TEST(QGramTest, SentinelBytesInInputDoNotCollideWithPadding) {
+  // A literal '#' or '$' in the value must stay distinct from the virtual
+  // padding sentinels. padded("a#") = {"#a","a#","#$"}, padded("a") =
+  // {"#a","a$"}: one shared gram -> dice = 2*1/(3+2).
+  EXPECT_DOUBLE_EQ(BigramDice("a#", "a"), 2.0 * 1 / (3 + 2));
+  // padded("$a") = {"#$","$a","a$"}, padded("a") = {"#a","a$"}.
+  EXPECT_DOUBLE_EQ(BigramDice("$a", "a"), 2.0 * 1 / (3 + 2));
+}
+
+TEST(QGramTest, BigramDiceMatchesDefaultQGramSimilarity) {
+  // The memoized wrapper must agree with the uncached path bit for bit,
+  // on first computation and on cache replay.
+  const std::vector<std::string> corpus = {"",     "a",        "ab",
+                                           "john", "jon",      "ashworth",
+                                           "a#b",  "elizabeth"};
+  for (int round = 0; round < 2; ++round) {
+    for (const std::string& a : corpus) {
+      for (const std::string& b : corpus) {
+        EXPECT_EQ(BigramDice(a, b), QGramSimilarity(a, b, QGramOptions{}))
+            << "a=" << a << " b=" << b << " round " << round;
+      }
+    }
+  }
 }
 
 // Property sweep: symmetry and range over a pool of name pairs.

@@ -58,7 +58,8 @@ python3 tools/check_report.py "$smoke_dir/report.json" \
   --expect-span residual.global \
   --expect-counter linkage.iterations \
   --expect-counter blocking.candidate_pairs \
-  --expect-counter similarity.agg_calls
+  --expect-counter similarity.agg_calls \
+  --expect-counter simkernel.screened
 
 if [ "$quick" -eq 0 ]; then
   run_preset asan
@@ -84,21 +85,27 @@ if [ "$quick" -eq 0 ]; then
   stage "ctest: tsan (threaded tests)"
   ctest --preset tsan -R '^(obs_threads_test|parallel_test|parallel_determinism_test)$'
 
-  # Line-coverage floor over the blocking layer (gcov only — no lcov on the
-  # reference machine). Every candidate the pipeline ever scores comes out
-  # of src/tglink/blocking/, so untested lines there are a gate failure.
-  stage "configure+build: coverage (blocking suite)"
+  # Line-coverage floor over the blocking and similarity layers (gcov only —
+  # no lcov on the reference machine). Every candidate the pipeline ever
+  # scores comes out of src/tglink/blocking/, and every pair score out of
+  # src/tglink/similarity/, so untested lines in either are a gate failure.
+  stage "configure+build: coverage (blocking + similarity suites)"
   cmake --preset coverage
   cmake --build --preset coverage -j "$jobs" \
     --target blocking_test candidate_index_test \
-             candidate_index_property_test sorted_neighborhood_test
-  stage "ctest: coverage (blocking suite)"
+             candidate_index_property_test sorted_neighborhood_test \
+             qgram_test alignment_test double_metaphone_test \
+             measure_properties_test edit_distance_test jaro_test \
+             phonetic_test numeric_token_test composite_test \
+             sim_cache_test similarity_kernel_property_test
+  stage "ctest: coverage (blocking + similarity suites)"
   find "$root/build-coverage" -name '*.gcda' -delete
   ctest --preset coverage -R \
-    '^(blocking_test|candidate_index_test|candidate_index_property_test(_mt)?|sorted_neighborhood_test)$'
-  stage "coverage gate: src/tglink/blocking/ >= 90% lines"
+    '^(blocking_test|candidate_index_test|candidate_index_property_test(_mt)?|sorted_neighborhood_test|qgram_test|alignment_test|double_metaphone_test|measure_properties_test|edit_distance_test|jaro_test|phonetic_test|numeric_token_test|composite_test|sim_cache_test|similarity_kernel_property_test(_mt)?)$'
+  stage "coverage gate: blocking + similarity >= 90% lines"
   python3 tools/check_coverage.py --build-dir "$root/build-coverage" \
-    --filter src/tglink/blocking/ --min-percent 90
+    --filter src/tglink/blocking/ --filter src/tglink/similarity/ \
+    --min-percent 90
 fi
 
 if command -v clang-tidy >/dev/null 2>&1; then

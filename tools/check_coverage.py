@@ -9,10 +9,15 @@ minimum line-coverage percentage over the files matching --filter.
 
 Usage:
   python3 tools/check_coverage.py --build-dir build-coverage \
-      --filter src/tglink/blocking/ --min-percent 90
+      --filter src/tglink/blocking/ --filter src/tglink/similarity/ \
+      --min-percent 90
 
-Exit status: 0 when the aggregate coverage meets the floor, 1 when it does
-not (or no matching coverage data was found), 2 on usage/tooling errors.
+--filter is repeatable; the floor is enforced per filter (every gated layer
+must clear it on its own, so a well-covered layer cannot subsidize a poorly
+covered one).
+
+Exit status: 0 when every filter meets the floor, 1 when any does not (or a
+filter matched no coverage data), 2 on usage/tooling errors.
 """
 
 from __future__ import annotations
@@ -59,9 +64,10 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", required=True,
                         help="root of a TGLINK_COVERAGE=ON build tree")
-    parser.add_argument("--filter", default="src/tglink/blocking/",
+    parser.add_argument("--filter", action="append", dest="filters",
                         help="only count source paths containing this "
-                             "substring (default: src/tglink/blocking/)")
+                             "substring; repeatable, each filter is gated "
+                             "independently (default: src/tglink/blocking/)")
     parser.add_argument("--min-percent", type=float, default=90.0,
                         help="fail below this aggregate line coverage")
     parser.add_argument("--gcov", default="gcov", help="gcov binary")
@@ -72,14 +78,18 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
+    filters = args.filters or ["src/tglink/blocking/"]
+
     gcda_files = collect_gcda(args.build_dir)
     if not gcda_files:
         print(f"check_coverage: no .gcda files under {args.build_dir}; "
               f"run the instrumented tests first", file=sys.stderr)
         return 1
 
-    # source path -> {line number -> max hit count across TUs}
-    lines_by_file: dict[str, dict[int, int]] = {}
+    # filter -> source path -> {line number -> max hit count across TUs}
+    lines_by_filter: dict[str, dict[str, dict[int, int]]] = {
+        f: {} for f in filters
+    }
     for gcda in gcda_files:
         report = gcov_json(gcda, args.gcov)
         if report is None:
@@ -87,43 +97,51 @@ def main() -> int:
         for f in report.get("files", []):
             path = f.get("file", "")
             norm = path.replace("\\", "/")
-            if args.filter not in norm:
-                continue
-            # Normalize absolute paths to the repo-relative tail so the same
-            # header seen from different TUs lands in one bucket.
-            key = norm[norm.index(args.filter):]
-            bucket = lines_by_file.setdefault(key, {})
-            for ln in f.get("lines", []):
-                no = ln.get("line_number")
-                count = ln.get("count", 0)
-                if no is None:
+            for filt in filters:
+                if filt not in norm:
                     continue
-                bucket[no] = max(bucket.get(no, 0), count)
+                # Normalize absolute paths to the repo-relative tail so the
+                # same header seen from different TUs lands in one bucket.
+                key = norm[norm.index(filt):]
+                bucket = lines_by_filter[filt].setdefault(key, {})
+                for ln in f.get("lines", []):
+                    no = ln.get("line_number")
+                    count = ln.get("count", 0)
+                    if no is None:
+                        continue
+                    bucket[no] = max(bucket.get(no, 0), count)
 
-    if not lines_by_file:
-        print(f"check_coverage: no coverage data matched filter "
-              f"'{args.filter}'", file=sys.stderr)
-        return 1
+    failed = False
+    for filt in filters:
+        lines_by_file = lines_by_filter[filt]
+        if not lines_by_file:
+            print(f"check_coverage: no coverage data matched filter "
+                  f"'{filt}'", file=sys.stderr)
+            failed = True
+            continue
 
-    total = 0
-    covered = 0
-    width = max(len(p) for p in lines_by_file)
-    print(f"{'file':<{width}}  covered/total    %")
-    for path in sorted(lines_by_file):
-        bucket = lines_by_file[path]
-        file_total = len(bucket)
-        file_covered = sum(1 for c in bucket.values() if c > 0)
-        total += file_total
-        covered += file_covered
-        pct = 100.0 * file_covered / file_total if file_total else 100.0
-        print(f"{path:<{width}}  {file_covered:>5}/{file_total:<5}  "
-              f"{pct:6.2f}")
+        total = 0
+        covered = 0
+        width = max(len(p) for p in lines_by_file)
+        print(f"{'file':<{width}}  covered/total    %")
+        for path in sorted(lines_by_file):
+            bucket = lines_by_file[path]
+            file_total = len(bucket)
+            file_covered = sum(1 for c in bucket.values() if c > 0)
+            total += file_total
+            covered += file_covered
+            pct = 100.0 * file_covered / file_total if file_total else 100.0
+            print(f"{path:<{width}}  {file_covered:>5}/{file_total:<5}  "
+                  f"{pct:6.2f}")
 
-    pct = 100.0 * covered / total if total else 0.0
-    verdict = "OK" if pct >= args.min_percent else "FAIL"
-    print(f"\ncheck_coverage: {covered}/{total} lines = {pct:.2f}% "
-          f"(floor {args.min_percent:.2f}%) {verdict}")
-    return 0 if pct >= args.min_percent else 1
+        pct = 100.0 * covered / total if total else 0.0
+        verdict = "OK" if pct >= args.min_percent else "FAIL"
+        print(f"\ncheck_coverage [{filt}]: {covered}/{total} lines = "
+              f"{pct:.2f}% (floor {args.min_percent:.2f}%) {verdict}\n")
+        if pct < args.min_percent:
+            failed = True
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

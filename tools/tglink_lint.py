@@ -42,6 +42,12 @@ Rules (library code = everything under src/tglink/):
                      candidate-generation layer feeds every downstream
                      linkage stage, so untested blocking code is banned
                      (repo-level rule; no inline suppression)
+  hot-path-alloc     similarity kernels (src/tglink/similarity/) must not
+                     take std::string parameters by value or construct
+                     std::set/std::map — the batched-kernel substrate keeps
+                     the scoring hot loop allocation-free (string_view /
+                     const std::string& and flat or unordered containers
+                     are fine)
 
 Suppression: append  // tglink-lint: disable=<rule>  to the offending line.
 """
@@ -91,6 +97,18 @@ THREAD_EXEMPT = (
 )
 
 THREAD_RE = re.compile(r"std::(?:jthread|thread|async)\b")
+
+# The similarity layer is the scoring hot path; see DESIGN.md §10.
+HOT_PATH_PREFIX = os.path.join("src", "tglink", "similarity") + os.sep
+
+# `std::string name` immediately followed by `,` or `)` — a by-value string
+# parameter. Return types (`std::string Foo(`), references, pointers,
+# string_view and locals (`std::string s;`) all fail the tail match.
+STRING_BYVAL_RE = re.compile(r"std::string\s+\w+\s*[,)]")
+
+# Node-based ordered containers allocate per element; the hot path uses
+# sorted flat vectors (gram profiles) or unordered maps (interner, memo).
+ORDERED_CONTAINER_RE = re.compile(r"std::(?:multi)?(?:set|map)\s*<")
 
 
 class Finding:
@@ -223,6 +241,16 @@ def lint_file(root: str, relpath: str) -> list[Finding]:
             add(i, "raw-thread",
                 "raw thread spawn in library code; run the work through "
                 "ParallelFor/ParallelMap in tglink/util/parallel.h")
+
+        if relpath.startswith(HOT_PATH_PREFIX):
+            if STRING_BYVAL_RE.search(scrubbed):
+                add(i, "hot-path-alloc",
+                    "std::string by-value parameter in a similarity kernel; "
+                    "take std::string_view (or const std::string&)")
+            if ORDERED_CONTAINER_RE.search(scrubbed):
+                add(i, "hot-path-alloc",
+                    "std::set/std::map in the similarity hot path; use a "
+                    "sorted flat vector or an unordered container")
 
         if re.search(r"(?<![\w:])s?rand\s*\(", scrubbed) or re.search(
             r"std::random_shuffle", scrubbed
@@ -477,6 +505,62 @@ FIXTURES = [
         "src/tglink/bad/suppressed.cc",
         '#include "tglink/bad/suppressed.h"\n'
         "int H() { return rand(); }  // tglink-lint: disable=raw-rand\n",
+        set(),
+    ),
+    (
+        "src/tglink/similarity/byval_string.cc",
+        '#include "tglink/similarity/byval_string.h"\n'
+        "double Score(std::string a, std::string b) {\n"
+        "  return a == b ? 1.0 : 0.0;\n"
+        "}\n",
+        {"hot-path-alloc"},
+    ),
+    (
+        "src/tglink/similarity/ordered_map.cc",
+        '#include "tglink/similarity/ordered_map.h"\n'
+        "#include <map>\n"
+        "int Count() {\n"
+        "  std::map<int, int> grams;\n"
+        "  return static_cast<int>(grams.size());\n"
+        "}\n",
+        {"hot-path-alloc"},
+    ),
+    (
+        "src/tglink/similarity/ordered_set.cc",
+        '#include "tglink/similarity/ordered_set.h"\n'
+        "#include <set>\n"
+        "int Distinct() {\n"
+        "  std::set<unsigned> grams;\n"
+        "  return static_cast<int>(grams.size());\n"
+        "}\n",
+        {"hot-path-alloc"},
+    ),
+    (
+        # Views, references and unordered containers stay legal in the hot
+        # path; return-type std::string must not trip the by-value check.
+        "src/tglink/similarity/clean_kernel.h",
+        "#ifndef TGLINK_SIMILARITY_CLEAN_KERNEL_H_\n"
+        "#define TGLINK_SIMILARITY_CLEAN_KERNEL_H_\n"
+        "#include <string>\n"
+        "#include <string_view>\n"
+        "#include <unordered_map>\n"
+        "namespace tglink {\n"
+        "double Score(std::string_view a, const std::string& b);\n"
+        "std::string Render();\n"
+        "}  // namespace tglink\n"
+        "#endif  // TGLINK_SIMILARITY_CLEAN_KERNEL_H_\n",
+        set(),
+    ),
+    (
+        # The ban is scoped to the similarity hot path; elsewhere a by-value
+        # std::string parameter is an API-taste question, not a lint error.
+        "src/tglink/util/byval_elsewhere.cc",
+        '#include "tglink/util/byval_elsewhere.h"\n'
+        "#include <string>\n"
+        "#include <utility>\n"
+        "namespace tglink {\n"
+        "std::string Hold(std::string s) { return s; }\n"
+        "}  // namespace tglink\n",
         set(),
     ),
 ]
