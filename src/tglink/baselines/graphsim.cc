@@ -52,6 +52,7 @@ GraphSimResult GraphSimLink(const CensusDataset& old_dataset,
 
   std::vector<uint64_t> keys;
   keys.reserve(pair_links.size());
+  // tglink-lint: nondeterministic-iteration-ok(keys sorted on next line)
   for (const auto& [key, links] : pair_links) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
 

@@ -49,6 +49,9 @@ void RunPass(const CensusDataset& old_dataset, const CensusDataset& new_dataset,
     std::string key = key_fn(new_dataset.record(r));
     if (!key.empty()) blocks[std::move(key)].new_ids.push_back(r);
   }
+  // Emits into pair_keys, which the caller sorts and dedups before any
+  // output-facing use; the histogram/counter updates commute.
+  // tglink-lint: nondeterministic-iteration-ok(pair_keys sorted downstream)
   for (const auto& [key, block] : blocks) {
     TGLINK_HISTOGRAM_SIZE("blocking.block_size",
                           block.old_ids.size() + block.new_ids.size());

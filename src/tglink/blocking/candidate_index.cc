@@ -243,6 +243,12 @@ void CandidateIndex::AppendPairsForOldRecord(
   for (RecordId n : *scratch) out->push_back({old_id, n});
 }
 
+// Concurrency contract: shard builders share no mutable state — each
+// ParallelMap worker writes only its own result slot and reads the posting
+// lists, which are frozen after single-threaded construction. There is
+// deliberately no lock here; determinism comes from the ordered index
+// merge, statically checked by the lint's nondeterministic-iteration rule
+// (the interner map above is lookup-only, never iterated).
 std::vector<CandidatePair> CandidateIndex::ShardPairs(size_t begin,
                                                       size_t end) const {
   std::vector<CandidatePair> out;

@@ -164,7 +164,7 @@ std::string MetricsSnapshot::ToJson() const {
 // --- MetricsRegistry -------------------------------------------------------
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -174,7 +174,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -184,7 +184,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -196,7 +196,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -225,7 +225,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAllForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->ResetForTesting();
   for (auto& [name, gauge] : gauges_) gauge->ResetForTesting();
   for (auto& [name, histogram] : histograms_) histogram->ResetForTesting();

@@ -24,10 +24,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "tglink/util/thread_annotations.h"
 
 namespace tglink {
 namespace obs {
@@ -160,24 +161,31 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
+  Counter& GetCounter(std::string_view name) TGLINK_EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name) TGLINK_EXCLUDES(mu_);
   /// First registration fixes the bucket bounds; later calls with a
   /// different shape get the original histogram (bounds are part of the
   /// metric's identity and must not drift between call sites).
-  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds);
+  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds)
+      TGLINK_EXCLUDES(mu_);
 
-  [[nodiscard]] MetricsSnapshot Snapshot() const;
+  [[nodiscard]] MetricsSnapshot Snapshot() const TGLINK_EXCLUDES(mu_);
 
   /// Zeroes every value, keeping all registered objects (and therefore all
   /// cached references) alive. For per-run isolation in tests and benches.
-  void ResetAllForTesting();
+  void ResetAllForTesting() TGLINK_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // mu_ guards the registry *structure* only. The metric objects are heap
+  // nodes that are never removed, so references returned by Get* stay valid
+  // and are updated lock-free through their own atomics.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TGLINK_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      TGLINK_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      TGLINK_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry all pipeline instrumentation reports to.

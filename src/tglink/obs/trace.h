@@ -17,9 +17,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "tglink/util/thread_annotations.h"
 
 namespace tglink {
 namespace obs {
@@ -63,10 +64,10 @@ class Tracer {
   }
 
   /// Appends a completed event (called by ScopedSpan on destruction).
-  void Record(TraceEvent event);
+  void Record(TraceEvent event) TGLINK_EXCLUDES(mu_);
 
-  [[nodiscard]] std::vector<TraceEvent> Snapshot() const;
-  void Clear();
+  [[nodiscard]] std::vector<TraceEvent> Snapshot() const TGLINK_EXCLUDES(mu_);
+  void Clear() TGLINK_EXCLUDES(mu_);
 
   /// Chrome trace-event JSON ("X" complete events, ts/dur in microseconds).
   [[nodiscard]] std::string ToChromeTraceJson() const;
@@ -76,8 +77,8 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ TGLINK_GUARDED_BY(mu_);
 };
 
 /// The process-wide tracer all TGLINK_TRACE_SPAN sites report to.

@@ -36,6 +36,11 @@ struct PairScratch {
   std::vector<double> rem_after;  // suffix sums of contrib_ub
 };
 
+// Concurrency contract: the scratch is thread-owned, never shared — each
+// pool worker mutates only its own copy, so no capability annotation
+// applies (thread_local IS the discipline). The batch tables it reads are
+// frozen after single-threaded construction; any future mutable sharing
+// here must move behind an annotated lock from util/thread_annotations.h.
 PairScratch& ThreadPairScratch() {
   thread_local PairScratch scratch;
   return scratch;

@@ -1,11 +1,11 @@
 #include "tglink/similarity/sim_cache.h"
 
-#include <mutex>
 #include <string_view>
 
 #include "tglink/obs/metrics.h"
 #include "tglink/similarity/batch_kernels.h"
 #include "tglink/util/logging.h"
+#include "tglink/util/thread_annotations.h"
 
 namespace tglink {
 
@@ -43,7 +43,7 @@ double SimCache::MemoizedMeasure(size_t spec_index, uint32_t old_vid,
   const uint64_t key = (static_cast<uint64_t>(old_vid) << 32) | new_vid;
   Shard& shard = cache.shards[ShardIndex(key)];
   {
-    std::shared_lock<std::shared_mutex> read(shard.mu);
+    ReaderMutexLock read(shard.mu);
     const auto it = shard.memo.find(key);
     if (it != shard.memo.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -57,7 +57,7 @@ double SimCache::MemoizedMeasure(size_t spec_index, uint32_t old_vid,
       << "measure " << MeasureName(spec.measure) << " on "
       << FieldName(spec.field) << " returned " << s;
   {
-    std::unique_lock<std::shared_mutex> write(shard.mu);
+    WriterMutexLock write(shard.mu);
     shard.memo.emplace(key, s);
   }
   misses_.fetch_add(1, std::memory_order_relaxed);

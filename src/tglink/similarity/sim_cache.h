@@ -40,7 +40,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -48,6 +47,7 @@
 #include "tglink/census/dataset.h"
 #include "tglink/similarity/composite.h"
 #include "tglink/similarity/sim_batch.h"
+#include "tglink/util/thread_annotations.h"
 
 namespace tglink {
 
@@ -99,8 +99,10 @@ class SimCache {
   static constexpr size_t kNumShards = 16;
 
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<uint64_t, double> memo;
+    mutable SharedMutex mu;
+    // Key: (old value id << 32) | new value id. Never iterated — lookup
+    // only — so the unordered layout cannot leak into any output order.
+    std::unordered_map<uint64_t, double> memo TGLINK_GUARDED_BY(mu);
   };
 
   /// Memo state of one component of fn.specs(). Which components get a

@@ -6,10 +6,21 @@
 #include <cstdlib>
 #include <ctime>
 
+#include "tglink/util/thread_annotations.h"
+
 namespace tglink {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+/// Serializes whole formatted lines onto the stderr sink so concurrent
+/// emitters (pool workers log too) never interleave mid-line. The fatal
+/// path in CheckFailed deliberately does NOT take this lock: an abort must
+/// never block on a logger that crashed while holding it.
+Mutex& SinkMutex() {
+  static Mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -57,6 +68,7 @@ void EmitLog(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   char timestamp[48];
   FormatUtcTimestamp(timestamp, sizeof(timestamp));
+  MutexLock lock(SinkMutex());
   std::fprintf(stderr, "[tglink %s %s t%u] %s\n", timestamp, LevelName(level),
                ThreadId(), message.c_str());
 }

@@ -23,6 +23,11 @@
 // "parallel.tasks" counter and the live pool size to the "parallel.threads"
 // gauge; chunks run under a caller-supplied span label, so worker activity
 // shows up per thread in the Perfetto export.
+//
+// Static checking: the pool's internal lock discipline is expressed with
+// the capability annotations from tglink/util/thread_annotations.h and
+// verified under the `analyze` CMake preset (-Werror=thread-safety-analysis
+// on Clang); see DESIGN.md §11.
 
 #ifndef TGLINK_UTIL_PARALLEL_H_
 #define TGLINK_UTIL_PARALLEL_H_

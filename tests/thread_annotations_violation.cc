@@ -1,0 +1,33 @@
+// Deliberate thread-safety violation: writes a TGLINK_GUARDED_BY member
+// without holding its mutex. Under the analyze preset (clang++ with
+// -Werror=thread-safety-analysis) this file MUST NOT compile — the ctest
+// entry that builds it is registered WILL_FAIL, so the analysis being
+// silently off (wrong flags, macros expanding empty under clang, a broken
+// capability declaration on Mutex) turns into a test failure instead of a
+// green run that checks nothing.
+//
+// Never added to any default build: the target is EXCLUDE_FROM_ALL and only
+// the analyze-gated ctest entry builds it.
+
+#include "tglink/util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void UnlockedDeposit(int amount) {
+    balance_ += amount;  // BAD: mu_ not held — the analysis must reject this.
+  }
+
+ private:
+  tglink::Mutex mu_;
+  int balance_ TGLINK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.UnlockedDeposit(1);
+  return 0;
+}

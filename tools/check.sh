@@ -4,9 +4,10 @@
 #   tools/check.sh            # Release + ASan/UBSan presets, tests, lint
 #   tools/check.sh --quick    # Release preset + lint only
 #
-# Exits non-zero on the first failing stage. The clang-tidy stage runs only
-# when clang-tidy is installed (the tidy preset degrades gracefully without
-# it); everything else is mandatory.
+# Exits non-zero on the first failing stage. Stages that need LLVM tooling
+# (clang++ for the analyze preset, clang-tidy for the tidy preset) are
+# skipped — and reported as skipped in the end-of-run summary — when the
+# binary is missing; everything else is mandatory.
 
 set -eu
 
@@ -18,8 +19,30 @@ quick=0
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+# Stage ledger for the end-of-run summary: one "status<TAB>name" line per
+# top-level stage, printed as a table once every mandatory stage passed.
+ledger=""
+
 stage() {
   printf '\n=== %s ===\n' "$1"
+}
+
+note() {
+  # note <ran|SKIPPED> <stage name> [reason]
+  ledger="${ledger}$1	$2	${3:-}
+"
+}
+
+summary() {
+  printf '\n=== summary ===\n'
+  printf '%s' "$ledger" | while IFS='	' read -r status name reason; do
+    [ -n "$name" ] || continue
+    if [ -n "$reason" ]; then
+      printf '  %-8s %s (%s)\n' "$status" "$name" "$reason"
+    else
+      printf '  %-8s %s\n' "$status" "$name"
+    fi
+  done
 }
 
 run_preset() {
@@ -29,13 +52,16 @@ run_preset() {
   cmake --build --preset "$preset" -j "$jobs"
   stage "ctest: $preset"
   ctest --preset "$preset"
+  note ran "$preset preset"
 }
 
 stage "tglink_lint self-test"
 python3 tools/tglink_lint.py --selftest
+note ran "lint self-test"
 
 stage "tglink_lint"
 python3 tools/tglink_lint.py --root "$root"
+note ran "lint"
 
 run_preset release
 
@@ -60,6 +86,25 @@ python3 tools/check_report.py "$smoke_dir/report.json" \
   --expect-counter blocking.candidate_pairs \
   --expect-counter similarity.agg_calls \
   --expect-counter simkernel.screened
+note ran "perf smoke"
+
+# Compile-time concurrency gate: the analyze preset builds the whole library
+# under clang++ with -Werror=thread-safety-analysis, then runs the
+# annotation tests — including the WILL_FAIL entry proving a GUARDED_BY
+# violation does NOT compile. Clang-only by nature (GCC has no thread-safety
+# analysis), so the stage skips gracefully on GCC-only machines.
+if command -v clang++ >/dev/null 2>&1; then
+  stage "configure+build: analyze (thread-safety as errors)"
+  cmake --preset analyze
+  cmake --build --preset analyze -j "$jobs"
+  stage "ctest: analyze (annotation + violation tests)"
+  ctest --preset analyze -R \
+    '^(thread_annotations_test|thread_annotations_violation_must_not_compile)$'
+  note ran "analyze preset"
+else
+  stage "analyze: clang++ not installed, skipped"
+  note SKIPPED "analyze preset" "no clang++"
+fi
 
 if [ "$quick" -eq 0 ]; then
   run_preset asan
@@ -74,6 +119,7 @@ if [ "$quick" -eq 0 ]; then
     "$root/build-asan/tests/fuzz/$target" --time_budget_s=10 \
       --runs=2000000 "$root/tests/fuzz/corpus/$corpus"
   done
+  note ran "fuzz smoke"
 
   # The multi-threaded surface — pool, sim-cache, obs — under TSan. Scoped
   # to the thread-hammer tests so the stage stays bounded; the full suite
@@ -81,9 +127,11 @@ if [ "$quick" -eq 0 ]; then
   stage "configure+build: tsan (threaded tests)"
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" \
-    --target obs_threads_test parallel_test parallel_determinism_test
+    --target obs_threads_test parallel_test parallel_determinism_test \
+             thread_annotations_test tsan_hammer_test
   stage "ctest: tsan (threaded tests)"
-  ctest --preset tsan -R '^(obs_threads_test|parallel_test|parallel_determinism_test)$'
+  ctest --preset tsan -R '^(obs_threads_test|parallel_test|parallel_determinism_test|thread_annotations_test|tsan_hammer_test)$'
+  note ran "tsan hammers"
 
   # Line-coverage floor over the blocking and similarity layers (gcov only —
   # no lcov on the reference machine). Every candidate the pipeline ever
@@ -106,14 +154,23 @@ if [ "$quick" -eq 0 ]; then
   python3 tools/check_coverage.py --build-dir "$root/build-coverage" \
     --filter src/tglink/blocking/ --filter src/tglink/similarity/ \
     --min-percent 90
+  note ran "coverage gate"
+else
+  note SKIPPED "asan preset" "--quick"
+  note SKIPPED "fuzz smoke" "--quick"
+  note SKIPPED "tsan hammers" "--quick"
+  note SKIPPED "coverage gate" "--quick"
 fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
   stage "clang-tidy (tidy preset)"
   cmake --preset tidy
   cmake --build --preset tidy -j "$jobs"
+  note ran "clang-tidy"
 else
   stage "clang-tidy: not installed, skipped"
+  note SKIPPED "clang-tidy" "not installed"
 fi
 
+summary
 stage "all checks passed"

@@ -3,53 +3,24 @@
 
 Run from anywhere:  python3 tools/tglink_lint.py [--root REPO_ROOT]
 Self-test:          python3 tools/tglink_lint.py --selftest
+List rules:         python3 tools/tglink_lint.py --list-rules
 
 Registered as the `tglink_lint` ctest; exits non-zero on any finding.
 
-Rules (library code = everything under src/tglink/):
+Architecture: every source file is read and comment/string-scrubbed exactly
+once into a FileContext; all per-file rules and the repo-level rules consume
+those cached contexts. Adding a rule never adds a file read.
 
-  guard-missing      .h files must use an include guard, not #pragma once
-  guard-mismatch     the guard macro must be TGLINK_<PATH>_H_ derived from
-                     the file's path under src/ (e.g. src/tglink/util/csv.h
-                     -> TGLINK_UTIL_CSV_H_)
-  include-relative   no relative ("../" or "./") includes anywhere
-  include-style      project headers are included as "tglink/..." with
-                     quotes, never <tglink/...> and never bare "csv.h"
-  include-self       a .cc file's first include is its own header
-  raw-rand           no rand()/srand()/random_shuffle in library code —
-                     use tglink/util/random.h (deterministic, seedable)
-  raw-stdout         no std::cout / printf / puts in library code — return
-                     values or TGLINK_LOG keep the library silent for
-                     embedding (tools/examples/bench may print freely)
-  ignored-status     a statement that calls a known Status-returning
-                     function and drops the result; consume it or
-                     TGLINK_CHECK_OK it
-  dcheck-side-effect TGLINK_DCHECK conditions must not contain obvious
-                     mutations (++/--/=), since they vanish under NDEBUG
-  raw-stopwatch      no hand-rolled std::chrono stopwatches or
-                     tglink/util/timer.h in library code — instrument with
-                     the tglink/obs metrics/tracing APIs instead (the obs
-                     layer itself, util/timer.h and logging.cc implement
-                     the clocks and are exempt)
-  raw-thread         no std::thread / std::jthread / std::async in library
-                     code — parallel sections go through the shared pool in
-                     tglink/util/parallel.h so thread count, determinism
-                     and shutdown stay centrally controlled (util/parallel
-                     itself implements the pool and is exempt)
-  blocking-test-missing
-                     every source file under src/tglink/blocking/ must have
-                     a test under tests/ that includes its header — the
-                     candidate-generation layer feeds every downstream
-                     linkage stage, so untested blocking code is banned
-                     (repo-level rule; no inline suppression)
-  hot-path-alloc     similarity kernels (src/tglink/similarity/) must not
-                     take std::string parameters by value or construct
-                     std::set/std::map — the batched-kernel substrate keeps
-                     the scoring hot loop allocation-free (string_view /
-                     const std::string& and flat or unordered containers
-                     are fine)
+Rules (library code = everything under src/tglink/): see RULES below, or
+run --list-rules. Suppression: append  // tglink-lint: disable=<rule>  to
+the offending line. The nondeterministic-iteration rule has its own
+allowlist pragma that carries a mandatory justification:
 
-Suppression: append  // tglink-lint: disable=<rule>  to the offending line.
+    // tglink-lint: nondeterministic-iteration-ok(<reason>)
+
+An empty reason does not suppress — the point of the pragma is that every
+unordered iteration in library code states WHY the order cannot leak into
+output (e.g. "order-independent reduction" or "sorted before use").
 """
 
 from __future__ import annotations
@@ -61,6 +32,87 @@ import sys
 import tempfile
 
 LIB_PREFIX = os.path.join("src", "tglink")
+
+# rule name -> one-line contract. The single source of truth for
+# --list-rules; the selftest fails if a fixture names an unknown rule.
+RULES = {
+    "guard-missing": (
+        ".h files must use an include guard, not #pragma once"
+    ),
+    "guard-mismatch": (
+        "the guard macro must be TGLINK_<PATH>_H_ derived from the file's "
+        "path under src/ (src/tglink/util/csv.h -> TGLINK_UTIL_CSV_H_)"
+    ),
+    "include-relative": (
+        'no relative ("../" or "./") includes anywhere'
+    ),
+    "include-style": (
+        'project headers are included as "tglink/..." with quotes, never '
+        "<tglink/...> and never bare \"csv.h\""
+    ),
+    "include-self": (
+        "a .cc file's first include is its own header"
+    ),
+    "raw-rand": (
+        "no rand()/srand()/random_shuffle in library code — use "
+        "tglink/util/random.h (deterministic, seedable)"
+    ),
+    "raw-stdout": (
+        "no std::cout / printf / puts in library code — return values or "
+        "TGLINK_LOG keep the library silent for embedding"
+    ),
+    "ignored-status": (
+        "a statement that calls a known Status-returning function and "
+        "drops the result; consume it or TGLINK_CHECK_OK it"
+    ),
+    "dcheck-side-effect": (
+        "TGLINK_DCHECK conditions must not contain obvious mutations "
+        "(++/--/=), since they vanish under NDEBUG"
+    ),
+    "raw-stopwatch": (
+        "no hand-rolled std::chrono stopwatches or tglink/util/timer.h in "
+        "library code — instrument with the tglink/obs APIs instead (the "
+        "obs layer, util/timer.h and logging.cc implement the clocks and "
+        "are exempt)"
+    ),
+    "raw-thread": (
+        "no std::thread / std::jthread / std::async in library code — "
+        "parallel sections go through tglink/util/parallel.h (which itself "
+        "implements the pool and is exempt)"
+    ),
+    "raw-mutex": (
+        "no raw std::mutex / std::shared_mutex / lock wrappers / "
+        "condition_variable spellings in library code — use the "
+        "capability-annotated types in tglink/util/thread_annotations.h so "
+        "the analyze preset can check the lock discipline (that header "
+        "implements the wrappers and is exempt)"
+    ),
+    "nondeterministic-iteration": (
+        "no iteration (range-for or .begin()) over std::unordered_map/"
+        "unordered_set variables in library code — hash order is not a "
+        "program invariant and silently leaks into output; sort into a "
+        "vector first, or annotate the line with "
+        "// tglink-lint: nondeterministic-iteration-ok(<reason>) stating "
+        "why the order cannot be observed"
+    ),
+    "pointer-keyed-order": (
+        "no ordered containers keyed on raw pointers (std::map<T*, ...>, "
+        "std::set<T*>, std::less<T*>) and no address-comparing sorts in "
+        "library code — pointer order is allocation order, which varies "
+        "run to run; key on a stable id instead"
+    ),
+    "blocking-test-missing": (
+        "every source file under src/tglink/blocking/ must have a test "
+        "under tests/ that includes its header (repo-level rule; no inline "
+        "suppression)"
+    ),
+    "hot-path-alloc": (
+        "similarity kernels must not take std::string by value or "
+        "construct std::set/std::map — the scoring hot loop stays "
+        "allocation-free (string_view / const& and flat or unordered "
+        "containers are fine)"
+    ),
+}
 
 # Functions returning Status whose result must be consumed. Kept explicit
 # (rather than parsed out of headers) so the lint is fast and the contract
@@ -76,6 +128,12 @@ STATUS_FUNCTIONS = (
 STATUS_METHOD_NAMES = ("Add",)
 
 SUPPRESS_RE = re.compile(r"//\s*tglink-lint:\s*disable=([\w,-]+)")
+
+# The justification pragma for nondeterministic-iteration. The reason group
+# must contain a non-space character; `-ok()` suppresses nothing.
+ITERATION_OK_RE = re.compile(
+    r"//\s*tglink-lint:\s*nondeterministic-iteration-ok\(\s*[^)\s][^)]*\)"
+)
 
 # Library files allowed to touch std::chrono directly: the observability
 # layer and the timing/timestamp utilities ARE the sanctioned clocks.
@@ -97,6 +155,47 @@ THREAD_EXEMPT = (
 )
 
 THREAD_RE = re.compile(r"std::(?:jthread|thread|async)\b")
+
+# The one library file allowed to spell the std synchronization vocabulary:
+# it implements the annotated wrappers everything else must use.
+MUTEX_EXEMPT = (
+    os.path.join("src", "tglink", "util", "thread_annotations.h"),
+)
+
+MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_(?:timed_)?|timed_)?mutex\b"
+    r"|\bstd::shared_(?:timed_)?mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+)
+
+# --- nondeterministic-iteration machinery ----------------------------------
+# Variable names are collected per file from declaration-looking lines; a
+# name also declared with a deterministic container type anywhere in the
+# same file is treated as ambiguous and skipped (file-level name tracking
+# has no scopes, so a collision must never produce a false positive).
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+DETERMINISTIC_DECL_RE = re.compile(
+    r"\bstd::(?:vector|array|deque|list|map|set|multimap|multiset)\s*<"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;()]*):\s*([\w.\->]+)\s*\)")
+BEGIN_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*c?begin\s*\(")
+
+# --- pointer-keyed-order machinery -----------------------------------------
+# An ordered map/set whose FIRST template argument is a pointer type. The
+# character class excludes ',', so std::map<int, Foo*> (pointer value, fine)
+# cannot match: the scan stops at the comma before reaching '*'.
+POINTER_KEY_RE = re.compile(
+    r"\bstd::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:<>\s]*\*"
+)
+POINTER_LESS_RE = re.compile(r"\bstd::less\s*<\s*(?:const\s+)?[\w:]+\s*\*\s*>")
+# One-line lambda comparing two pointer parameters by address. Line-local by
+# construction; multi-line address comparators are caught in review, not
+# here (a cross-line parser is not worth the rule).
+ADDRESS_SORT_RE = re.compile(
+    r"\(\s*(?:const\s+)?[\w:]+\s*\*\s*(\w+)\s*,\s*(?:const\s+)?[\w:]+\s*\*"
+    r"\s*(\w+)\s*\)[^;{]*\{\s*return\s+(?:\1\s*<\s*\2|\2\s*<\s*\1)\b"
+)
 
 # The similarity layer is the scoring hot path; see DESIGN.md §10.
 HOT_PATH_PREFIX = os.path.join("src", "tglink", "similarity") + os.sep
@@ -124,11 +223,52 @@ class Finding:
 
 def strip_comments_and_strings(line: str) -> str:
     """Crude single-line scrub so tokens inside strings/comments don't trip
-    rules. Block comments spanning lines are handled by the caller."""
+    rules. Block comments spanning lines are handled by FileContext."""
     line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
     line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
     line = re.sub(r"//.*", "", line)
     return line
+
+
+class FileContext:
+    """One source file, read and scrubbed exactly once. Every rule — per-file
+    and repo-level — works from this cache; none re-opens the file."""
+
+    def __init__(self, relpath: str, text: str):
+        self.relpath = relpath
+        self.text = text
+        self.raw_lines: list[str] = text.splitlines()
+        self.is_lib = relpath.startswith(LIB_PREFIX)
+        self.is_header = relpath.endswith(".h")
+        self.is_source = relpath.endswith((".cc", ".cpp"))
+        # Scrubbed lines: strings/comments blanked, block comments (which
+        # the per-line scrub can't see) resolved with carried state. A line
+        # fully inside a block comment scrubs to "".
+        self.scrubbed_lines: list[str] = []
+        in_block = False
+        for raw in self.raw_lines:
+            line = raw
+            if in_block:
+                if "*/" in line:
+                    line = line.split("*/", 1)[1]
+                    in_block = False
+                else:
+                    self.scrubbed_lines.append("")
+                    continue
+            scrubbed = strip_comments_and_strings(line)
+            if "/*" in scrubbed and "*/" not in scrubbed:
+                in_block = True
+                scrubbed = scrubbed.split("/*", 1)[0]
+            self.scrubbed_lines.append(scrubbed)
+
+    @staticmethod
+    def load(root: str, relpath: str) -> "FileContext | None":
+        try:
+            with open(os.path.join(root, relpath), encoding="utf-8",
+                      errors="replace") as f:
+                return FileContext(relpath, f.read())
+        except OSError:
+            return None
 
 
 def expected_guard(relpath: str) -> str:
@@ -143,28 +283,42 @@ def suppressed(line: str, rule: str) -> bool:
     return bool(m) and rule in m.group(1).split(",")
 
 
-def lint_file(root: str, relpath: str) -> list[Finding]:
-    findings: list[Finding] = []
-    path = os.path.join(root, relpath)
-    try:
-        with open(path, encoding="utf-8", errors="replace") as f:
-            raw_lines = f.read().splitlines()
-    except OSError as e:
-        return [Finding(relpath, 0, "io", f"unreadable: {e}")]
+def _names_declared_with(line: str, type_re: re.Pattern[str]) -> set[str]:
+    """Names of variables a scrubbed line declares with a type matching
+    `type_re` (which must end at the opening '<' of the template args):
+    walks to the matching '>' and takes the identifier that follows."""
+    names: set[str] = set()
+    for m in type_re.finditer(line):
+        i, depth = m.end(), 1
+        while i < len(line) and depth:
+            if line[i] == "<":
+                depth += 1
+            elif line[i] == ">":
+                depth -= 1
+            i += 1
+        vm = re.match(r"[&\s]*(\w+)", line[i:])
+        if vm:
+            names.add(vm.group(1))
+    return names
 
-    is_lib = relpath.startswith(LIB_PREFIX)
-    is_header = relpath.endswith(".h")
-    is_source = relpath.endswith((".cc", ".cpp"))
+
+def lint_file(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    relpath = ctx.relpath
+    raw_lines = ctx.raw_lines
+
+    is_lib = ctx.is_lib
     stopwatch_exempt = relpath.startswith(STOPWATCH_EXEMPT)
     thread_exempt = relpath in THREAD_EXEMPT
+    mutex_exempt = relpath in MUTEX_EXEMPT
 
     def add(line_no: int, rule: str, message: str) -> None:
         if not suppressed(raw_lines[line_no - 1], rule):
             findings.append(Finding(relpath, line_no, rule, message))
 
     # --- header guard rules -------------------------------------------------
-    if is_header and is_lib:
-        text = "\n".join(raw_lines)
+    if ctx.is_header and is_lib:
+        text = ctx.text
         if "#pragma once" in text:
             line = next(
                 i + 1 for i, l in enumerate(raw_lines) if "#pragma once" in l
@@ -181,25 +335,29 @@ def lint_file(root: str, relpath: str) -> list[Finding]:
                 add(line, "guard-mismatch",
                     f"guard {m.group(1)} should be {want}")
 
+    # --- nondeterministic-iteration prepass ---------------------------------
+    # Collect names declared as unordered containers; drop any name that is
+    # also declared with a deterministic container type somewhere in the
+    # file (scope collisions must never flag the deterministic one).
+    unordered_names: set[str] = set()
+    deterministic_names: set[str] = set()
+    if is_lib:
+        for scrubbed in ctx.scrubbed_lines:
+            if "unordered_" in scrubbed:
+                unordered_names |= _names_declared_with(
+                    scrubbed, UNORDERED_DECL_RE)
+            deterministic_names |= _names_declared_with(
+                scrubbed, DETERMINISTIC_DECL_RE)
+        unordered_names -= deterministic_names
+
     # --- line-by-line rules -------------------------------------------------
-    in_block_comment = False
     first_include: str | None = None
     for i, raw in enumerate(raw_lines, start=1):
-        line = raw
-        if in_block_comment:
-            if "*/" in line:
-                line = line.split("*/", 1)[1]
-                in_block_comment = False
-            else:
-                continue
-        scrubbed = strip_comments_and_strings(line)
-        if "/*" in scrubbed and "*/" not in scrubbed:
-            in_block_comment = True
-            scrubbed = scrubbed.split("/*", 1)[0]
+        scrubbed = ctx.scrubbed_lines[i - 1]
 
         # Includes are parsed from the unscrubbed line: the quoted target is
         # a string literal and must survive.
-        inc = re.match(r'\s*#\s*include\s+(["<])([^">]+)[">]', line)
+        inc = re.match(r'\s*#\s*include\s+(["<])([^">]+)[">]', raw)
         if inc:
             style, target = inc.group(1), inc.group(2)
             if target.startswith(("../", "./")):
@@ -241,6 +399,48 @@ def lint_file(root: str, relpath: str) -> list[Finding]:
             add(i, "raw-thread",
                 "raw thread spawn in library code; run the work through "
                 "ParallelFor/ParallelMap in tglink/util/parallel.h")
+
+        if not mutex_exempt and MUTEX_RE.search(scrubbed):
+            add(i, "raw-mutex",
+                "raw std synchronization primitive in library code; use "
+                "Mutex/SharedMutex/MutexLock/CondVar from "
+                "tglink/util/thread_annotations.h so the lock discipline "
+                "is visible to -Wthread-safety")
+
+        if unordered_names:
+            flagged_iteration = False
+            fm = RANGE_FOR_RE.search(scrubbed)
+            if fm:
+                container = re.split(r"\.|->", fm.group(2))[-1]
+                if container in unordered_names:
+                    flagged_iteration = True
+            if not flagged_iteration:
+                for bm in BEGIN_CALL_RE.finditer(scrubbed):
+                    if bm.group(1) in unordered_names:
+                        flagged_iteration = True
+                        break
+            # The justification pragma may sit on the flagged line or, for
+            # 80-column hygiene, on the line directly above it.
+            justified = bool(ITERATION_OK_RE.search(raw)) or (
+                i >= 2 and bool(ITERATION_OK_RE.search(raw_lines[i - 2]))
+            )
+            if flagged_iteration and not justified:
+                add(i, "nondeterministic-iteration",
+                    "iteration over an unordered container in library "
+                    "code; hash order is not deterministic — sort into a "
+                    "vector, or justify with // tglink-lint: "
+                    "nondeterministic-iteration-ok(<reason>)")
+
+        if (POINTER_KEY_RE.search(scrubbed)
+                or POINTER_LESS_RE.search(scrubbed)):
+            add(i, "pointer-keyed-order",
+                "ordered container keyed on a raw pointer; pointer order "
+                "is allocation order and varies run to run — key on a "
+                "stable id")
+        elif ADDRESS_SORT_RE.search(scrubbed):
+            add(i, "pointer-keyed-order",
+                "comparator orders by pointer address; address order "
+                "varies run to run — compare a stable id")
 
         if relpath.startswith(HOT_PATH_PREFIX):
             if STRING_BYVAL_RE.search(scrubbed):
@@ -292,7 +492,7 @@ def lint_file(root: str, relpath: str) -> list[Finding]:
                     "is compiled out under NDEBUG")
 
     # --- include-self -------------------------------------------------------
-    if is_source and is_lib and first_include is not None:
+    if ctx.is_source and is_lib and first_include is not None:
         own = relpath[len("src") + 1 :]
         own_header = re.sub(r"\.(cc|cpp)$", ".h", own).replace(os.sep, "/")
         if first_include != own_header:
@@ -303,38 +503,29 @@ def lint_file(root: str, relpath: str) -> list[Finding]:
     return findings
 
 
-def lint_blocking_tests(root: str) -> list[Finding]:
+def lint_blocking_tests(contexts: dict[str, FileContext]) -> list[Finding]:
     """Repo-level rule: each file in src/tglink/blocking/ needs a test under
-    tests/ that includes its header (a .cc is covered via its .h sibling)."""
+    tests/ that includes its header (a .cc is covered via its .h sibling).
+    Works entirely from the preloaded contexts — no extra file reads."""
     findings: list[Finding] = []
-    blocking_dir = os.path.join(root, "src", "tglink", "blocking")
-    if not os.path.isdir(blocking_dir):
-        return findings
+    blocking_prefix = os.path.join("src", "tglink", "blocking") + os.sep
+    tests_prefix = "tests" + os.sep
 
-    included: set[str] = set()
-    tests_dir = os.path.join(root, "tests")
     include_re = re.compile(r'#\s*include\s+"(tglink/blocking/[^"]+)"')
-    for dirpath, dirnames, filenames in os.walk(tests_dir):
-        dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
-        for name in filenames:
-            if not name.endswith((".h", ".cc", ".cpp")):
-                continue
-            try:
-                with open(os.path.join(dirpath, name), encoding="utf-8",
-                          errors="replace") as f:
-                    included.update(include_re.findall(f.read()))
-            except OSError:
-                continue
+    included: set[str] = set()
+    for relpath, ctx in contexts.items():
+        if relpath.startswith(tests_prefix):
+            included.update(include_re.findall(ctx.text))
 
-    for name in sorted(os.listdir(blocking_dir)):
-        if not name.endswith((".h", ".cc", ".cpp")):
+    for relpath in sorted(contexts):
+        if not relpath.startswith(blocking_prefix):
             continue
+        name = os.path.basename(relpath)
         stem = re.sub(r"\.(h|cc|cpp)$", "", name)
         header = f"tglink/blocking/{stem}.h"
         if header not in included:
             findings.append(Finding(
-                os.path.join("src", "tglink", "blocking", name), 1,
-                "blocking-test-missing",
+                relpath, 1, "blocking-test-missing",
                 f'no test under tests/ includes "{header}"; add one '
                 f"exercising this file"))
     return findings
@@ -354,20 +545,38 @@ def collect_files(root: str) -> list[str]:
     return sorted(out)
 
 
+def load_contexts(root: str) -> dict[str, FileContext]:
+    """The single read pass: every collected file becomes one FileContext."""
+    contexts: dict[str, FileContext] = {}
+    for relpath in collect_files(root):
+        ctx = FileContext.load(root, relpath)
+        if ctx is not None:
+            contexts[relpath] = ctx
+    return contexts
+
+
 def run_lint(root: str) -> int:
-    findings: list[Finding] = []
-    files = collect_files(root)
-    if not files:
+    contexts = load_contexts(root)
+    if not contexts:
         print(f"tglink_lint: no sources found under {root}", file=sys.stderr)
         return 2
-    for relpath in files:
-        findings.extend(lint_file(root, relpath))
-    findings.extend(lint_blocking_tests(root))
+    findings: list[Finding] = []
+    for relpath in sorted(contexts):
+        findings.extend(lint_file(contexts[relpath]))
+    findings.extend(lint_blocking_tests(contexts))
     for f in findings:
         print(f)
-    summary = f"tglink_lint: {len(files)} files, {len(findings)} finding(s)"
+    summary = (f"tglink_lint: {len(contexts)} files, "
+               f"{len(findings)} finding(s)")
     print(summary, file=sys.stderr)
     return 1 if findings else 0
+
+
+def list_rules() -> int:
+    width = max(len(name) for name in RULES)
+    for name in sorted(RULES):
+        print(f"{name:<{width}}  {RULES[name]}")
+    return 0
 
 
 # --- self-test -------------------------------------------------------------
@@ -507,6 +716,235 @@ FIXTURES = [
         "int H() { return rand(); }  // tglink-lint: disable=raw-rand\n",
         set(),
     ),
+    # --- raw-mutex ---------------------------------------------------------
+    (
+        "src/tglink/bad/raw_mutex.cc",
+        '#include "tglink/bad/raw_mutex.h"\n'
+        "#include <mutex>\n"
+        "namespace tglink {\n"
+        "std::mutex g_mu;\n"
+        "void Bump(int* n) {\n"
+        "  std::lock_guard<std::mutex> lock(g_mu);\n"
+        "  ++*n;\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        {"raw-mutex"},
+    ),
+    (
+        "src/tglink/bad/raw_shared_mutex.h",
+        "#ifndef TGLINK_BAD_RAW_SHARED_MUTEX_H_\n"
+        "#define TGLINK_BAD_RAW_SHARED_MUTEX_H_\n"
+        "#include <shared_mutex>\n"
+        "namespace tglink {\n"
+        "struct Table {\n"
+        "  mutable std::shared_mutex mu;\n"
+        "};\n"
+        "}  // namespace tglink\n"
+        "#endif  // TGLINK_BAD_RAW_SHARED_MUTEX_H_\n",
+        {"raw-mutex"},
+    ),
+    (
+        "src/tglink/bad/raw_condvar.cc",
+        '#include "tglink/bad/raw_condvar.h"\n'
+        "#include <condition_variable>\n"
+        "namespace tglink {\n"
+        "std::condition_variable g_cv;\n"
+        "void Poke() { g_cv.notify_one(); }\n"
+        "}  // namespace tglink\n",
+        {"raw-mutex"},
+    ),
+    (
+        # The wrapper header itself implements the primitives — exempt.
+        "src/tglink/util/thread_annotations.h",
+        "#ifndef TGLINK_UTIL_THREAD_ANNOTATIONS_H_\n"
+        "#define TGLINK_UTIL_THREAD_ANNOTATIONS_H_\n"
+        "#include <mutex>\n"
+        "namespace tglink {\n"
+        "class Mutex {\n"
+        " private:\n"
+        "  std::mutex mu_;\n"
+        "};\n"
+        "}  // namespace tglink\n"
+        "#endif  // TGLINK_UTIL_THREAD_ANNOTATIONS_H_\n",
+        set(),
+    ),
+    (
+        # Non-library code (tools/tests/bench) may use std primitives.
+        "tests/raw_mutex_ok_test.cc",
+        "#include <mutex>\n"
+        "std::mutex g_mu;\n",
+        set(),
+    ),
+    # --- nondeterministic-iteration ----------------------------------------
+    (
+        "src/tglink/bad/unordered_rangefor.cc",
+        '#include "tglink/bad/unordered_rangefor.h"\n'
+        "#include <unordered_map>\n"
+        "#include <vector>\n"
+        "namespace tglink {\n"
+        "std::vector<int> Keys() {\n"
+        "  std::unordered_map<int, int> table;\n"
+        "  std::vector<int> keys;\n"
+        "  for (const auto& [key, value] : table) keys.push_back(key);\n"
+        "  return keys;\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        {"nondeterministic-iteration"},
+    ),
+    (
+        "src/tglink/bad/unordered_begin.cc",
+        '#include "tglink/bad/unordered_begin.h"\n'
+        "#include <algorithm>\n"
+        "#include <unordered_set>\n"
+        "namespace tglink {\n"
+        "int First() {\n"
+        "  std::unordered_set<int> seen;\n"
+        "  return *std::min_element(seen.begin(), seen.end());\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        {"nondeterministic-iteration"},
+    ),
+    (
+        # The justification pragma with a reason silences the rule, from
+        # the flagged line itself or from the line directly above.
+        "src/tglink/bad/unordered_justified.cc",
+        '#include "tglink/bad/unordered_justified.h"\n'
+        "#include <unordered_map>\n"
+        "namespace tglink {\n"
+        "int Total() {\n"
+        "  std::unordered_map<int, int> table;\n"
+        "  int total = 0;\n"
+        "  // tglink-lint: nondeterministic-iteration-ok(order-independent "
+        "sum)\n"
+        "  for (const auto& [key, value] : table) total += value;\n"
+        "  int spread = 0;\n"
+        "  for (const auto& [key, value] : table) spread += key;"
+        "  // tglink-lint: nondeterministic-iteration-ok(order-independent "
+        "sum)\n"
+        "  return total + spread;\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        set(),
+    ),
+    (
+        # An empty reason is no justification: the rule still fires.
+        "src/tglink/bad/unordered_empty_reason.cc",
+        '#include "tglink/bad/unordered_empty_reason.h"\n'
+        "#include <unordered_map>\n"
+        "namespace tglink {\n"
+        "int Total() {\n"
+        "  std::unordered_map<int, int> table;\n"
+        "  int total = 0;\n"
+        "  for (const auto& [key, value] : table) total += value;"
+        "  // tglink-lint: nondeterministic-iteration-ok()\n"
+        "  return total;\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        {"nondeterministic-iteration"},
+    ),
+    (
+        # Lookup-only unordered maps are the sanctioned pattern — clean.
+        "src/tglink/bad/unordered_lookup_only.cc",
+        '#include "tglink/bad/unordered_lookup_only.h"\n'
+        "#include <unordered_map>\n"
+        "namespace tglink {\n"
+        "int Get(int key) {\n"
+        "  std::unordered_map<int, int> table;\n"
+        "  auto it = table.find(key);\n"
+        "  return it == table.end() ? 0 : it->second;\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        set(),
+    ),
+    (
+        # A name declared unordered in one scope and vector in another is
+        # ambiguous at file granularity: iterating the vector must be clean.
+        "src/tglink/bad/unordered_name_collision.cc",
+        '#include "tglink/bad/unordered_name_collision.h"\n'
+        "#include <algorithm>\n"
+        "#include <unordered_map>\n"
+        "#include <vector>\n"
+        "namespace tglink {\n"
+        "int A() {\n"
+        "  std::unordered_map<int, int> out;\n"
+        "  return static_cast<int>(out.size());\n"
+        "}\n"
+        "void B() {\n"
+        "  std::vector<int> out;\n"
+        "  std::sort(out.begin(), out.end());\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        set(),
+    ),
+    # --- pointer-keyed-order -----------------------------------------------
+    (
+        "src/tglink/bad/pointer_key_map.cc",
+        '#include "tglink/bad/pointer_key_map.h"\n'
+        "#include <map>\n"
+        "namespace tglink {\n"
+        "struct Node {};\n"
+        "int Count() {\n"
+        "  std::map<const Node*, int> ranks;\n"
+        "  return static_cast<int>(ranks.size());\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        {"pointer-keyed-order"},
+    ),
+    (
+        "src/tglink/bad/pointer_key_set.cc",
+        '#include "tglink/bad/pointer_key_set.h"\n'
+        "#include <set>\n"
+        "namespace tglink {\n"
+        "struct Node {};\n"
+        "int Count() {\n"
+        "  std::set<Node*> live;\n"
+        "  return static_cast<int>(live.size());\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        {"pointer-keyed-order"},
+    ),
+    (
+        "src/tglink/bad/pointer_less.cc",
+        '#include "tglink/bad/pointer_less.h"\n'
+        "#include <functional>\n"
+        "namespace tglink {\n"
+        "struct Node {};\n"
+        "bool Before(const Node* a, const Node* b) {\n"
+        "  return std::less<const Node*>()(a, b);\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        {"pointer-keyed-order"},
+    ),
+    (
+        "src/tglink/bad/address_sort.cc",
+        '#include "tglink/bad/address_sort.h"\n'
+        "#include <algorithm>\n"
+        "#include <vector>\n"
+        "namespace tglink {\n"
+        "struct Node {};\n"
+        "void Order(std::vector<const Node*>& nodes) {\n"
+        "  std::sort(nodes.begin(), nodes.end(),\n"
+        "            [](const Node* a, const Node* b) { return a < b; });\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        {"pointer-keyed-order"},
+    ),
+    (
+        # Pointer VALUES in an ordered map are fine; only pointer keys sort
+        # by address.
+        "src/tglink/bad/pointer_value_map.cc",
+        '#include "tglink/bad/pointer_value_map.h"\n'
+        "#include <map>\n"
+        "namespace tglink {\n"
+        "struct Node {};\n"
+        "int Count() {\n"
+        "  std::map<int, const Node*> by_id;\n"
+        "  return static_cast<int>(by_id.size());\n"
+        "}\n"
+        "}  // namespace tglink\n",
+        set(),
+    ),
+    # --- hot-path-alloc ------------------------------------------------------
     (
         "src/tglink/similarity/byval_string.cc",
         '#include "tglink/similarity/byval_string.h"\n'
@@ -597,23 +1035,23 @@ TREE_FIXTURES = [
 
 def run_selftest() -> int:
     failures = 0
-    with tempfile.TemporaryDirectory(prefix="tglink_lint_selftest") as tmp:
-        for relpath, content, expected in FIXTURES:
-            full = os.path.join(tmp, relpath)
-            os.makedirs(os.path.dirname(full), exist_ok=True)
-            with open(full, "w", encoding="utf-8") as f:
-                f.write(content)
-            got = {f.rule for f in lint_file(tmp, relpath)}
-            missing = expected - got
-            unexpected = got - expected if not expected else set()
-            if missing or unexpected:
-                failures += 1
-                print(
-                    f"SELFTEST FAIL {relpath}: expected {sorted(expected)}, "
-                    f"got {sorted(got)}",
-                    file=sys.stderr,
-                )
-            os.remove(full)
+    for relpath, content, expected in FIXTURES:
+        unknown = expected - set(RULES)
+        if unknown:
+            failures += 1
+            print(f"SELFTEST FAIL {relpath}: unknown rule(s) {unknown}",
+                  file=sys.stderr)
+            continue
+        got = {f.rule for f in lint_file(FileContext(relpath, content))}
+        missing = expected - got
+        unexpected = got - expected if not expected else set()
+        if missing or unexpected:
+            failures += 1
+            print(
+                f"SELFTEST FAIL {relpath}: expected {sorted(expected)}, "
+                f"got {sorted(got)}",
+                file=sys.stderr,
+            )
     for i, (tree, expected) in enumerate(TREE_FIXTURES):
         with tempfile.TemporaryDirectory(
             prefix="tglink_lint_selftest_tree"
@@ -623,7 +1061,7 @@ def run_selftest() -> int:
                 os.makedirs(os.path.dirname(full), exist_ok=True)
                 with open(full, "w", encoding="utf-8") as f:
                     f.write(content)
-            got = {f.rule for f in lint_blocking_tests(tmp)}
+            got = {f.rule for f in lint_blocking_tests(load_contexts(tmp))}
             if got != expected:
                 failures += 1
                 print(
@@ -650,7 +1088,13 @@ def main() -> int:
         "--selftest", action="store_true",
         help="lint known-bad fixture snippets and verify each rule fires",
     )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule name with its one-line contract and exit",
+    )
     args = parser.parse_args()
+    if args.list_rules:
+        return list_rules()
     if args.selftest:
         return run_selftest()
     return run_lint(args.root)
