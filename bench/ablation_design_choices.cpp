@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace tglink;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::ReportOnAbort abort_guard("ablation_design_choices", options);
   const bench::EvalPair ep = bench::MakeEvalPair(options);
   std::printf("== Ablation: design choices ==\n");
   bench::PrintPairHeader(ep, options);

@@ -10,11 +10,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "tglink/eval/metrics.h"
 #include "tglink/linkage/config.h"
 #include "tglink/linkage/iterative.h"
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/run_report.h"
 #include "tglink/obs/trace.h"
 #include "tglink/synth/generator.h"
@@ -45,6 +49,12 @@ struct BenchOptions {
   /// "index" (inverted candidate index; same candidate set, faster at
   /// scale), or "exhaustive" (the paper's cross product).
   std::string blocking = "hash";
+  /// > 0 starts the obs heartbeat: one stderr line every N seconds with the
+  /// current stage, pairs/sec and live RSS (long full-scale runs).
+  double heartbeat_s = 0.0;
+  /// Test hook, hidden from --help: "throw" makes MakeEvalPair throw, which
+  /// exercises the ReportOnAbort partial-report flush end to end.
+  std::string inject_fault;
 };
 
 namespace detail {
@@ -125,6 +135,16 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv,
         detail::OptionError("--blocking", arg + 11,
                             "hash, index or exhaustive");
       }
+    } else if (std::strncmp(arg, "--heartbeat=", 12) == 0) {
+      options.heartbeat_s = detail::ParseDoubleValue("--heartbeat", arg + 12);
+      if (options.heartbeat_s <= 0.0) {
+        detail::OptionError("--heartbeat", arg + 12, "a positive interval");
+      }
+    } else if (std::strncmp(arg, "--inject-fault=", 15) == 0) {
+      options.inject_fault = arg + 15;
+      if (options.inject_fault != "throw" && options.inject_fault != "none") {
+        detail::OptionError("--inject-fault", arg + 15, "throw or none");
+      }
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       options.threads = detail::ParseIntValue("--threads", arg + 10);
       if (options.threads < 0) {
@@ -134,7 +154,7 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv,
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "options: --scale=F --seed=N --pair=K --threads=N --blocking=M "
-          "--report=FILE --trace=FILE\n"
+          "--heartbeat=S --report=FILE --trace=FILE\n"
           "  --scale=F    fraction of Table 1 dataset sizes (default 0.25)\n"
           "  --seed=N     synthetic-data RNG seed (default 42)\n"
           "  --pair=K     successive census pair index (default 2)\n"
@@ -143,7 +163,9 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv,
           "  --blocking=M candidate generation: hash (default), index\n"
           "               (inverted candidate index; identical candidates,\n"
           "               faster at scale) or exhaustive (cross product)\n"
-          "  --report=FILE  write a RunReport JSON (tglink.run_report/1)\n"
+          "  --heartbeat=S  print stage/pairs-per-sec/RSS to stderr every S\n"
+          "               seconds (long runs; off by default)\n"
+          "  --report=FILE  write a RunReport JSON (tglink.run_report/2)\n"
           "  --trace=FILE   write Chrome trace-event JSON (chrome://tracing)\n");
       std::exit(0);
     } else {
@@ -156,6 +178,7 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv,
     obs::GlobalTracer().SetEnabled(true);
   }
   SetParallelThreadCount(options.threads);
+  if (options.heartbeat_s > 0.0) obs::StartHeartbeat(options.heartbeat_s);
   return options;
 }
 
@@ -212,6 +235,79 @@ inline void EmitRunArtifacts(const obs::RunReportBuilder& report,
   }
 }
 
+/// Flushes a partial RunReport when the process dies on an unhandled
+/// exception or a direct std::terminate, so a crashed --report run still
+/// leaves a machine-readable artifact ("aborted": true, plus the exception
+/// message when one is in flight). Declare one right after
+/// ParseBenchOptions:
+///
+///   const bench::ReportOnAbort abort_guard("table5_iterative", options);
+///
+/// Inert without --report. The flush captures whatever metrics, spans,
+/// memory stages and build provenance accumulated before the fault; scalars
+/// and quality are absent (the run never got there). Normal returns restore
+/// the previous terminate handler in the destructor.
+class ReportOnAbort {
+ public:
+  ReportOnAbort(std::string tool, const BenchOptions& options)
+      : tool_(std::move(tool)), options_(options) {
+    if (options_.report_path.empty()) return;
+    armed_ = true;
+    Current() = this;
+    prev_ = std::set_terminate(&ReportOnAbort::OnTerminate);
+  }
+
+  ~ReportOnAbort() {
+    if (!armed_) return;
+    std::set_terminate(prev_);
+    Current() = nullptr;
+  }
+
+  ReportOnAbort(const ReportOnAbort&) = delete;
+  ReportOnAbort& operator=(const ReportOnAbort&) = delete;
+
+ private:
+  /// The armed guard, if any. One per process is enough: harnesses have
+  /// exactly one options struct.
+  static ReportOnAbort*& Current() {
+    static ReportOnAbort* current = nullptr;
+    return current;
+  }
+
+  [[noreturn]] static void OnTerminate() {
+    // Clear first so a fault inside the flush cannot recurse through the
+    // handler; then die the way terminate always does.
+    ReportOnAbort* guard = Current();
+    Current() = nullptr;
+    if (guard != nullptr) guard->Flush();
+    std::abort();
+  }
+
+  void Flush() const {
+    std::string reason = "std::terminate";
+    if (std::current_exception() != nullptr) {
+      try {
+        std::rethrow_exception(std::current_exception());
+      } catch (const std::exception& e) {
+        reason = e.what();
+      } catch (...) {
+        reason = "unhandled non-std exception";
+      }
+    }
+    obs::RunReportBuilder report = MakeRunReport(tool_, options_);
+    report.SetAborted(reason);
+    const Status st = report.WriteFile(options_.report_path);
+    std::fprintf(stderr, "%s: aborting (%s); partial report %s: %s\n",
+                 tool_.c_str(), reason.c_str(), options_.report_path.c_str(),
+                 st.ok() ? "written" : st.ToString().c_str());
+  }
+
+  std::string tool_;
+  BenchOptions options_;
+  std::terminate_handler prev_ = nullptr;
+  bool armed_ = false;
+};
+
 /// A synthetic census pair plus gold resolved in both protocols.
 struct EvalPair {
   SyntheticPair pair;
@@ -220,6 +316,9 @@ struct EvalPair {
 };
 
 inline EvalPair MakeEvalPair(const BenchOptions& options) {
+  if (options.inject_fault == "throw") {
+    throw std::runtime_error("injected fault (--inject-fault=throw)");
+  }
   GeneratorConfig gen;
   gen.seed = options.seed;
   gen.scale = options.scale;

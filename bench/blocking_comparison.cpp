@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace tglink;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::ReportOnAbort abort_guard("blocking_comparison", options);
   const bench::EvalPair ep = bench::MakeEvalPair(options);
   std::printf("== Blocking strategies: completeness vs reduction ==\n");
   bench::PrintPairHeader(ep, options);

@@ -22,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace tglink;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::ReportOnAbort abort_guard("blocking_index", options);
   obs::RunReportBuilder report = bench::MakeRunReport("blocking_index",
                                                       options);
   std::printf("== Inverted-index candidate generation vs hash blocking ==\n");

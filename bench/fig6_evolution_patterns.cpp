@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace tglink;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::ReportOnAbort abort_guard("fig6_evolution_patterns", options);
   obs::RunReportBuilder report =
       bench::MakeRunReport("fig6_evolution_patterns", options);
 

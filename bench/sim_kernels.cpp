@@ -82,6 +82,7 @@ uint64_t CounterValue(const char* name) {
 
 int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::ReportOnAbort abort_guard("sim_kernels", options);
   obs::RunReportBuilder report = bench::MakeRunReport("sim_kernels", options);
   std::printf("== Batched similarity kernels vs scalar reference ==\n");
 

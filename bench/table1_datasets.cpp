@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   defaults.scale = 1.0;
   const bench::BenchOptions options =
       bench::ParseBenchOptions(argc, argv, defaults);
+  const bench::ReportOnAbort abort_guard("table1_datasets", options);
   obs::RunReportBuilder report = bench::MakeRunReport("table1_datasets",
                                                       options);
 

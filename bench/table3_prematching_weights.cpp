@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace tglink;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::ReportOnAbort abort_guard("table3_prematching_weights", options);
   const bench::EvalPair ep = bench::MakeEvalPair(options);
   std::printf("== Table 3: pre-matching weights and δ_low ==\n");
   bench::PrintPairHeader(ep, options);

@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace tglink;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::ReportOnAbort abort_guard("table4_group_weights", options);
   const bench::EvalPair ep = bench::MakeEvalPair(options);
   std::printf("== Table 4: group-similarity weights (α, β) ==\n");
   bench::PrintPairHeader(ep, options);

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace tglink;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::ReportOnAbort abort_guard("table5_iterative", options);
   const bench::EvalPair ep = bench::MakeEvalPair(options);
   std::printf("== Table 5: iterative vs non-iterative linkage ==\n");
   bench::PrintPairHeader(ep, options);

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace tglink;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::ReportOnAbort abort_guard("table6_collective", options);
   const bench::EvalPair ep = bench::MakeEvalPair(options);
   std::printf("== Table 6: collective linkage (CL) vs iter-sub ==\n");
   bench::PrintPairHeader(ep, options);

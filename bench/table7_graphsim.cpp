@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace tglink;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::ReportOnAbort abort_guard("table7_graphsim", options);
   const bench::EvalPair ep = bench::MakeEvalPair(options);
   std::printf("== Table 7: GraphSim vs iter-sub (household mapping) ==\n");
   bench::PrintPairHeader(ep, options);

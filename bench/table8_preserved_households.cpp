@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace tglink;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const bench::ReportOnAbort abort_guard("table8_preserved_households", options);
   obs::RunReportBuilder report =
       bench::MakeRunReport("table8_preserved_households", options);
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "tglink/blocking/candidate_index.h"
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 
@@ -74,6 +75,7 @@ std::vector<CandidatePair> GenerateCandidatePairs(
     const CensusDataset& old_dataset, const CensusDataset& new_dataset,
     const BlockingConfig& config) {
   TGLINK_TRACE_SPAN("blocking.generate_candidates");
+  TGLINK_MEM_STAGE("blocking.generate_candidates");
   if (config.mode == BlockingConfig::Mode::kInvertedIndex) {
     const CandidateIndex index(old_dataset, new_dataset,
                                CandidateIndexConfig::FromBlocking(config));

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "tglink/blocking/sorted_neighborhood.h"
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 #include "tglink/util/logging.h"
@@ -82,6 +83,7 @@ CandidateIndex::CandidateIndex(const CensusDataset& old_dataset,
       old_dataset_(old_dataset),
       new_dataset_(new_dataset) {
   TGLINK_TRACE_SPAN("candindex.build");
+  TGLINK_MEM_STAGE("candindex.build");
   const size_t num_old = old_dataset_.num_records();
   const size_t num_new = new_dataset_.num_records();
   old_record_tokens_.resize(num_old);
@@ -167,6 +169,19 @@ CandidateIndex::CandidateIndex(const CensusDataset& old_dataset,
   }
   TGLINK_COUNTER_ADD("candindex.postings", posting_count_);
   TGLINK_COUNTER_ADD("candindex.pruned_keys", pruned_tokens_);
+
+  // Logical posting/token footprint (element counts, not capacities) so the
+  // figure is deterministic and bench_diff.py can gate it exactly.
+  uint64_t index_bytes = 0;
+  for (const std::vector<RecordId>& posting : new_postings_) {
+    index_bytes += posting.size() * sizeof(RecordId);
+  }
+  for (const std::vector<uint32_t>& tokens : old_record_tokens_) {
+    index_bytes += tokens.size() * sizeof(uint32_t);
+  }
+  index_bytes += fallback_old_.size() * sizeof(RecordId);
+  index_bytes += fallback_new_.size() * sizeof(RecordId);
+  obs::ReportArenaBytes("candindex", index_bytes);
 }
 
 void CandidateIndex::AppendPairsForOldRecord(

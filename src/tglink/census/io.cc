@@ -3,6 +3,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/trace.h"
 #include "tglink/util/csv.h"
 #include "tglink/util/strings.h"
@@ -84,11 +85,13 @@ Result<CensusDataset> DatasetFromCsv(const std::string& text, int year) {
 
 Status SaveDataset(const CensusDataset& dataset, const std::string& path) {
   TGLINK_TRACE_SPAN("census.save");
+  TGLINK_MEM_STAGE("census.save");
   return WriteStringToFile(path, DatasetToCsv(dataset));
 }
 
 Result<CensusDataset> LoadDataset(const std::string& path, int year) {
   TGLINK_TRACE_SPAN("census.load");
+  TGLINK_MEM_STAGE("census.load");
   auto text = ReadFileToString(path);
   if (!text.ok()) return text.status();
   return DatasetFromCsv(text.value(), year);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 
@@ -12,6 +13,7 @@ EvolutionGraph::EvolutionGraph(
     const std::vector<RecordMapping>& record_mappings,
     const std::vector<GroupMapping>& group_mappings) {
   TGLINK_TRACE_SPAN("evolution.build_graph");
+  TGLINK_MEM_STAGE("evolution.build_graph");
   assert(!datasets.empty());
   assert(record_mappings.size() == datasets.size() - 1);
   assert(group_mappings.size() == datasets.size() - 1);

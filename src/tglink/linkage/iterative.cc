@@ -7,6 +7,7 @@
 #include "tglink/linkage/residual.h"
 #include "tglink/linkage/selection.h"
 #include "tglink/linkage/subgraph.h"
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 #include "tglink/util/logging.h"
@@ -79,6 +80,7 @@ LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
                              const CensusDataset& new_dataset,
                              const LinkageConfig& config) {
   TGLINK_TRACE_SPAN("linkage.link_census_pair");
+  TGLINK_MEM_STAGE("linkage.link_census_pair");
   TGLINK_CHECK(config.delta_step > 0.0)
       << "delta_step must be positive or the iteration cannot terminate";
   // δ_high above 1 is legal (an unreachable threshold disables subgraph
@@ -99,6 +101,7 @@ LinkageResult LinkCensusPair(const CensusDataset& old_dataset,
   std::vector<HouseholdGraph> new_graphs;
   {
     TGLINK_TRACE_SPAN("linkage.complete_groups");
+    TGLINK_MEM_STAGE("linkage.complete_groups");
     old_graphs = config.enrich_groups ? EnrichAllHouseholds(old_dataset)
                                       : BuildStarGraphs(old_dataset);
     new_graphs = config.enrich_groups ? EnrichAllHouseholds(new_dataset)

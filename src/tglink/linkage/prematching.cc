@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "tglink/graph/union_find.h"
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 #include "tglink/util/parallel.h"
@@ -18,6 +19,7 @@ PreMatcher::PreMatcher(const CensusDataset& old_dataset,
       new_dataset_(new_dataset),
       sim_cache_(sim_func, old_dataset, new_dataset) {
   TGLINK_TRACE_SPAN("prematch.score_candidates");
+  TGLINK_MEM_STAGE("prematch.score_candidates");
   const std::vector<CandidatePair> candidates =
       GenerateCandidatePairs(old_dataset, new_dataset, blocking);
   // Score chunks in parallel; the per-candidate results come back in

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 #include "tglink/similarity/sim_cache.h"
@@ -66,6 +67,7 @@ size_t MatchWithinLinkedHouseholds(const CensusDataset& old_dataset,
                                    std::vector<bool>* active_old,
                                    std::vector<bool>* active_new) {
   TGLINK_TRACE_SPAN("residual.context");
+  TGLINK_MEM_STAGE("residual.context");
   std::vector<ScoredPair> scored;
   for (const GroupLink& link : group_mapping.SortedLinks()) {
     const Household& old_hh = old_dataset.household(link.first);
@@ -109,6 +111,7 @@ size_t MatchResidualRecords(const CensusDataset& old_dataset,
                             std::vector<bool>* active_old,
                             std::vector<bool>* active_new) {
   TGLINK_TRACE_SPAN("residual.global");
+  TGLINK_MEM_STAGE("residual.global");
   const std::vector<ScoredPair> links = GreedyOneToOneMatch(
       old_dataset, new_dataset, sim_func, blocking, *active_old, *active_new);
   for (const ScoredPair& link : links) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 #include "tglink/util/logging.h"
@@ -14,6 +15,7 @@ SelectionResult SelectGroupLinks(std::vector<GroupPairSubgraph> subgraphs,
                                  std::vector<bool>* active_old,
                                  std::vector<bool>* active_new) {
   TGLINK_TRACE_SPAN("selection.greedy");
+  TGLINK_MEM_STAGE("selection.greedy");
   // Descending g_sim is the priority-queue order of Algorithm 2; a total
   // order on ties keeps runs reproducible.
   std::sort(subgraphs.begin(), subgraphs.end(),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 #include "tglink/similarity/numeric.h"
@@ -153,6 +154,7 @@ std::vector<GroupPairSubgraph> BuildAllSubgraphs(
     const Clustering& clustering, const PreMatcher& prematcher,
     const LinkageConfig& config, double delta) {
   TGLINK_TRACE_SPAN("subgraph.build_score", delta);
+  TGLINK_MEM_STAGE("subgraph.build_score");
   // Candidate group pairs: every (old household, new household) combination
   // sharing at least one cluster label.
   std::vector<uint64_t> group_pair_keys;

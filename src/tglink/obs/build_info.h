@@ -1,0 +1,30 @@
+// Build provenance for RunReports: which exact binary produced a baseline.
+// The compile-time fields (git SHA, compiler, flags, build type, preset)
+// are injected by CMake as compile definitions on build_info.cc at
+// configure time; hostname is resolved once at runtime. Serialized as the
+// `build` block of every tglink.run_report/2 (DESIGN.md §12).
+
+#ifndef TGLINK_OBS_BUILD_INFO_H_
+#define TGLINK_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace tglink {
+namespace obs {
+
+struct BuildInfo {
+  std::string git_sha;     // HEAD at configure time; "unknown" outside git
+  std::string compiler;    // "<id> <version>", e.g. "GNU 12.2.0"
+  std::string flags;       // CMAKE_CXX_FLAGS (may be empty)
+  std::string build_type;  // CMAKE_BUILD_TYPE, e.g. "Release"
+  std::string preset;      // CMake preset name; "" for raw configures
+  std::string hostname;    // runtime gethostname(); "unknown" on failure
+};
+
+/// The process-wide provenance record (hostname resolved on first call).
+const BuildInfo& GetBuildInfo();
+
+}  // namespace obs
+}  // namespace tglink
+
+#endif  // TGLINK_OBS_BUILD_INFO_H_

@@ -1,0 +1,553 @@
+#include "tglink/obs/memprof.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <deque>
+#include <new>
+#include <thread>  // tglink-lint: disable=raw-thread
+#include <unordered_map>
+#include <utility>
+
+#include "tglink/obs/metrics.h"
+#include "tglink/util/thread_annotations.h"
+
+#if defined(__GLIBC__)
+#include <malloc.h>  // malloc_usable_size — sanctioned here only (lint rule)
+#endif
+
+// The interposition is compiled unless either escape hatch is set. Note the
+// usual static-archive caveat: the replacement operators live in this
+// translation unit, so they interpose only in binaries whose link pulls
+// memprof.o in — which any use of the memprof/stage/report API does.
+#if !defined(TGLINK_MEMPROF_DISABLED) && !defined(TGLINK_MEMPROF_NO_HOOKS)
+#define TGLINK_MEMPROF_HOOKS_ACTIVE 1
+#else
+#define TGLINK_MEMPROF_HOOKS_ACTIVE 0
+#endif
+
+namespace tglink {
+namespace obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Allocation counting. The hooks below run under EVERY operator new/delete
+// in the binary, including during static initialization and inside the
+// registries of this very file — so this layer must never allocate, never
+// lock, and never touch TLS with a non-trivial destructor. It is plain
+// constant-initialized PODs and relaxed atomics all the way down.
+// ---------------------------------------------------------------------------
+
+thread_local AllocTotals t_alloc_totals;  // constant-initialized, trivial dtor
+
+std::atomic<uint64_t> g_bytes_allocated{0};
+std::atomic<uint64_t> g_bytes_freed{0};
+std::atomic<uint64_t> g_alloc_calls{0};
+std::atomic<uint64_t> g_free_calls{0};
+
+/// -1 = not yet resolved from the environment, else 0/1. getenv is safe
+/// this early (no allocation) and the resolution is idempotent, so a
+/// racing first-read is harmless.
+std::atomic<int> g_enabled{-1};
+
+bool ResolveEnabledSlow() {
+  const char* env = std::getenv("TGLINK_MEMPROF");
+  const int on = (env != nullptr && env[0] != '\0' &&
+                  !(env[0] == '0' && env[1] == '\0'))
+                     ? 1
+                     : 0;
+  g_enabled.store(on, std::memory_order_relaxed);
+  return on == 1;
+}
+
+inline bool CollectionEnabled() {
+  const int v = g_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) return v == 1;
+  return ResolveEnabledSlow();
+}
+
+#if TGLINK_MEMPROF_HOOKS_ACTIVE
+
+/// Usable (allocator-rounded) size of a live block. Counting the same
+/// figure on both the alloc and the free side makes the live delta exact;
+/// without malloc_usable_size we fall back to the requested size and let
+/// sized delete carry the free side.
+inline uint64_t UsableSize(void* ptr, uint64_t requested) {
+#if defined(__GLIBC__)
+  (void)requested;
+  return static_cast<uint64_t>(malloc_usable_size(ptr));
+#else
+  (void)ptr;
+  return requested;
+#endif
+}
+
+inline void CountAlloc(void* ptr, uint64_t requested) {
+  if (!CollectionEnabled()) return;
+  const uint64_t bytes = UsableSize(ptr, requested);
+  t_alloc_totals.bytes_allocated += bytes;
+  ++t_alloc_totals.alloc_calls;
+  g_bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void CountFree(void* ptr, uint64_t sized_hint) {
+  if (!CollectionEnabled()) return;
+  const uint64_t bytes = UsableSize(ptr, sized_hint);
+  t_alloc_totals.bytes_freed += bytes;
+  ++t_alloc_totals.free_calls;
+  g_bytes_freed.fetch_add(bytes, std::memory_order_relaxed);
+  g_free_calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// malloc with the standard new-handler retry protocol.
+void* AllocOrHandler(size_t size) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* ptr = std::malloc(size);
+    if (ptr != nullptr) {
+      CountAlloc(ptr, size);
+      return ptr;
+    }
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void CountedFree(void* ptr, uint64_t sized_hint) noexcept {
+  if (ptr == nullptr) return;
+  CountFree(ptr, sized_hint);
+  std::free(ptr);
+}
+
+#endif  // TGLINK_MEMPROF_HOOKS_ACTIVE
+
+// ---------------------------------------------------------------------------
+// Stage registry. Entries are created once per distinct name under a mutex
+// and never move afterwards (deque), so the hot path — a finished stage
+// folding its deltas in — is lock-free relaxed atomics on a stable entry,
+// the same discipline obs/metrics.h uses for counters.
+// ---------------------------------------------------------------------------
+
+struct StageEntry {
+  std::string name;
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> bytes_allocated{0};
+  std::atomic<uint64_t> bytes_freed{0};
+  std::atomic<uint64_t> alloc_calls{0};
+  std::atomic<uint64_t> free_calls{0};
+  std::atomic<uint64_t> peak_rss_kb{0};
+  std::atomic<uint64_t> peak_vm_hwm_kb{0};
+};
+
+struct ArenaEntry {
+  std::string name;
+  std::atomic<uint64_t> bytes_total{0};
+  std::atomic<uint64_t> max_bytes{0};
+  std::atomic<uint64_t> reports{0};
+};
+
+struct Registry {
+  Mutex mu;
+  std::deque<StageEntry> stages TGLINK_GUARDED_BY(mu);
+  std::unordered_map<std::string, StageEntry*> stage_index
+      TGLINK_GUARDED_BY(mu);
+  std::deque<ArenaEntry> arenas TGLINK_GUARDED_BY(mu);
+  std::unordered_map<std::string, ArenaEntry*> arena_index
+      TGLINK_GUARDED_BY(mu);
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry;  // leaked: outlives all threads
+  return *registry;
+}
+
+StageEntry* InternStage(std::string_view name) {
+  Registry& reg = GlobalRegistry();
+  MutexLock lock(reg.mu);
+  const auto it = reg.stage_index.find(std::string(name));
+  if (it != reg.stage_index.end()) return it->second;
+  reg.stages.emplace_back();
+  StageEntry* entry = &reg.stages.back();
+  entry->name = std::string(name);
+  reg.stage_index.emplace(entry->name, entry);
+  return entry;
+}
+
+ArenaEntry* InternArena(std::string_view name) {
+  Registry& reg = GlobalRegistry();
+  MutexLock lock(reg.mu);
+  const auto it = reg.arena_index.find(std::string(name));
+  if (it != reg.arena_index.end()) return it->second;
+  reg.arenas.emplace_back();
+  ArenaEntry* entry = &reg.arenas.back();
+  entry->name = std::string(name);
+  reg.arena_index.emplace(entry->name, entry);
+  return entry;
+}
+
+void AtomicMax(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// The innermost stage name, process-wide, for the heartbeat. Entry name
+/// storage is immutable once interned, so publishing the c_str() is safe;
+/// which stage is "current" when several threads nest is advisory.
+std::atomic<const char*> g_current_stage{nullptr};
+
+/// Per-thread stack of open stages; parent restored on scope exit.
+struct ThreadStageStack {
+  // Fixed capacity keeps the type trivially destructible (same constraint
+  // as the alloc totals: stage scopes sit under allocator-visible code).
+  static constexpr int kMaxDepth = 16;
+  StageEntry* open[kMaxDepth];
+  int depth;
+};
+
+thread_local ThreadStageStack t_stage_stack;  // zero-initialized
+
+static_assert(std::is_trivially_destructible_v<ThreadStageStack>,
+              "the stage stack must not register a TLS destructor");
+
+void FoldStageExit(StageEntry* entry, const AllocTotals& on_entry) {
+  const AllocTotals now = t_alloc_totals;
+  entry->count.fetch_add(1, std::memory_order_relaxed);
+  entry->bytes_allocated.fetch_add(now.bytes_allocated - on_entry.bytes_allocated,
+                                   std::memory_order_relaxed);
+  entry->bytes_freed.fetch_add(now.bytes_freed - on_entry.bytes_freed,
+                               std::memory_order_relaxed);
+  entry->alloc_calls.fetch_add(now.alloc_calls - on_entry.alloc_calls,
+                               std::memory_order_relaxed);
+  entry->free_calls.fetch_add(now.free_calls - on_entry.free_calls,
+                              std::memory_order_relaxed);
+}
+
+void SampleStageBoundary(StageEntry* entry) {
+  const RssSample rss = SampleRss();
+  AtomicMax(entry->peak_rss_kb, rss.vm_rss_kb);
+  AtomicMax(entry->peak_vm_hwm_kb, rss.vm_hwm_kb);
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat.
+// ---------------------------------------------------------------------------
+
+struct HeartbeatState {
+  Mutex mu;
+  CondVar cv;
+  bool stop TGLINK_GUARDED_BY(mu) = false;
+  bool running TGLINK_GUARDED_BY(mu) = false;
+  double interval_s TGLINK_GUARDED_BY(mu) = 0.0;
+  // The heartbeat is a lifetime monitor, not parallel work: it cannot go
+  // through the task pool it reports on, so it owns its thread directly.
+  std::thread thread;  // tglink-lint: disable=raw-thread
+};
+
+HeartbeatState& GlobalHeartbeat() {
+  static HeartbeatState* state = new HeartbeatState;  // leaked, see Registry
+  return *state;
+}
+
+void HeartbeatLoop() {
+  HeartbeatState& hb = GlobalHeartbeat();
+  uint64_t last_pairs =
+      GlobalMetrics().GetCounter("similarity.agg_calls").Value();
+  auto last_time = std::chrono::steady_clock::now();
+  for (;;) {
+    {
+      MutexLock lock(hb.mu);
+      const auto interval =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::duration<double>(hb.interval_s));
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!hb.stop) {
+        const auto remaining = deadline - std::chrono::steady_clock::now();
+        if (remaining <= std::chrono::nanoseconds::zero()) break;
+        hb.cv.WaitFor(hb.mu, remaining);
+      }
+      if (hb.stop) return;
+    }
+    const uint64_t pairs =
+        GlobalMetrics().GetCounter("similarity.agg_calls").Value();
+    const auto now = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now - last_time).count();
+    const double pairs_per_s =
+        dt > 0.0 ? static_cast<double>(pairs - last_pairs) / dt : 0.0;
+    last_pairs = pairs;
+    last_time = now;
+    const RssSample rss = SampleRss();
+    std::fprintf(stderr,
+                 "[tglink] heartbeat stage=%s pairs/s=%.3g rss=%.1fMB "
+                 "live_alloc=%.1fMB\n",
+                 CurrentStageName()[0] != '\0' ? CurrentStageName() : "-",
+                 pairs_per_s, static_cast<double>(rss.vm_rss_kb) / 1024.0,
+                 (static_cast<double>(GlobalAllocTotals().bytes_allocated) -
+                  static_cast<double>(GlobalAllocTotals().bytes_freed)) /
+                     (1024.0 * 1024.0));
+  }
+}
+
+void StopHeartbeatAtExit() { StopHeartbeat(); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+bool MemProfHooksCompiledIn() { return TGLINK_MEMPROF_HOOKS_ACTIVE != 0; }
+
+bool MemProfEnabled() { return CollectionEnabled(); }
+
+void SetMemProfEnabled(bool enabled) {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+AllocTotals ThreadAllocTotals() { return t_alloc_totals; }
+
+AllocTotals GlobalAllocTotals() {
+  AllocTotals totals;
+  totals.bytes_allocated = g_bytes_allocated.load(std::memory_order_relaxed);
+  totals.bytes_freed = g_bytes_freed.load(std::memory_order_relaxed);
+  totals.alloc_calls = g_alloc_calls.load(std::memory_order_relaxed);
+  totals.free_calls = g_free_calls.load(std::memory_order_relaxed);
+  return totals;
+}
+
+bool ParseProcStatus(std::string_view status_text, RssSample* out) {
+  *out = RssSample{};
+  bool found = false;
+  size_t pos = 0;
+  while (pos < status_text.size()) {
+    size_t eol = status_text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = status_text.size();
+    const std::string_view line = status_text.substr(pos, eol - pos);
+    pos = eol + 1;
+    uint64_t* slot = nullptr;
+    std::string_view rest;
+    if (line.rfind("VmRSS:", 0) == 0) {
+      slot = &out->vm_rss_kb;
+      rest = line.substr(6);
+    } else if (line.rfind("VmHWM:", 0) == 0) {
+      slot = &out->vm_hwm_kb;
+      rest = line.substr(6);
+    } else {
+      continue;
+    }
+    size_t i = 0;
+    while (i < rest.size() && (rest[i] == ' ' || rest[i] == '\t')) ++i;
+    uint64_t value = 0;
+    bool any_digit = false;
+    while (i < rest.size() && rest[i] >= '0' && rest[i] <= '9') {
+      value = value * 10 + static_cast<uint64_t>(rest[i] - '0');
+      any_digit = true;
+      ++i;
+    }
+    if (!any_digit) continue;
+    *slot = value;  // the trailing " kB" unit is implied by /proc's format
+    found = true;
+  }
+  return found;
+}
+
+RssSample SampleRss() {
+  RssSample sample;
+  // Raw stdio keeps this allocation-free; the file is tiny and /proc reads
+  // never short-read, so one fixed buffer suffices.
+  std::FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) return sample;
+  char buffer[4096];
+  const size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  buffer[n] = '\0';
+  (void)ParseProcStatus(std::string_view(buffer, n), &sample);
+  return sample;
+}
+
+MemorySnapshot SnapshotMemory() {
+  MemorySnapshot snapshot;
+  snapshot.hooks_compiled = MemProfHooksCompiledIn();
+  snapshot.enabled = MemProfEnabled();
+  snapshot.allocator = GlobalAllocTotals();
+  snapshot.rss = SampleRss();
+  Registry& reg = GlobalRegistry();
+  MutexLock lock(reg.mu);
+  snapshot.stages.reserve(reg.stages.size());
+  for (const StageEntry& entry : reg.stages) {
+    StageStats stats;
+    stats.name = entry.name;
+    stats.count = entry.count.load(std::memory_order_relaxed);
+    stats.bytes_allocated =
+        entry.bytes_allocated.load(std::memory_order_relaxed);
+    stats.bytes_freed = entry.bytes_freed.load(std::memory_order_relaxed);
+    stats.alloc_calls = entry.alloc_calls.load(std::memory_order_relaxed);
+    stats.free_calls = entry.free_calls.load(std::memory_order_relaxed);
+    stats.peak_rss_kb = entry.peak_rss_kb.load(std::memory_order_relaxed);
+    stats.peak_vm_hwm_kb =
+        entry.peak_vm_hwm_kb.load(std::memory_order_relaxed);
+    snapshot.stages.push_back(std::move(stats));
+  }
+  snapshot.arenas.reserve(reg.arenas.size());
+  for (const ArenaEntry& entry : reg.arenas) {
+    ArenaStats stats;
+    stats.name = entry.name;
+    stats.bytes_total = entry.bytes_total.load(std::memory_order_relaxed);
+    stats.max_bytes = entry.max_bytes.load(std::memory_order_relaxed);
+    stats.reports = entry.reports.load(std::memory_order_relaxed);
+    snapshot.arenas.push_back(std::move(stats));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snapshot.stages.begin(), snapshot.stages.end(), by_name);
+  std::sort(snapshot.arenas.begin(), snapshot.arenas.end(), by_name);
+  return snapshot;
+}
+
+void ReportArenaBytes(std::string_view component, uint64_t bytes) {
+  ArenaEntry* entry = InternArena(component);
+  entry->bytes_total.fetch_add(bytes, std::memory_order_relaxed);
+  entry->reports.fetch_add(1, std::memory_order_relaxed);
+  AtomicMax(entry->max_bytes, bytes);
+}
+
+int ThreadStageDepth() { return t_stage_stack.depth; }
+
+const char* CurrentStageName() {
+  const char* name = g_current_stage.load(std::memory_order_relaxed);
+  return name != nullptr ? name : "";
+}
+
+void ResetMemProfForTesting() {
+  g_bytes_allocated.store(0, std::memory_order_relaxed);
+  g_bytes_freed.store(0, std::memory_order_relaxed);
+  g_alloc_calls.store(0, std::memory_order_relaxed);
+  g_free_calls.store(0, std::memory_order_relaxed);
+  t_alloc_totals = AllocTotals{};
+  Registry& reg = GlobalRegistry();
+  MutexLock lock(reg.mu);
+  reg.stage_index.clear();
+  reg.stages.clear();
+  reg.arena_index.clear();
+  reg.arenas.clear();
+}
+
+void StartHeartbeat(double interval_seconds) {
+  if (interval_seconds <= 0.0) return;
+  HeartbeatState& hb = GlobalHeartbeat();
+  MutexLock lock(hb.mu);
+  hb.interval_s = interval_seconds;
+  if (hb.running) return;
+  hb.stop = false;
+  hb.running = true;
+  hb.thread = std::thread(HeartbeatLoop);  // tglink-lint: disable=raw-thread
+  std::atexit(StopHeartbeatAtExit);
+}
+
+void StopHeartbeat() {
+  HeartbeatState& hb = GlobalHeartbeat();
+  {
+    MutexLock lock(hb.mu);
+    if (!hb.running) return;
+    hb.stop = true;
+    hb.running = false;
+  }
+  hb.cv.NotifyAll();
+  hb.thread.join();
+}
+
+#if !defined(TGLINK_MEMPROF_DISABLED)
+
+ScopedMemStage::ScopedMemStage(std::string_view name) {
+  ThreadStageStack& stack = t_stage_stack;
+  if (stack.depth >= ThreadStageStack::kMaxDepth) return;  // entry_ stays null
+  StageEntry* entry = InternStage(name);
+  stack.open[stack.depth++] = entry;
+  entry_ = entry;
+  on_entry_ = t_alloc_totals;
+  g_current_stage.store(entry->name.c_str(), std::memory_order_relaxed);
+  SampleStageBoundary(entry);
+}
+
+ScopedMemStage::~ScopedMemStage() {
+  if (entry_ == nullptr) return;
+  auto* entry = static_cast<StageEntry*>(entry_);
+  ThreadStageStack& stack = t_stage_stack;
+  --stack.depth;
+  SampleStageBoundary(entry);
+  FoldStageExit(entry, on_entry_);
+  StageEntry* parent = stack.depth > 0 ? stack.open[stack.depth - 1] : nullptr;
+  g_current_stage.store(parent != nullptr ? parent->name.c_str() : nullptr,
+                        std::memory_order_relaxed);
+}
+
+#endif  // !TGLINK_MEMPROF_DISABLED
+
+}  // namespace obs
+}  // namespace tglink
+
+#if TGLINK_MEMPROF_HOOKS_ACTIVE
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacement ([new.delete.single]/[array]).
+// The aligned (align_val_t) forms are deliberately NOT replaced: libstdc++'s
+// defaults allocate those through aligned_alloc/free independently of these
+// operators, so over-aligned types simply go uncounted (documented caveat,
+// DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+  return tglink::obs::AllocOrHandler(size);
+}
+
+void* operator new[](std::size_t size) {
+  return tglink::obs::AllocOrHandler(size);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return tglink::obs::AllocOrHandler(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return tglink::obs::AllocOrHandler(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* ptr) noexcept { tglink::obs::CountedFree(ptr, 0); }
+
+void operator delete[](void* ptr) noexcept {
+  tglink::obs::CountedFree(ptr, 0);
+}
+
+void operator delete(void* ptr, std::size_t size) noexcept {
+  tglink::obs::CountedFree(ptr, size);
+}
+
+void operator delete[](void* ptr, std::size_t size) noexcept {
+  tglink::obs::CountedFree(ptr, size);
+}
+
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  tglink::obs::CountedFree(ptr, 0);
+}
+
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  tglink::obs::CountedFree(ptr, 0);
+}
+
+#endif  // TGLINK_MEMPROF_HOOKS_ACTIVE

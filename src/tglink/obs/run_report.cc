@@ -2,8 +2,10 @@
 
 #include <utility>
 
+#include "tglink/obs/build_info.h"
 #include "tglink/obs/json_writer.h"
 #include "tglink/util/csv.h"
+#include "tglink/util/parallel.h"
 
 namespace tglink {
 namespace obs {
@@ -45,13 +47,40 @@ RunReportBuilder& RunReportBuilder::AddIterations(
   return *this;
 }
 
+RunReportBuilder& RunReportBuilder::SetAborted(std::string reason) {
+  aborted_ = true;
+  abort_reason_ = std::move(reason);
+  return *this;
+}
+
 std::string RunReportBuilder::ToJson(
     const MetricsSnapshot& metrics,
     const std::vector<TraceEvent>& spans) const {
+  return ToJson(metrics, spans, SnapshotMemory());
+}
+
+std::string RunReportBuilder::ToJson(const MetricsSnapshot& metrics,
+                                     const std::vector<TraceEvent>& spans,
+                                     const MemorySnapshot& memory) const {
   JsonWriter w;
   w.BeginObject();
   w.Key("schema").String(kRunReportSchema);
   w.Key("tool").String(tool_);
+  if (aborted_) {
+    w.Key("aborted").Bool(true);
+    if (!abort_reason_.empty()) w.Key("abort_reason").String(abort_reason_);
+  }
+
+  const BuildInfo& build = GetBuildInfo();
+  w.Key("build").BeginObject();
+  w.Key("git_sha").String(build.git_sha);
+  w.Key("compiler").String(build.compiler);
+  w.Key("flags").String(build.flags);
+  w.Key("build_type").String(build.build_type);
+  w.Key("preset").String(build.preset);
+  w.Key("hostname").String(build.hostname);
+  w.Key("threads").UInt(static_cast<uint64_t>(ParallelThreadCount()));
+  w.EndObject();
 
   w.Key("options").BeginObject();
   for (const Option& option : options_) w.Key(option.name).Raw(option.text);
@@ -89,6 +118,47 @@ std::string RunReportBuilder::ToJson(
   }
   w.EndArray();
 
+  w.Key("memory").BeginObject();
+  w.Key("allocator").BeginObject();
+  w.Key("hooks_compiled").Bool(memory.hooks_compiled);
+  w.Key("enabled").Bool(memory.enabled);
+  w.Key("bytes_allocated").UInt(memory.allocator.bytes_allocated);
+  w.Key("bytes_freed").UInt(memory.allocator.bytes_freed);
+  w.Key("live_bytes")
+      .Int(static_cast<int64_t>(memory.allocator.bytes_allocated) -
+           static_cast<int64_t>(memory.allocator.bytes_freed));
+  w.Key("alloc_calls").UInt(memory.allocator.alloc_calls);
+  w.Key("free_calls").UInt(memory.allocator.free_calls);
+  w.EndObject();
+  w.Key("arenas").BeginObject();
+  for (const ArenaStats& arena : memory.arenas) {
+    w.Key(arena.name).BeginObject();
+    w.Key("bytes_total").UInt(arena.bytes_total);
+    w.Key("max_bytes").UInt(arena.max_bytes);
+    w.Key("reports").UInt(arena.reports);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("stages").BeginArray();
+  for (const StageStats& stage : memory.stages) {
+    w.BeginObject();
+    w.Key("name").String(stage.name);
+    w.Key("count").UInt(stage.count);
+    w.Key("bytes_allocated").UInt(stage.bytes_allocated);
+    w.Key("bytes_freed").UInt(stage.bytes_freed);
+    w.Key("alloc_calls").UInt(stage.alloc_calls);
+    w.Key("free_calls").UInt(stage.free_calls);
+    w.Key("peak_rss_kb").UInt(stage.peak_rss_kb);
+    w.Key("peak_vm_hwm_kb").UInt(stage.peak_vm_hwm_kb);
+    w.EndObject();
+  }
+  w.EndArray();
+  // Sampled at serialization time; vm_hwm_kb is the kernel's own peak-RSS
+  // high-water mark for the whole process.
+  w.Key("rss_kb").UInt(memory.rss.vm_rss_kb);
+  w.Key("vm_hwm_kb").UInt(memory.rss.vm_hwm_kb);
+  w.EndObject();
+
   w.Key("metrics").Raw(metrics.ToJson());
 
   w.Key("spans").BeginArray();
@@ -97,6 +167,11 @@ std::string RunReportBuilder::ToJson(
     w.Key("path").String(agg.path);
     w.Key("count").UInt(agg.count);
     w.Key("total_ms").Double(static_cast<double>(agg.total_ns) / 1e6);
+    w.Key("alloc_bytes").UInt(agg.alloc_bytes);
+    w.Key("free_bytes").UInt(agg.free_bytes);
+    w.Key("live_delta_bytes")
+        .Int(static_cast<int64_t>(agg.alloc_bytes) -
+             static_cast<int64_t>(agg.free_bytes));
     w.EndObject();
   }
   w.EndArray();
@@ -106,7 +181,8 @@ std::string RunReportBuilder::ToJson(
 }
 
 std::string RunReportBuilder::ToJson() const {
-  return ToJson(GlobalMetrics().Snapshot(), GlobalTracer().Snapshot());
+  return ToJson(GlobalMetrics().Snapshot(), GlobalTracer().Snapshot(),
+                SnapshotMemory());
 }
 
 Status RunReportBuilder::WriteFile(const std::string& path) const {

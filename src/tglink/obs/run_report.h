@@ -1,9 +1,11 @@
 // RunReport — one machine-readable JSON document per pipeline run, merging
-// the global metrics snapshot, the aggregated span tree, the iterative
-// driver's per-δ IterationStats and any evaluation results. Emitted by the
-// bench harnesses (--report=FILE) and tglink_cli; the BENCH_*.json
-// perf-trajectory baselines are RunReports. Schema: "tglink.run_report/1",
-// documented in DESIGN.md §7 and validated by tools/check_report.py.
+// the global metrics snapshot, the aggregated span tree, the memory
+// profile, build provenance, the iterative driver's per-δ IterationStats
+// and any evaluation results. Emitted by the bench harnesses
+// (--report=FILE) and tglink_cli; the BENCH_*.json perf-trajectory
+// baselines are RunReports and tools/bench_diff.py compares two of them.
+// Schema: "tglink.run_report/2", documented in DESIGN.md §7/§12 and
+// validated by tools/check_report.py (which still accepts /1 baselines).
 
 #ifndef TGLINK_OBS_RUN_REPORT_H_
 #define TGLINK_OBS_RUN_REPORT_H_
@@ -14,6 +16,7 @@
 
 #include "tglink/eval/metrics.h"
 #include "tglink/linkage/iterative.h"
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 #include "tglink/util/status.h"
@@ -21,7 +24,7 @@
 namespace tglink {
 namespace obs {
 
-inline constexpr const char* kRunReportSchema = "tglink.run_report/1";
+inline constexpr const char* kRunReportSchema = "tglink.run_report/2";
 
 /// Accumulates the pieces of one run's report, then serializes. Options,
 /// scalars and quality entries keep insertion order; metrics and spans are
@@ -44,11 +47,23 @@ class RunReportBuilder {
   /// Per-δ iteration diagnostics of one LinkCensusPair run.
   RunReportBuilder& AddIterations(const std::vector<IterationStats>& stats);
 
-  /// Serializes against explicit observability state (for tests).
+  /// Marks the report as the partial flush of an abnormally-exiting run
+  /// ("aborted": true in the JSON, plus the reason when known). Written by
+  /// the bench harnesses' terminate-handler guard — see bench_common.h.
+  RunReportBuilder& SetAborted(std::string reason = "");
+
+  /// Serializes against explicit observability state (for tests); the
+  /// memory block is captured from the live memprof registry.
   [[nodiscard]] std::string ToJson(const MetricsSnapshot& metrics,
                                    const std::vector<TraceEvent>& spans) const;
 
-  /// Serializes against GlobalMetrics() and GlobalTracer().
+  /// Serializes against fully explicit state, memory snapshot included.
+  [[nodiscard]] std::string ToJson(const MetricsSnapshot& metrics,
+                                   const std::vector<TraceEvent>& spans,
+                                   const MemorySnapshot& memory) const;
+
+  /// Serializes against GlobalMetrics(), GlobalTracer() and
+  /// SnapshotMemory().
   [[nodiscard]] std::string ToJson() const;
 
   /// ToJson() written to `path`.
@@ -69,6 +84,8 @@ class RunReportBuilder {
   };
 
   std::string tool_;
+  bool aborted_ = false;
+  std::string abort_reason_;
   std::vector<Option> options_;
   std::vector<Scalar> scalars_;
   std::vector<Quality> quality_;

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "tglink/obs/json_writer.h"
+#include "tglink/obs/memprof.h"
 #include "tglink/util/logging.h"
 
 namespace tglink {
@@ -41,6 +42,8 @@ std::vector<SpanAggregate> AggregateSpans(
     if (agg.count == 0) agg.path = event.path;
     ++agg.count;
     agg.total_ns += event.dur_ns;
+    agg.alloc_bytes += event.alloc_bytes;
+    agg.free_bytes += event.free_bytes;
   }
   std::vector<SpanAggregate> out;
   out.reserve(by_path.size());
@@ -90,6 +93,10 @@ std::string Tracer::ToChromeTraceJson() const {
     w.Key("path").String(event.path);
     w.Key("depth").UInt(event.depth);
     if (event.has_arg) w.Key("value").Double(event.arg);
+    // Memory next to wall time in the Perfetto UI; zeros when the memprof
+    // hooks are off, so the trace shape is stable either way.
+    w.Key("alloc_bytes").UInt(event.alloc_bytes);
+    w.Key("free_bytes").UInt(event.free_bytes);
     w.EndObject();
     w.EndObject();
   }
@@ -122,6 +129,11 @@ void ScopedSpan::Enter(std::string name) {
   event_.path = stack.JoinedPath();
   event_.name = stack.names.back();
   event_.tid = ThreadId();
+  // Stash the entry snapshot in the byte fields; the destructor converts
+  // them to deltas. Zero-cost while the allocation hooks are disabled.
+  const AllocTotals mem = ThreadAllocTotals();
+  event_.alloc_bytes = mem.bytes_allocated;
+  event_.free_bytes = mem.bytes_freed;
   event_.start_ns = Tracer::NowNs();
 }
 
@@ -136,6 +148,9 @@ ScopedSpan::ScopedSpan(std::string name, double arg) {
 ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   event_.dur_ns = Tracer::NowNs() - event_.start_ns;
+  const AllocTotals mem = ThreadAllocTotals();
+  event_.alloc_bytes = mem.bytes_allocated - event_.alloc_bytes;
+  event_.free_bytes = mem.bytes_freed - event_.free_bytes;
   ThreadSpanStack& stack = LocalStack();
   TGLINK_DCHECK(!stack.names.empty() && stack.names.back() == event_.name)
       << "span stack corrupted: scoped spans must strictly nest";

@@ -32,6 +32,12 @@ struct TraceEvent {
   std::string path;  // slash-joined ancestry, e.g. "linkage.pair/subgraph.score"
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
+  // Bytes this thread allocated/freed while the span was open (inclusive of
+  // child spans; zero unless the memprof allocation hooks are enabled —
+  // see obs/memprof.h). Per-thread: a span does not see its workers'
+  // allocations, the workers' chunk spans carry those.
+  uint64_t alloc_bytes = 0;
+  uint64_t free_bytes = 0;
   uint32_t tid = 0;    // small sequential thread id (tglink::ThreadId())
   uint32_t depth = 0;  // nesting depth at entry, 0 = top level
   bool has_arg = false;
@@ -43,6 +49,8 @@ struct SpanAggregate {
   std::string path;
   uint64_t count = 0;
   uint64_t total_ns = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t free_bytes = 0;
 };
 
 /// Collapses events by path; sorted by path. Deterministic for a fixed

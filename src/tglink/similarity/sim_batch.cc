@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 #include "tglink/similarity/numeric.h"
@@ -61,6 +62,7 @@ SimBatch::SimBatch(const SimilarityFunction& fn,
                    const CensusDataset& new_dataset)
     : fn_(fn), old_dataset_(old_dataset), new_dataset_(new_dataset) {
   TGLINK_TRACE_SPAN("simkernel.build_batch");
+  TGLINK_MEM_STAGE("simkernel.build_batch");
   const std::vector<AttributeSpec>& specs = fn.specs();
   plans_.resize(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
@@ -141,6 +143,22 @@ SimBatch::SimBatch(const SimilarityFunction& fn,
       }
     }
   }
+  // Logical sizes (element counts, not capacities) so the figure is a pure
+  // function of the inputs and bench_diff.py can gate it exactly.
+  uint64_t arena_bytes = 0;
+  for (const FieldTable& table : tables_) {
+    arena_bytes += table.arena.size();
+    arena_bytes += table.offsets.size() * sizeof(uint32_t);
+    arena_bytes += table.first_char.size();
+    arena_bytes += table.old_ids.size() * sizeof(uint32_t);
+    arena_bytes += table.new_ids.size() * sizeof(uint32_t);
+    arena_bytes += table.gram2_data.size() * sizeof(uint32_t);
+    arena_bytes += table.gram2_starts.size() * sizeof(uint32_t);
+    arena_bytes += table.gram3_data.size() * sizeof(uint32_t);
+    arena_bytes += table.gram3_starts.size() * sizeof(uint32_t);
+    arena_bytes += table.soundex_codes.size() * sizeof(uint64_t);
+  }
+  obs::ReportArenaBytes("simbatch", arena_bytes);
 }
 
 int SimBatch::BuildFieldTable(Field field) {

@@ -2,6 +2,7 @@
 
 #include <string_view>
 
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/similarity/batch_kernels.h"
 #include "tglink/util/logging.h"
@@ -33,6 +34,25 @@ SimCache::SimCache(const SimilarityFunction& fn,
                      std::string_view a, std::string_view b) {
     return MemoizedMeasure(i, old_vid, new_vid, a, b);
   };
+}
+
+SimCache::~SimCache() {
+  // Logical footprint only — per-spec bookkeeping plus entry payloads and
+  // fixed shard headers, excluding hash-table load-factor slack — so the
+  // figure is deterministic and bench_diff.py can gate it exactly. The memo
+  // only grows, so the destructor sees the true maximum.
+  uint64_t memo_bytes = spec_caches_.size() * sizeof(SpecCache);
+  for (const SpecCache& cache : spec_caches_) {
+    if (!cache.enabled) continue;
+    memo_bytes += kNumShards * sizeof(Shard);
+    for (size_t s = 0; s < kNumShards; ++s) {
+      Shard& shard = cache.shards[s];
+      ReaderMutexLock read(shard.mu);
+      memo_bytes +=
+          shard.memo.size() * (sizeof(uint64_t) + sizeof(double));
+    }
+  }
+  obs::ReportArenaBytes("simcache", memo_bytes);
 }
 
 double SimCache::MemoizedMeasure(size_t spec_index, uint32_t old_vid,

@@ -63,6 +63,11 @@ class SimCache {
   SimCache(const SimilarityFunction& fn, const CensusDataset& old_dataset,
            const CensusDataset& new_dataset);
 
+  /// Reports the memo's final logical footprint to the "simcache" arena
+  /// (obs/memprof.h) — the entry counts are deterministic, the destructor
+  /// is the one point where they are final.
+  ~SimCache();
+
   SimCache(const SimCache&) = delete;
   SimCache& operator=(const SimCache&) = delete;
 

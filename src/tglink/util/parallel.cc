@@ -6,6 +6,7 @@
 #include <string>
 #include <thread>  // tglink-lint: disable=raw-thread
 
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/obs/trace.h"
 #include "tglink/util/logging.h"
@@ -36,6 +37,11 @@ class ThreadPool {
     for (int i = 0; i < num_threads; ++i) {
       threads_.emplace_back([this] { WorkerLoop(); });
     }
+    // Deterministic bookkeeping bytes (pool object + thread handles); the
+    // workers' stacks live outside the allocator and are not counted.
+    obs::ReportArenaBytes(
+        "pool", sizeof(ThreadPool) +
+                    static_cast<uint64_t>(num_threads) * sizeof(std::thread));
   }
 
   ~ThreadPool() {

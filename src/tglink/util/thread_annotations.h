@@ -30,6 +30,7 @@
 #ifndef TGLINK_UTIL_THREAD_ANNOTATIONS_H_
 #define TGLINK_UTIL_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -206,6 +207,19 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  /// Wait, but give up after `timeout`. Returns true when notified, false
+  /// on timeout; either way the Mutex is reacquired before returning.
+  /// Subject to spurious wakeups like Wait — callers loop on a predicate
+  /// (or, for periodic work like the obs heartbeat, on a deadline).
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout)
+      TGLINK_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool notified =
+        cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    lock.release();
+    return notified;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Abnormal-exit flush: a bench harness that dies mid-run (here via the
+# hidden --inject-fault=throw hook) must still leave a partial RunReport
+# behind, marked "aborted":true with the failure reason — the
+# terminate-handler path of bench::ReportOnAbort in bench_common.h.
+set -eu
+
+BENCH="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+if "$BENCH" --scale=0.03 --inject-fault=throw --report="$DIR/partial.json" \
+    > "$DIR/stdout.txt" 2> "$DIR/stderr.txt"; then
+  echo "expected non-zero exit from --inject-fault=throw" >&2
+  exit 1
+fi
+
+test -s "$DIR/partial.json"
+grep -q '"schema":"tglink.run_report/2"' "$DIR/partial.json"
+grep -q '"aborted":true' "$DIR/partial.json"
+grep -q "injected fault" "$DIR/partial.json"
+# The flush announced itself on stderr with the report path.
+grep -q "partial report" "$DIR/stderr.txt"
+
+# Control: the same run without a fault exits 0 and the report is normal.
+"$BENCH" --scale=0.03 --inject-fault=none --report="$DIR/clean.json" \
+    > /dev/null 2>&1
+if grep -q '"aborted"' "$DIR/clean.json"; then
+  echo "clean run must not carry an aborted marker" >&2
+  exit 1
+fi
+
+echo "abort report smoke OK"

@@ -23,7 +23,7 @@ test -s "$DIR/gold_1851_1861.csv"
     --out "$DIR/map.csv" --report "$DIR/report.json" \
     --trace "$DIR/trace.json" > /dev/null
 test -s "$DIR/map.csv"
-grep -q "tglink.run_report/1" "$DIR/report.json"
+grep -q "tglink.run_report/2" "$DIR/report.json"
 grep -q "traceEvents" "$DIR/trace.json"
 grep -q "linkage.link_census_pair" "$DIR/trace.json"
 

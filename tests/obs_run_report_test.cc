@@ -39,9 +39,20 @@ TEST(RunReportTest, SerializesAllSectionsAgainstExplicitState) {
   spans.push_back(ev);
 
   const std::string json = report.ToJson(metrics, spans);
-  EXPECT_NE(json.find("\"schema\":\"tglink.run_report/1\""),
+  EXPECT_NE(json.find("\"schema\":\"tglink.run_report/2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"tool\":\"unit_test\""), std::string::npos);
+  // /2 provenance + memory blocks are always present, even in a unit test
+  // with no instrumented run behind it.
+  EXPECT_NE(json.find("\"build\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\""), std::string::npos);
+  EXPECT_NE(json.find("\"memory\""), std::string::npos);
+  EXPECT_NE(json.find("\"allocator\""), std::string::npos);
+  EXPECT_NE(json.find("\"hooks_compiled\""), std::string::npos);
+  EXPECT_NE(json.find("\"arenas\""), std::string::npos);
+  EXPECT_NE(json.find("\"rss_kb\""), std::string::npos);
+  EXPECT_NE(json.find("\"vm_hwm_kb\""), std::string::npos);
   EXPECT_NE(json.find("\"scale\":0.25"), std::string::npos);
   EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
   EXPECT_NE(json.find("\"mode\":\"fast\""), std::string::npos);
@@ -52,6 +63,11 @@ TEST(RunReportTest, SerializesAllSectionsAgainstExplicitState) {
   EXPECT_NE(json.find("\"delta\":0.5"), std::string::npos);
   EXPECT_NE(json.find("\"x.events\":7"), std::string::npos);
   EXPECT_NE(json.find("\"path\":\"phase\""), std::string::npos);
+  // /2 spans carry allocation deltas (zero here: the explicit TraceEvent
+  // was never routed through the allocator hooks).
+  EXPECT_NE(json.find("\"alloc_bytes\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"free_bytes\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"live_delta_bytes\":0"), std::string::npos);
 }
 
 TEST(RunReportTest, WriteFileRoundTrips) {
@@ -65,7 +81,7 @@ TEST(RunReportTest, WriteFileRoundTrips) {
   const size_t n = fread(buf, 1, sizeof(buf) - 1, f);
   fclose(f);
   ASSERT_GT(n, 0u);
-  EXPECT_NE(std::string(buf).find("tglink.run_report/1"), std::string::npos);
+  EXPECT_NE(std::string(buf).find("tglink.run_report/2"), std::string::npos);
 }
 
 // Golden-shape test: a real (tiny) LinkCensusPair run emits a report whose
@@ -105,7 +121,7 @@ TEST(RunReportTest, LinkCensusPairEmitsExpectedSpans) {
     EXPECT_NE(json.find(counter), std::string::npos)
         << "missing counter " << counter;
   }
-  EXPECT_NE(json.find("\"schema\":\"tglink.run_report/1\""),
+  EXPECT_NE(json.find("\"schema\":\"tglink.run_report/2\""),
             std::string::npos);
 
   GlobalTracer().Clear();

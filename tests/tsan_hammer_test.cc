@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/metrics.h"
 #include "tglink/similarity/sim_batch.h"
 #include "tglink/similarity/sim_cache.h"
@@ -162,6 +163,88 @@ TEST(TsanHammerTest, MetricsRegistryConcurrentSnapshotDuringRegistration) {
   for (const auto& c : final_snap.counters) total += c.value;
   EXPECT_EQ(total, static_cast<uint64_t>(kWriterThreads) * kNamesPerThread *
                        kUpdatesPerName);
+}
+
+TEST(TsanHammerTest, MemProfConcurrentStagesArenasAndSnapshots) {
+  // The memory profiler's full shared surface under contention: stage
+  // scopes interning and folding on several threads (first-registration
+  // races on shared stage names), arena reports racing AtomicMax, raw
+  // allocator traffic driving the hooks (when compiled in), and a
+  // snapshotter walking the registries the whole time. Totals are exact
+  // afterwards: relaxed atomics may reorder, but nothing may be lost.
+  obs::ResetMemProfForTesting();
+  obs::SetMemProfEnabled(true);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  constexpr uint64_t kArenaBytes = 64;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int round = 0; round < kRounds; ++round) {
+        TGLINK_MEM_STAGE("hammer.shared");
+        {
+          TGLINK_MEM_STAGE(round % 2 == 0 ? "hammer.even" : "hammer.odd");
+          // Allocator traffic inside the stage; freed before scope exit so
+          // the per-stage live delta nets out.
+          std::vector<char> block(256 + static_cast<size_t>(t) * 64);
+          block[0] = static_cast<char>(round);
+        }
+        obs::ReportArenaBytes("hammer.arena",
+                              kArenaBytes + static_cast<uint64_t>(t));
+        (void)obs::ThreadStageDepth();
+        (void)obs::CurrentStageName();
+      }
+    });
+  }
+
+  std::thread snapshotter([&done] {
+    while (!done.load()) {
+      const obs::MemorySnapshot snap = obs::SnapshotMemory();
+      for (size_t i = 1; i < snap.arenas.size(); ++i) {
+        EXPECT_LT(snap.arenas[i - 1].name, snap.arenas[i].name);
+      }
+    }
+  });
+
+  for (std::thread& th : workers) th.join();
+  done.store(true);
+  snapshotter.join();
+
+  const obs::MemorySnapshot snap = obs::SnapshotMemory();
+  const auto stage = [&snap](const std::string& name) -> uint64_t {
+    for (const auto& s : snap.stages) {
+      if (s.name == name) return s.count;
+    }
+    return 0;
+  };
+  EXPECT_EQ(stage("hammer.shared"),
+            static_cast<uint64_t>(kThreads) * kRounds);
+  EXPECT_EQ(stage("hammer.even") + stage("hammer.odd"),
+            static_cast<uint64_t>(kThreads) * kRounds);
+  uint64_t arena_total = 0;
+  for (const auto& arena : snap.arenas) {
+    if (arena.name == "hammer.arena") {
+      arena_total = arena.bytes_total;
+      EXPECT_EQ(arena.reports, static_cast<uint64_t>(kThreads) * kRounds);
+      EXPECT_EQ(arena.max_bytes, kArenaBytes + kThreads - 1);
+    }
+  }
+  // Sum over threads of kRounds * (kArenaBytes + t).
+  uint64_t want = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    want += static_cast<uint64_t>(kRounds) * (kArenaBytes + t);
+  }
+  EXPECT_EQ(arena_total, want);
+  if (obs::MemProfHooksCompiledIn()) {
+    EXPECT_GT(obs::GlobalAllocTotals().bytes_allocated, 0u);
+  }
+
+  obs::SetMemProfEnabled(false);
+  obs::ResetMemProfForTesting();
 }
 
 }  // namespace

@@ -88,6 +88,24 @@ python3 tools/check_report.py "$smoke_dir/report.json" \
   --expect-counter simkernel.screened
 note ran "perf smoke"
 
+# Perf gate: re-run the smoke-scale table5 bench under the memory profiler
+# and diff it against the checked-in baseline. The pipeline is deterministic,
+# so quality figures, count scalars and arena bytes are gated EXACTLY; wall
+# time and RSS get wide tolerances (50%, with absolute floors) so only real
+# regressions fail, never machine noise. Both comparator selftests run first
+# so a broken gate can't silently pass.
+stage "perf gate: bench_diff vs BENCH_table5_smoke.json"
+python3 tools/check_report.py --selftest
+python3 tools/bench_diff.py --selftest
+TGLINK_MEMPROF=1 "$root/build-release/bench/table5_iterative" --scale=0.125 \
+  --report="$smoke_dir/perf_gate.json" > "$smoke_dir/perf_gate_stdout.txt"
+python3 tools/check_report.py "$smoke_dir/perf_gate.json"
+python3 tools/bench_diff.py BENCH_table5_smoke.json "$smoke_dir/perf_gate.json"
+# Self-compare is the gate's own sanity check: identical inputs, exit 0.
+python3 tools/bench_diff.py "$smoke_dir/perf_gate.json" \
+  "$smoke_dir/perf_gate.json"
+note ran "perf gate"
+
 # Compile-time concurrency gate: the analyze preset builds the whole library
 # under clang++ with -Werror=thread-safety-analysis, then runs the
 # annotation tests — including the WILL_FAIL entry proving a GUARDED_BY

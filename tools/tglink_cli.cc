@@ -14,7 +14,7 @@
 //   tglink_cli link --old FILE --old-year Y1 --new FILE --new-year Y2
 //              --out MAPPINGS [--delta-low F] [--alpha F] [--beta F]
 //              [--non-iterative] [--omega1] [--threads N]
-//              [--blocking hash|index|exhaustive]
+//              [--blocking hash|index|exhaustive] [--heartbeat S]
 //              [--report FILE] [--trace FILE]
 //       Runs iterative record and group linkage, writes the mappings CSV;
 //       --threads picks the worker count (1 = serial, 0 = hardware; the
@@ -28,7 +28,7 @@
 //       Precision/recall/F-measure of stored mappings against gold.
 //
 //   tglink_cli analyze --dir DIR --years Y1,Y2,... [--dot FILE] [--csv FILE]
-//              [--threads N] [--report FILE] [--trace FILE]
+//              [--threads N] [--heartbeat S] [--report FILE] [--trace FILE]
 //       Links the whole series in DIR (census_<year>.csv), prints evolution
 //       patterns, preserved-household chains, components and frequent
 //       trajectories; optionally exports the evolution graph.
@@ -53,6 +53,7 @@
 #include "tglink/linkage/config.h"
 #include "tglink/linkage/iterative.h"
 #include "tglink/linkage/result_io.h"
+#include "tglink/obs/memprof.h"
 #include "tglink/obs/run_report.h"
 #include "tglink/obs/trace.h"
 #include "tglink/synth/generator.h"
@@ -152,6 +153,19 @@ void ApplyThreadOption(const Args& args) {
     std::exit(2);
   }
   SetParallelThreadCount(threads);
+}
+
+/// Applies --heartbeat S: one stderr progress line (stage, pairs/sec, live
+/// RSS) every S seconds while the pipeline runs. Off when absent.
+void ApplyHeartbeatOption(const Args& args) {
+  if (!args.Has("heartbeat")) return;
+  const double interval = args.GetDouble("heartbeat", 0.0);
+  if (interval <= 0.0) {
+    std::fprintf(stderr,
+                 "bad value for --heartbeat (expected a positive interval)\n");
+    std::exit(2);
+  }
+  obs::StartHeartbeat(interval);
 }
 
 /// Writes the --report / --trace artifacts; returns 1 on I/O failure.
@@ -280,6 +294,7 @@ LinkageConfig ConfigFromArgs(const Args& args) {
 int CmdLink(const Args& args) {
   MaybeEnableTracing(args);
   ApplyThreadOption(args);
+  ApplyHeartbeatOption(args);
   const CensusDataset old_dataset =
       LoadOrDie(args.Require("old"), args.GetInt("old-year", 0));
   const CensusDataset new_dataset =
@@ -373,6 +388,7 @@ int CmdEvaluate(const Args& args) {
 int CmdAnalyze(const Args& args) {
   MaybeEnableTracing(args);
   ApplyThreadOption(args);
+  ApplyHeartbeatOption(args);
   const std::string dir = args.Require("dir");
   const std::vector<std::string> year_strings =
       Split(args.Require("years"), ',');

@@ -112,6 +112,12 @@ RULES = {
         "allocation-free (string_view / const& and flat or unordered "
         "containers are fine)"
     ),
+    "raw-allocator-hook": (
+        "no operator new/delete replacement, malloc_usable_size, or "
+        "/proc/self access in library code — allocator interposition and "
+        "RSS sampling live only in src/tglink/obs/memprof.{h,cc}, which "
+        "implements them and is exempt"
+    ),
 }
 
 # Functions returning Status whose result must be consumed. Kept explicit
@@ -168,6 +174,21 @@ MUTEX_RE = re.compile(
     r"|\bstd::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
     r"|\bstd::condition_variable(?:_any)?\b"
 )
+
+# The one library component allowed to replace the global allocator and
+# read /proc/self: the memory profiler implements the interposition and
+# RSS sampling everything else observes through its API.
+ALLOCATOR_HOOK_EXEMPT = (
+    os.path.join("src", "tglink", "obs", "memprof.h"),
+    os.path.join("src", "tglink", "obs", "memprof.cc"),
+)
+
+ALLOCATOR_HOOK_RE = re.compile(
+    r"\boperator\s+(?:new|delete)\b|\bmalloc_usable_size\b"
+)
+# Matched against RAW lines: the path only ever appears inside string
+# literals, which the scrubber blanks out.
+PROC_SELF_RE = re.compile(r"/proc/self")
 
 # --- nondeterministic-iteration machinery ----------------------------------
 # Variable names are collected per file from declaration-looking lines; a
@@ -311,6 +332,7 @@ def lint_file(ctx: FileContext) -> list[Finding]:
     stopwatch_exempt = relpath.startswith(STOPWATCH_EXEMPT)
     thread_exempt = relpath in THREAD_EXEMPT
     mutex_exempt = relpath in MUTEX_EXEMPT
+    allocator_hook_exempt = relpath in ALLOCATOR_HOOK_EXEMPT
 
     def add(line_no: int, rule: str, message: str) -> None:
         if not suppressed(raw_lines[line_no - 1], rule):
@@ -406,6 +428,14 @@ def lint_file(ctx: FileContext) -> list[Finding]:
                 "Mutex/SharedMutex/MutexLock/CondVar from "
                 "tglink/util/thread_annotations.h so the lock discipline "
                 "is visible to -Wthread-safety")
+
+        if not allocator_hook_exempt and (
+            ALLOCATOR_HOOK_RE.search(scrubbed) or PROC_SELF_RE.search(raw)
+        ):
+            add(i, "raw-allocator-hook",
+                "raw allocator hook or /proc/self access in library code; "
+                "allocation tracking and RSS sampling go through "
+                "tglink/obs/memprof.h")
 
         if unordered_names:
             flagged_iteration = False
@@ -999,6 +1029,45 @@ FIXTURES = [
         "namespace tglink {\n"
         "std::string Hold(std::string s) { return s; }\n"
         "}  // namespace tglink\n",
+        set(),
+    ),
+    # --- raw-allocator-hook --------------------------------------------------
+    (
+        "src/tglink/util/own_new.cc",
+        '#include "tglink/util/own_new.h"\n'
+        "#include <cstddef>\n"
+        "void* operator new(std::size_t size);\n",
+        {"raw-allocator-hook"},
+    ),
+    (
+        "src/tglink/util/usable_size.cc",
+        '#include "tglink/util/usable_size.h"\n'
+        "#include <malloc.h>\n"
+        "namespace tglink {\n"
+        "unsigned long Usable(void* p) { return malloc_usable_size(p); }\n"
+        "}  // namespace tglink\n",
+        {"raw-allocator-hook"},
+    ),
+    (
+        "src/tglink/util/proc_status.cc",
+        '#include "tglink/util/proc_status.h"\n'
+        "#include <cstdio>\n"
+        "namespace tglink {\n"
+        'void* Open() { return std::fopen("/proc/self/status", "r"); }\n'
+        "}  // namespace tglink\n",
+        {"raw-allocator-hook"},
+    ),
+    (
+        # The memory profiler implements the hooks and is exempt.
+        "src/tglink/obs/memprof.cc",
+        '#include "tglink/obs/memprof.h"\n'
+        "#include <cstdio>\n"
+        "#include <malloc.h>\n"
+        "#include <new>\n"
+        "namespace tglink {\n"
+        'void* Probe() { return std::fopen("/proc/self/status", "r"); }\n'
+        "}  // namespace tglink\n"
+        "void* operator new(std::size_t size);\n",
         set(),
     ),
 ]
