@@ -75,10 +75,7 @@ int main(int argc, char** argv) {
   TextTable noise_table;
   noise_table.SetHeader({"noise x", "missing %", "grp F%", "rec F%"});
   for (double noise : {0.5, 1.0, 2.0}) {
-    GeneratorConfig gen;
-    gen.seed = options.seed;
-    gen.scale = options.scale;
-    gen.num_censuses = options.pair_index + 2;
+    GeneratorConfig gen = bench::MakeGeneratorConfig(options);
     gen.corruption.noise_scale = noise;
     const SyntheticPair pair = GenerateCensusPair(gen, options.pair_index);
     auto full = ResolveGold(pair.gold, pair.old_dataset, pair.new_dataset);

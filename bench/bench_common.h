@@ -22,6 +22,7 @@
 #include "tglink/obs/run_report.h"
 #include "tglink/obs/trace.h"
 #include "tglink/synth/generator.h"
+#include "tglink/synth/scenario.h"
 #include "tglink/util/csv.h"
 #include "tglink/util/parallel.h"
 #include "tglink/util/timer.h"
@@ -55,6 +56,18 @@ struct BenchOptions {
   /// Test hook, hidden from --help: "throw" makes MakeEvalPair throw, which
   /// exercises the ReportOnAbort partial-report flush end to end.
   std::string inject_fault;
+  /// Scenario profile (synth/scenario.h): preset name or JSON file path,
+  /// resolved at parse time. Empty = built-in generator defaults. The
+  /// resolved name (not the path) is what RunReports record, alongside the
+  /// profile's content hash.
+  std::string scenario;
+  /// Generator configuration from the resolved scenario; defaults when no
+  /// --scenario was given. --scale / --seed / --pair stay authoritative:
+  /// MakeGeneratorConfig overlays them on top of this.
+  GeneratorConfig scenario_config;
+  /// FNV-1a 64 content hash of the scenario document (16 hex digits);
+  /// empty when running on defaults.
+  std::string scenario_hash;
 };
 
 namespace detail {
@@ -140,6 +153,22 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv,
       if (options.heartbeat_s <= 0.0) {
         detail::OptionError("--heartbeat", arg + 12, "a positive interval");
       }
+    } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      if (arg[11] == '\0') {
+        detail::OptionError("--scenario", arg + 11,
+                            "a preset name or scenario JSON path");
+      }
+      Result<Scenario> scenario = ResolveScenario(arg + 11);
+      if (!scenario.ok()) {
+        std::fprintf(stderr, "error: --scenario: %s\n",
+                     scenario.status().ToString().c_str());
+        std::exit(2);
+      }
+      // Record the profile's declared name, not the argument: a preset and
+      // the file mirroring it then produce identical RunReport identities.
+      options.scenario = scenario.value().name;
+      options.scenario_config = scenario.value().config;
+      options.scenario_hash = scenario.value().content_hash;
     } else if (std::strncmp(arg, "--inject-fault=", 15) == 0) {
       options.inject_fault = arg + 15;
       if (options.inject_fault != "throw" && options.inject_fault != "none") {
@@ -152,9 +181,13 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv,
                             "0 (hardware) or a positive count");
       }
     } else if (std::strcmp(arg, "--help") == 0) {
+      std::string presets;
+      for (const std::string& name : ScenarioPresetNames()) {
+        presets += " " + name;
+      }
       std::printf(
           "options: --scale=F --seed=N --pair=K --threads=N --blocking=M "
-          "--heartbeat=S --report=FILE --trace=FILE\n"
+          "--scenario=NAME --heartbeat=S --report=FILE --trace=FILE\n"
           "  --scale=F    fraction of Table 1 dataset sizes (default 0.25)\n"
           "  --seed=N     synthetic-data RNG seed (default 42)\n"
           "  --pair=K     successive census pair index (default 2)\n"
@@ -163,10 +196,15 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv,
           "  --blocking=M candidate generation: hash (default), index\n"
           "               (inverted candidate index; identical candidates,\n"
           "               faster at scale) or exhaustive (cross product)\n"
+          "  --scenario=NAME  generator calibration profile: a preset name\n"
+          "               or a tglink.scenario/1 JSON file; --scale/--seed/\n"
+          "               --pair still override its generator block.\n"
+          "               presets:%s\n"
           "  --heartbeat=S  print stage/pairs-per-sec/RSS to stderr every S\n"
           "               seconds (long runs; off by default)\n"
           "  --report=FILE  write a RunReport JSON (tglink.run_report/2)\n"
-          "  --trace=FILE   write Chrome trace-event JSON (chrome://tracing)\n");
+          "  --trace=FILE   write Chrome trace-event JSON (chrome://tracing)\n",
+          presets.c_str());
       std::exit(0);
     } else {
       std::fprintf(stderr, "error: unknown option '%s' (see --help)\n", arg);
@@ -206,8 +244,36 @@ inline obs::RunReportBuilder MakeRunReport(const std::string& tool,
       .AddOption("seed", options.seed)
       .AddOption("pair", static_cast<uint64_t>(options.pair_index))
       .AddOption("threads", static_cast<uint64_t>(ParallelThreadCount()))
-      .AddOption("blocking", options.blocking);
+      .AddOption("blocking", options.blocking)
+      .AddOption("scenario",
+                 options.scenario.empty() ? "default" : options.scenario)
+      .AddOption("scenario_hash", options.scenario_hash.empty()
+                                      ? "none"
+                                      : options.scenario_hash);
   return report;
+}
+
+/// The synthetic-generator configuration a harness should run: the resolved
+/// scenario profile (defaults when none), with --seed / --scale always
+/// authoritative and the series trimmed to exactly the censuses the
+/// requested pair needs. Every harness that builds a GeneratorConfig must
+/// go through here, or --scenario silently wouldn't apply to it.
+inline GeneratorConfig MakeGeneratorConfig(const BenchOptions& options) {
+  GeneratorConfig gen = options.scenario_config;
+  gen.seed = options.seed;
+  gen.scale = options.scale;
+  gen.num_censuses = options.pair_index + 2;
+  return gen;
+}
+
+/// Full-series variant for the Table 1 / Table 8 / Fig. 6 harnesses: keeps
+/// the scenario's series length (default 6 censuses) instead of trimming
+/// to the --pair window.
+inline GeneratorConfig MakeSeriesGeneratorConfig(const BenchOptions& options) {
+  GeneratorConfig gen = options.scenario_config;
+  gen.seed = options.seed;
+  gen.scale = options.scale;
+  return gen;
 }
 
 /// Writes the --report / --trace artifacts the user asked for (no-op when
@@ -319,12 +385,9 @@ inline EvalPair MakeEvalPair(const BenchOptions& options) {
   if (options.inject_fault == "throw") {
     throw std::runtime_error("injected fault (--inject-fault=throw)");
   }
-  GeneratorConfig gen;
-  gen.seed = options.seed;
-  gen.scale = options.scale;
-  gen.num_censuses = options.pair_index + 2;
   EvalPair ep;
-  ep.pair = GenerateCensusPair(gen, options.pair_index);
+  ep.pair = GenerateCensusPair(MakeGeneratorConfig(options),
+                               options.pair_index);
   auto full = ResolveGold(ep.pair.gold, ep.pair.old_dataset,
                           ep.pair.new_dataset);
   if (!full.ok()) {

@@ -17,10 +17,7 @@ int main(int argc, char** argv) {
   obs::RunReportBuilder report =
       bench::MakeRunReport("fig6_evolution_patterns", options);
 
-  GeneratorConfig gen;
-  gen.seed = options.seed;
-  gen.scale = options.scale;
-  gen.num_censuses = 6;
+  const GeneratorConfig gen = bench::MakeSeriesGeneratorConfig(options);
   const SyntheticSeries series = GenerateCensusSeries(gen);
   std::printf("== Fig. 6: evolution pattern frequencies 1851-1901 (scale "
               "%.2f) ==\n",

@@ -86,11 +86,9 @@ int main(int argc, char** argv) {
   obs::RunReportBuilder report = bench::MakeRunReport("sim_kernels", options);
   std::printf("== Batched similarity kernels vs scalar reference ==\n");
 
-  GeneratorConfig gen;
-  gen.seed = options.seed;
-  gen.scale = options.scale;
-  gen.num_censuses = options.pair_index + 2;
-  const SyntheticPair pair = GenerateCensusPair(gen, options.pair_index);
+  const SyntheticPair pair =
+      GenerateCensusPair(bench::MakeGeneratorConfig(options),
+                         options.pair_index);
   std::printf("pair %d->%d at scale %.2f: %zu x %zu records\n",
               pair.old_dataset.year(), pair.new_dataset.year(), options.scale,
               pair.old_dataset.num_records(), pair.new_dataset.num_records());

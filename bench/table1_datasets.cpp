@@ -20,10 +20,7 @@ int main(int argc, char** argv) {
   obs::RunReportBuilder report = bench::MakeRunReport("table1_datasets",
                                                       options);
 
-  GeneratorConfig gen;
-  gen.seed = options.seed;
-  gen.scale = options.scale;
-  gen.num_censuses = 6;
+  const GeneratorConfig gen = bench::MakeSeriesGeneratorConfig(options);
   Timer timer;
   const SyntheticSeries series = GenerateCensusSeries(gen);
   std::printf("== Table 1: census dataset overview (generated in %.1fs, "

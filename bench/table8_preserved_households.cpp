@@ -18,10 +18,7 @@ int main(int argc, char** argv) {
   obs::RunReportBuilder report =
       bench::MakeRunReport("table8_preserved_households", options);
 
-  GeneratorConfig gen;
-  gen.seed = options.seed;
-  gen.scale = options.scale;
-  gen.num_censuses = 6;
+  const GeneratorConfig gen = bench::MakeSeriesGeneratorConfig(options);
   const SyntheticSeries series = GenerateCensusSeries(gen);
   std::printf("== Table 8: preserved households by interval (scale %.2f) "
               "==\n",

@@ -39,6 +39,14 @@ struct CorruptionConfig {
 
   /// Scales every probability above (noise-sweep ablations).
   double noise_scale = 1.0;
+
+  /// Probability that a person is enumerated TWICE within one snapshot —
+  /// the duplicate record gets an independent corruption draw, so the two
+  /// copies usually differ. An enumeration-process defect rather than
+  /// transcription noise, so noise_scale does not apply. Zero (the
+  /// default) draws no randomness: the snapshot stream is byte-identical
+  /// to the pre-scenario generator.
+  double duplicate_record_prob = 0.0;
 };
 
 /// Stateless corruptor; all randomness comes from the caller's Rng.

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
+#include <unordered_set>
+
+#include "tglink/synth/scenario.h"
+#include "tglink/util/logging.h"
 
 namespace tglink {
 
@@ -19,9 +23,16 @@ GoldMapping BuildGold(const Population::Snapshot& old_snapshot,
   }
   GoldMapping gold;
   std::vector<std::pair<std::string, std::string>> group_links;
+  // With within-snapshot duplicates (duplicate_record_prob scenarios) one
+  // pid can own several records per side. Gold stays one-to-one: the first
+  // old-side record links to the first new-side record (new_by_pid::emplace
+  // already keeps the first); further copies are unlinked enumeration noise
+  // the linker should NOT match. A no-op for duplicate-free snapshots.
+  std::unordered_set<uint64_t> linked_pids;
   for (RecordId r_old = 0; r_old < old_snapshot.record_pids.size(); ++r_old) {
     auto it = new_by_pid.find(old_snapshot.record_pids[r_old]);
     if (it == new_by_pid.end()) continue;
+    if (!linked_pids.insert(old_snapshot.record_pids[r_old]).second) continue;
     const RecordId r_new = it->second;
     gold.record_links.emplace_back(
         old_snapshot.dataset.record(r_old).external_id,
@@ -52,7 +63,8 @@ PopulationConfig ScaledPopulationConfig(const GeneratorConfig& config) {
 }  // namespace
 
 SyntheticSeries GenerateCensusSeries(const GeneratorConfig& config) {
-  assert(config.num_censuses >= 1);
+  const Status valid = ValidateGeneratorConfig(config);
+  TGLINK_CHECK(valid.ok()) << valid.ToString();
   Rng rng(config.seed);
   const CorruptionModel corruption(config.corruption);
   Population population(ScaledPopulationConfig(config), &rng);

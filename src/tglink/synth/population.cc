@@ -425,9 +425,18 @@ void Population::ApplyHouseholdMoves(Rng* rng) {
 }
 
 void Population::ApplyEmigration(Rng* rng) {
+  // A migration shock multiplies the per-household emigration rate in
+  // exactly one decade; outside it (and with multiplier 1.0, the default)
+  // the draw sequence is unchanged.
+  double emigration_prob = config_.emigration_prob;
+  if (config_.migration_shock_decade != 0 &&
+      decade_index_ == config_.migration_shock_decade) {
+    emigration_prob =
+        std::min(1.0, emigration_prob * config_.migration_shock_multiplier);
+  }
   std::vector<uint64_t> leaving;
   for (const auto& [hid, household] : households_) {
-    if (household.present && rng->Bernoulli(config_.emigration_prob)) {
+    if (household.present && rng->Bernoulli(emigration_prob)) {
       leaving.push_back(hid);
     }
   }
@@ -502,6 +511,59 @@ void Population::AdvanceDecade(Rng* rng) {
   ApplyHouseholdMoves(rng);
   ApplyEmigration(rng);
   ApplyImmigration(rng);
+  // Scenario dynamics run last so the friendly event phases above keep
+  // their historical draw sequence; each is a strict no-op at rate zero.
+  ApplyMassSurnameChange(rng);
+  ApplyHouseholdDissolution(rng);
+}
+
+void Population::ApplyMassSurnameChange(Rng* rng) {
+  if (config_.mass_surname_change_prob <= 0.0) return;
+  for (auto& [hid, household] : households_) {
+    if (!household.present || household.members.empty()) continue;
+    if (!rng->Bernoulli(config_.mass_surname_change_prob)) continue;
+    // The whole household adopts the new name, so its internal structure
+    // stays coherent — the break is purely against the previous snapshot.
+    const std::string surname = names_.SampleSurnameDiverse(rng);
+    for (uint64_t pid : household.members) {
+      persons_.at(pid).surname = surname;
+    }
+  }
+}
+
+void Population::ApplyHouseholdDissolution(Rng* rng) {
+  if (config_.household_dissolution_prob <= 0.0) return;
+  // Partition up front: dissolution fills other households and creates new
+  // ones, and mutating households_ mid-iteration would invalidate the loop.
+  std::vector<uint64_t> dissolving;
+  std::vector<uint64_t> hosts;
+  for (const auto& [hid, household] : households_) {
+    if (!household.present || household.members.size() < 2) continue;
+    if (rng->Bernoulli(config_.household_dissolution_prob)) {
+      dissolving.push_back(hid);
+    } else {
+      hosts.push_back(hid);
+    }
+  }
+  for (uint64_t hid : dissolving) {
+    // The head keeps the shrunken household; everyone else scatters, half
+    // into surviving households as lodgers, half into new one-person homes.
+    const uint64_t head = households_.at(hid).head;
+    const std::vector<uint64_t> members = households_.at(hid).members;
+    for (uint64_t pid : members) {
+      if (pid == head) continue;
+      RemoveFromHousehold(pid);
+      SimPerson& person = persons_.at(pid);
+      if (!hosts.empty() && rng->Bernoulli(0.5)) {
+        person.is_lodger = true;
+        AddToHousehold(pid, hosts[rng->NextBounded(hosts.size())]);
+      } else {
+        const uint64_t new_hid = NewHousehold(rng);
+        AddToHousehold(pid, new_hid);
+        households_.at(new_hid).head = pid;
+      }
+    }
+  }
 }
 
 size_t Population::PresentHouseholds() const {
@@ -600,32 +662,43 @@ Population::Snapshot Population::TakeSnapshot(const CorruptionModel& corruption,
                 return a < b;
               });
 
+    const double dup_prob = corruption.config().duplicate_record_prob;
     std::vector<PersonRecord> records;
     records.reserve(ordered.size());
     std::vector<uint64_t> pids;
     for (uint64_t pid : ordered) {
       const SimPerson& person = persons_.at(pid);
-      PersonRecord record;
-      record.external_id = "r" + std::to_string(current_year_) + "_" +
-                           std::to_string(snapshot.record_pids.size() +
-                                          pids.size());
-      record.first_name = person.first_name;
-      record.surname = person.surname;
-      record.sex = person.sex;
-      record.age = current_year_ - person.birth_year;
-      record.address = household.address;
-      const int age = record.age;
+      PersonRecord clean;
+      clean.first_name = person.first_name;
+      clean.surname = person.surname;
+      clean.sex = person.sex;
+      clean.age = current_year_ - person.birth_year;
+      clean.address = household.address;
+      const int age = clean.age;
       if (age < 3) {
-        record.occupation.clear();
+        clean.occupation.clear();
       } else if (age < 13) {
-        record.occupation = "scholar";
+        clean.occupation = "scholar";
       } else {
-        record.occupation = person.occupation;
+        clean.occupation = person.occupation;
       }
-      record.role = RoleOf(person, household);
-      corruption.CorruptRecord(&record, rng);
-      records.push_back(std::move(record));
-      pids.push_back(pid);
+      clean.role = RoleOf(person, household);
+
+      // One enumeration is the common case; the duplicate (scenario-only,
+      // dup_prob == 0 by default and then no Rng draw happens) re-corrupts
+      // the same clean record independently, so the two copies usually
+      // disagree — a within-snapshot near-duplicate, not an exact one.
+      const int copies =
+          1 + (dup_prob > 0.0 && rng->Bernoulli(dup_prob) ? 1 : 0);
+      for (int copy = 0; copy < copies; ++copy) {
+        PersonRecord record = clean;
+        record.external_id = "r" + std::to_string(current_year_) + "_" +
+                             std::to_string(snapshot.record_pids.size() +
+                                            pids.size());
+        corruption.CorruptRecord(&record, rng);
+        records.push_back(std::move(record));
+        pids.push_back(pid);
+      }
     }
     snapshot.dataset.AddHousehold(
         "h" + std::to_string(current_year_) + "_" +

@@ -58,6 +58,24 @@ struct PopulationConfig {
   double lodger_prob = 0.04;
   double parent_coresident_prob = 0.06;    // founding head houses a parent
   double servant_turnover_prob = 0.20;
+
+  // --- Adversarial scenario dynamics (synth/scenario.h) -------------------
+  // All off by default. A disabled dynamic consumes NO randomness, so the
+  // default configuration stays byte-identical to the pre-scenario
+  // generator (pinned by the rawtenstall byte-identity test).
+
+  /// Per decade, probability that a present household collectively adopts a
+  /// new surname (anglicization waves, patronymic drift à la ICE-ID).
+  double mass_surname_change_prob = 0.0;
+  /// Per decade, probability that a present multi-member household
+  /// dissolves: non-head members scatter into other households as lodgers
+  /// or found single-person households.
+  double household_dissolution_prob = 0.0;
+  /// Decade index (1 = the first inter-census transition) at which a
+  /// one-off migration shock multiplies the emigration rate; 0 = no shock.
+  size_t migration_shock_decade = 0;
+  /// Emigration-probability multiplier applied only in the shock decade.
+  double migration_shock_multiplier = 1.0;
 };
 
 /// One simulated person. pids are stable across the whole series; persons
@@ -139,6 +157,10 @@ class Population {
   void ApplyHouseholdMoves(Rng* rng);
   void ApplyEmigration(Rng* rng);
   void ApplyImmigration(Rng* rng);
+  // Adversarial scenario dynamics; no-ops (zero Rng draws) when their rate
+  // is zero, so disabled dynamics cannot perturb the event stream.
+  void ApplyMassSurnameChange(Rng* rng);
+  void ApplyHouseholdDissolution(Rng* rng);
 
   PopulationConfig config_;
   NameSampler names_;

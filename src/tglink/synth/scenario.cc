@@ -1,0 +1,412 @@
+#include "tglink/synth/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "tglink/util/csv.h"
+#include "tglink/util/json.h"
+
+namespace tglink {
+
+namespace {
+
+Status FieldError(const std::string& field, const std::string& problem) {
+  return Status::InvalidArgument("scenario: " + field + " " + problem);
+}
+
+Status CheckProb(const char* field, double value) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    return FieldError(field,
+                      "= " + std::to_string(value) + " outside [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status CheckNonNegative(const char* field, double value) {
+  if (!(value >= 0.0)) {
+    return FieldError(field, "= " + std::to_string(value) + " is negative");
+  }
+  return Status::OK();
+}
+
+/// The corruption model draws Bernoulli(rate * noise_scale); that product
+/// must itself be a probability or the draw is ill-defined.
+Status CheckScaledProb(const char* field, double value, double noise_scale) {
+  TGLINK_RETURN_IF_ERROR(CheckProb(field, value));
+  if (value * noise_scale > 1.0) {
+    return FieldError(field, "* noise_scale = " +
+                                 std::to_string(value * noise_scale) +
+                                 " exceeds 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateGeneratorConfig(const GeneratorConfig& config) {
+  if (!(config.scale > 0.0) || !std::isfinite(config.scale)) {
+    return FieldError("generator.scale", "must be positive and finite");
+  }
+  if (config.num_censuses < 1) {
+    return FieldError("generator.num_censuses", "must be >= 1");
+  }
+
+  const PopulationConfig& p = config.population;
+  if (p.household_targets.empty()) {
+    return FieldError("population.household_targets", "must not be empty");
+  }
+  for (size_t target : p.household_targets) {
+    if (target < 1) {
+      return FieldError("population.household_targets",
+                        "entries must be >= 1");
+    }
+  }
+  struct NamedProb {
+    const char* name;
+    double value;
+  };
+  const NamedProb population_probs[] = {
+      {"population.death_prob_child", p.death_prob_child},
+      {"population.death_prob_young", p.death_prob_young},
+      {"population.death_prob_mid", p.death_prob_mid},
+      {"population.death_prob_old", p.death_prob_old},
+      {"population.death_prob_elder", p.death_prob_elder},
+      {"population.marriage_prob", p.marriage_prob},
+      {"population.couple_new_household_prob", p.couple_new_household_prob},
+      {"population.leave_home_prob", p.leave_home_prob},
+      {"population.leave_as_lodger_prob", p.leave_as_lodger_prob},
+      {"population.household_move_prob", p.household_move_prob},
+      {"population.occupation_change_prob", p.occupation_change_prob},
+      {"population.female_occupation_prob", p.female_occupation_prob},
+      {"population.emigration_prob", p.emigration_prob},
+      {"population.widow_merge_prob", p.widow_merge_prob},
+      {"population.servant_prob", p.servant_prob},
+      {"population.lodger_prob", p.lodger_prob},
+      {"population.parent_coresident_prob", p.parent_coresident_prob},
+      {"population.servant_turnover_prob", p.servant_turnover_prob},
+      {"population.mass_surname_change_prob", p.mass_surname_change_prob},
+      {"population.household_dissolution_prob", p.household_dissolution_prob},
+  };
+  for (const NamedProb& prob : population_probs) {
+    TGLINK_RETURN_IF_ERROR(CheckProb(prob.name, prob.value));
+  }
+  TGLINK_RETURN_IF_ERROR(CheckNonNegative("population.birth_mean",
+                                          p.birth_mean));
+  TGLINK_RETURN_IF_ERROR(CheckNonNegative("population.initial_children_mean",
+                                          p.initial_children_mean));
+  TGLINK_RETURN_IF_ERROR(CheckNonNegative(
+      "population.migration_shock_multiplier", p.migration_shock_multiplier));
+
+  const CorruptionConfig& c = config.corruption;
+  if (!(c.noise_scale >= 0.0) || !std::isfinite(c.noise_scale)) {
+    return FieldError("corruption.noise_scale",
+                      "must be non-negative and finite");
+  }
+  if (c.age_error_max < 1) {
+    return FieldError("corruption.age_error_max", "must be >= 1");
+  }
+  const NamedProb corruption_probs[] = {
+      {"corruption.name_typo_prob", c.name_typo_prob},
+      {"corruption.nickname_prob", c.nickname_prob},
+      {"corruption.age_error_prob", c.age_error_prob},
+      {"corruption.missing_first_name", c.missing_first_name},
+      {"corruption.missing_surname", c.missing_surname},
+      {"corruption.missing_sex", c.missing_sex},
+      {"corruption.missing_age", c.missing_age},
+      {"corruption.missing_address", c.missing_address},
+      {"corruption.missing_occupation", c.missing_occupation},
+  };
+  for (const NamedProb& prob : corruption_probs) {
+    TGLINK_RETURN_IF_ERROR(
+        CheckScaledProb(prob.name, prob.value, c.noise_scale));
+  }
+  // Enumeration-process duplication is deliberately outside noise_scale.
+  TGLINK_RETURN_IF_ERROR(
+      CheckProb("corruption.duplicate_record_prob", c.duplicate_record_prob));
+  return Status::OK();
+}
+
+namespace {
+
+/// Field-assignment plumbing: each section of the document maps JSON keys
+/// onto config members through a uniform setter table, so "unknown key" and
+/// "wrong type" errors fall out of one code path.
+
+Status ExpectNumber(const std::string& field, const JsonValue& value,
+                    double* out) {
+  if (!value.is_number()) return FieldError(field, "must be a number");
+  *out = value.number_value;
+  return Status::OK();
+}
+
+Status ExpectInt(const std::string& field, const JsonValue& value, int* out) {
+  if (!value.is_number() ||
+      value.number_value != std::floor(value.number_value)) {
+    return FieldError(field, "must be an integer");
+  }
+  *out = static_cast<int>(value.number_value);
+  return Status::OK();
+}
+
+Status ExpectSize(const std::string& field, const JsonValue& value,
+                  size_t* out) {
+  if (!value.is_number() || value.number_value < 0.0 ||
+      value.number_value != std::floor(value.number_value)) {
+    return FieldError(field, "must be a non-negative integer");
+  }
+  *out = static_cast<size_t>(value.number_value);
+  return Status::OK();
+}
+
+Status ApplyGeneratorSection(const JsonValue& section,
+                             GeneratorConfig* config) {
+  for (const auto& [key, value] : section.members) {
+    const std::string field = "generator." + key;
+    if (key == "seed") {
+      size_t seed = 0;
+      TGLINK_RETURN_IF_ERROR(ExpectSize(field, value, &seed));
+      config->seed = seed;
+    } else if (key == "start_year") {
+      TGLINK_RETURN_IF_ERROR(ExpectInt(field, value, &config->start_year));
+    } else if (key == "num_censuses") {
+      TGLINK_RETURN_IF_ERROR(ExpectInt(field, value, &config->num_censuses));
+    } else if (key == "scale") {
+      TGLINK_RETURN_IF_ERROR(ExpectNumber(field, value, &config->scale));
+    } else {
+      return FieldError(field, "is not a generator field");
+    }
+  }
+  return Status::OK();
+}
+
+Status ApplyPopulationSection(const JsonValue& section,
+                              PopulationConfig* population) {
+  for (const auto& [key, value] : section.members) {
+    const std::string field = "population." + key;
+    if (key == "household_targets") {
+      if (!value.is_array()) {
+        return FieldError(field, "must be an array of integers");
+      }
+      std::vector<size_t> targets;
+      targets.reserve(value.items.size());
+      for (const JsonValue& item : value.items) {
+        size_t target = 0;
+        TGLINK_RETURN_IF_ERROR(ExpectSize(field + "[]", item, &target));
+        targets.push_back(target);
+      }
+      population->household_targets = std::move(targets);
+      continue;
+    }
+    if (key == "migration_shock_decade") {
+      TGLINK_RETURN_IF_ERROR(
+          ExpectSize(field, value, &population->migration_shock_decade));
+      continue;
+    }
+    const struct {
+      const char* name;
+      double PopulationConfig::* member;
+    } kDoubleFields[] = {
+        {"death_prob_child", &PopulationConfig::death_prob_child},
+        {"death_prob_young", &PopulationConfig::death_prob_young},
+        {"death_prob_mid", &PopulationConfig::death_prob_mid},
+        {"death_prob_old", &PopulationConfig::death_prob_old},
+        {"death_prob_elder", &PopulationConfig::death_prob_elder},
+        {"marriage_prob", &PopulationConfig::marriage_prob},
+        {"couple_new_household_prob",
+         &PopulationConfig::couple_new_household_prob},
+        {"leave_home_prob", &PopulationConfig::leave_home_prob},
+        {"leave_as_lodger_prob", &PopulationConfig::leave_as_lodger_prob},
+        {"birth_mean", &PopulationConfig::birth_mean},
+        {"initial_children_mean", &PopulationConfig::initial_children_mean},
+        {"household_move_prob", &PopulationConfig::household_move_prob},
+        {"occupation_change_prob", &PopulationConfig::occupation_change_prob},
+        {"female_occupation_prob", &PopulationConfig::female_occupation_prob},
+        {"emigration_prob", &PopulationConfig::emigration_prob},
+        {"widow_merge_prob", &PopulationConfig::widow_merge_prob},
+        {"servant_prob", &PopulationConfig::servant_prob},
+        {"lodger_prob", &PopulationConfig::lodger_prob},
+        {"parent_coresident_prob", &PopulationConfig::parent_coresident_prob},
+        {"servant_turnover_prob", &PopulationConfig::servant_turnover_prob},
+        {"mass_surname_change_prob",
+         &PopulationConfig::mass_surname_change_prob},
+        {"household_dissolution_prob",
+         &PopulationConfig::household_dissolution_prob},
+        {"migration_shock_multiplier",
+         &PopulationConfig::migration_shock_multiplier},
+    };
+    bool matched = false;
+    for (const auto& entry : kDoubleFields) {
+      if (key == entry.name) {
+        TGLINK_RETURN_IF_ERROR(
+            ExpectNumber(field, value, &(population->*entry.member)));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return FieldError(field, "is not a population field");
+  }
+  return Status::OK();
+}
+
+Status ApplyCorruptionSection(const JsonValue& section,
+                              CorruptionConfig* corruption) {
+  for (const auto& [key, value] : section.members) {
+    const std::string field = "corruption." + key;
+    if (key == "age_error_max") {
+      TGLINK_RETURN_IF_ERROR(
+          ExpectInt(field, value, &corruption->age_error_max));
+      continue;
+    }
+    const struct {
+      const char* name;
+      double CorruptionConfig::* member;
+    } kDoubleFields[] = {
+        {"name_typo_prob", &CorruptionConfig::name_typo_prob},
+        {"nickname_prob", &CorruptionConfig::nickname_prob},
+        {"age_error_prob", &CorruptionConfig::age_error_prob},
+        {"missing_first_name", &CorruptionConfig::missing_first_name},
+        {"missing_surname", &CorruptionConfig::missing_surname},
+        {"missing_sex", &CorruptionConfig::missing_sex},
+        {"missing_age", &CorruptionConfig::missing_age},
+        {"missing_address", &CorruptionConfig::missing_address},
+        {"missing_occupation", &CorruptionConfig::missing_occupation},
+        {"noise_scale", &CorruptionConfig::noise_scale},
+        {"duplicate_record_prob", &CorruptionConfig::duplicate_record_prob},
+    };
+    bool matched = false;
+    for (const auto& entry : kDoubleFields) {
+      if (key == entry.name) {
+        TGLINK_RETURN_IF_ERROR(
+            ExpectNumber(field, value, &(corruption->*entry.member)));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return FieldError(field, "is not a corruption field");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char ch : text) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Result<Scenario> ParseScenario(std::string_view json_text) {
+  Result<JsonValue> parsed = ParseJson(json_text);
+  TGLINK_RETURN_IF_ERROR(parsed.status());
+  const JsonValue& root = parsed.value();
+  if (!root.is_object()) {
+    return Status::InvalidArgument("scenario: document must be an object");
+  }
+
+  Scenario scenario;
+  bool saw_schema = false;
+  for (const auto& [key, value] : root.members) {
+    if (key == "schema") {
+      if (!value.is_string() || value.string_value != kScenarioSchema) {
+        return Status::InvalidArgument(
+            "scenario: schema must be \"" + std::string(kScenarioSchema) +
+            "\"");
+      }
+      saw_schema = true;
+    } else if (key == "name") {
+      if (!value.is_string() || value.string_value.empty()) {
+        return FieldError("name", "must be a non-empty string");
+      }
+      scenario.name = value.string_value;
+    } else if (key == "description") {
+      if (!value.is_string()) return FieldError("description",
+                                                "must be a string");
+      scenario.description = value.string_value;
+    } else if (key == "generator") {
+      if (!value.is_object()) return FieldError("generator",
+                                                "must be an object");
+      TGLINK_RETURN_IF_ERROR(ApplyGeneratorSection(value, &scenario.config));
+    } else if (key == "population") {
+      if (!value.is_object()) return FieldError("population",
+                                                "must be an object");
+      TGLINK_RETURN_IF_ERROR(
+          ApplyPopulationSection(value, &scenario.config.population));
+    } else if (key == "corruption") {
+      if (!value.is_object()) return FieldError("corruption",
+                                                "must be an object");
+      TGLINK_RETURN_IF_ERROR(
+          ApplyCorruptionSection(value, &scenario.config.corruption));
+    } else {
+      return FieldError(key, "is not a scenario field");
+    }
+  }
+  if (!saw_schema) {
+    return Status::InvalidArgument("scenario: missing \"schema\" field");
+  }
+  if (scenario.name.empty()) {
+    return Status::InvalidArgument("scenario: missing \"name\" field");
+  }
+  // Generator start_year is authoritative for the simulation; keep the
+  // population copy in lockstep (ScaledPopulationConfig re-asserts this).
+  scenario.config.population.start_year = scenario.config.start_year;
+  TGLINK_RETURN_IF_ERROR(ValidateGeneratorConfig(scenario.config));
+
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(json_text)));
+  scenario.content_hash = hex;
+  return scenario;
+}
+
+Result<Scenario> LoadScenarioFile(const std::string& path) {
+  Result<std::string> text = ReadFileToString(path);
+  TGLINK_RETURN_IF_ERROR(text.status());
+  Result<Scenario> scenario = ParseScenario(text.value());
+  if (!scenario.ok()) {
+    return Status(scenario.status().code(),
+                  path + ": " + scenario.status().message());
+  }
+  return scenario;
+}
+
+Result<Scenario> ResolveScenario(const std::string& name_or_path) {
+  if (const ScenarioPreset* preset = FindScenarioPreset(name_or_path)) {
+    return ParseScenario(preset->json);
+  }
+  // Not a preset: treat as a file path, but surface the registry in the
+  // error when the file does not exist either (the common typo case).
+  Result<Scenario> from_file = LoadScenarioFile(name_or_path);
+  if (!from_file.ok() &&
+      from_file.status().code() == StatusCode::kIoError) {
+    std::string known;
+    for (const std::string& name : ScenarioPresetNames()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::NotFound("scenario '" + name_or_path +
+                            "' is neither a preset (" + known +
+                            ") nor a readable file");
+  }
+  return from_file;
+}
+
+const ScenarioPreset* FindScenarioPreset(std::string_view name) {
+  for (const ScenarioPreset& preset : ScenarioPresets()) {
+    if (preset.name == name) return &preset;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioPresetNames() {
+  std::vector<std::string> names;
+  for (const ScenarioPreset& preset : ScenarioPresets()) {
+    names.emplace_back(preset.name);
+  }
+  return names;
+}
+
+}  // namespace tglink

@@ -1,0 +1,83 @@
+// Scenario engine: versioned JSON calibration profiles for the synthetic
+// census generator. A scenario externalizes the full GeneratorConfig —
+// population dynamics, corruption rates, series shape — into a loadable
+// document (schema "tglink.scenario/1"), so experiment grids, adversarial
+// stress corpora and external calibrations (e.g. ICE-ID-style longitudinal
+// registers) are data, not code. A registry of checked-in presets covers
+// the paper's Rawtenstall-shaped default plus adversarial regimes; every
+// preset doubles as a property-test corpus and a bench-matrix row.
+//
+// Parsing is strict: unknown keys are errors (a typo in a calibration file
+// must not silently fall back to a default), and every rate is validated —
+// out-of-range values are Status errors, never silent clamps.
+
+#ifndef TGLINK_SYNTH_SCENARIO_H_
+#define TGLINK_SYNTH_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tglink/synth/generator.h"
+#include "tglink/util/status.h"
+
+namespace tglink {
+
+/// Schema identifier a scenario document must declare.
+inline constexpr std::string_view kScenarioSchema = "tglink.scenario/1";
+
+/// A parsed, validated scenario profile.
+struct Scenario {
+  std::string name;         // registry key / provenance label
+  std::string description;  // optional free text
+  GeneratorConfig config;   // defaults overlaid with the document's values
+  /// FNV-1a 64 hash of the source document, as 16 lowercase hex digits.
+  /// Recorded in RunReports so a bench row pins the exact profile content.
+  std::string content_hash;
+};
+
+/// One checked-in preset: the JSON text is embedded in the binary (so
+/// presets resolve from any working directory) and mirrored byte-for-byte
+/// under scenarios/<name>.json in the source tree.
+struct ScenarioPreset {
+  std::string_view name;
+  std::string_view json;
+};
+
+/// All built-in presets, in registry order.
+const std::vector<ScenarioPreset>& ScenarioPresets();
+
+/// Preset names, in registry order (for --help text and CLI listings).
+std::vector<std::string> ScenarioPresetNames();
+
+/// Looks up a preset by name; nullptr when unknown.
+const ScenarioPreset* FindScenarioPreset(std::string_view name);
+
+/// Validates every rate/shape field of a GeneratorConfig. Returns
+/// InvalidArgument naming the offending field on the first violation:
+/// probabilities outside [0, 1], negative noise_scale, an effective
+/// corruption probability (rate x noise_scale) above 1, age_error_max < 1,
+/// empty or zero household targets, non-positive scale, num_censuses < 1,
+/// or a negative migration-shock multiplier. GenerateCensusSeries CHECKs
+/// this, so an invalid config aborts instead of silently clamping.
+[[nodiscard]] Status ValidateGeneratorConfig(const GeneratorConfig& config);
+
+/// Parses and validates one scenario document. Strict on both layers:
+/// malformed JSON, a missing/mismatched "schema", unknown keys, wrongly
+/// typed values, and out-of-range rates are all errors.
+[[nodiscard]] Result<Scenario> ParseScenario(std::string_view json_text);
+
+/// Reads and parses a scenario document from a file.
+[[nodiscard]] Result<Scenario> LoadScenarioFile(const std::string& path);
+
+/// Resolves a --scenario argument: a preset name from the registry, or
+/// (when no preset matches) a path to a scenario JSON file.
+[[nodiscard]] Result<Scenario> ResolveScenario(const std::string& name_or_path);
+
+/// FNV-1a 64-bit content hash (scenario provenance in RunReports).
+uint64_t Fnv1a64(std::string_view text);
+
+}  // namespace tglink
+
+#endif  // TGLINK_SYNTH_SCENARIO_H_

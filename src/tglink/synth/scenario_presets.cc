@@ -1,0 +1,118 @@
+// tglink-lint: disable=include-self -- second TU of scenario.h (data only).
+// Built-in scenario presets. Each preset's JSON is embedded verbatim so the
+// registry resolves from any working directory; the same text is mirrored
+// byte-for-byte under scenarios/<name>.json in the source tree (pinned by
+// scenario_test's embedded-vs-file comparison, and by the tglink_lint
+// scenario-schema rule on the checked-in files).
+//
+// Registry order is presentation order: the faithful calibrations first,
+// then the adversarial regimes roughly by how specifically they target one
+// linkage mechanism.
+
+#include "tglink/synth/scenario.h"
+
+namespace tglink {
+
+namespace {
+constexpr std::string_view k_rawtenstall = R"json({
+  "schema": "tglink.scenario/1",
+  "name": "rawtenstall",
+  "description": "Default calibration: the paper's Rawtenstall-shaped series (Table 1 household counts, 3-6.5% missingness band). Carries no overrides, so its output is byte-identical to the built-in generator defaults."
+}
+)json";
+constexpr std::string_view k_ice_id_longitudinal = R"json({
+  "schema": "tglink.scenario/1",
+  "name": "ice_id_longitudinal",
+  "description": "Longitudinal register in the style of the Icelandic ICE-ID data: a longer eight-census series with cleaner transcription (low typo and missingness rates) but steady patronymic-style surname drift, which shifts the linkage difficulty from noise onto name instability.",
+  "generator": {
+    "start_year": 1850,
+    "num_censuses": 8
+  },
+  "population": {
+    "household_targets": [3298, 3560, 3840, 4150, 4480, 4840, 5220, 5640],
+    "emigration_prob": 0.06,
+    "mass_surname_change_prob": 0.08
+  },
+  "corruption": {
+    "name_typo_prob": 0.02,
+    "nickname_prob": 0.01,
+    "age_error_prob": 0.08,
+    "missing_first_name": 0.004,
+    "missing_surname": 0.004,
+    "missing_sex": 0.008,
+    "missing_age": 0.01,
+    "missing_address": 0.015,
+    "missing_occupation": 0.015
+  }
+}
+)json";
+constexpr std::string_view k_mass_surname_change = R"json({
+  "schema": "tglink.scenario/1",
+  "name": "mass_surname_change",
+  "description": "Adversarial: every decade a quarter of all households collectively adopt a new surname (anglicization waves, clerical renaming). Surname-heavy similarity and blocking keys degrade; household context must carry the linkage.",
+  "population": {
+    "mass_surname_change_prob": 0.25
+  }
+}
+)json";
+constexpr std::string_view k_household_dissolution_wave = R"json({
+  "schema": "tglink.scenario/1",
+  "name": "household_dissolution_wave",
+  "description": "Adversarial: each decade a fifth of multi-member households dissolve, scattering non-head members into other households as lodgers or into new single-person homes. Group-level evidence fragments, stressing the household-match steps and the split/merge evolution patterns.",
+  "population": {
+    "household_dissolution_prob": 0.2
+  }
+}
+)json";
+constexpr std::string_view k_migration_shock = R"json({
+  "schema": "tglink.scenario/1",
+  "name": "migration_shock",
+  "description": "Adversarial: a one-off emigration shock in the third inter-census transition multiplies the household emigration rate fivefold, then immigration refills toward the Table 1 targets. The shocked pair has far fewer true links amid many plausible-looking new arrivals.",
+  "population": {
+    "migration_shock_decade": 3,
+    "migration_shock_multiplier": 5.0
+  }
+}
+)json";
+constexpr std::string_view k_extreme_missingness = R"json({
+  "schema": "tglink.scenario/1",
+  "name": "extreme_missingness",
+  "description": "Adversarial: per-attribute missing-value rates pushed far beyond the paper's 3-6.5% band (10-20% per attribute). Record-pair similarity loses whole attributes at a time, exercising the missing-value handling of every similarity kernel.",
+  "corruption": {
+    "missing_first_name": 0.1,
+    "missing_surname": 0.1,
+    "missing_sex": 0.12,
+    "missing_age": 0.15,
+    "missing_address": 0.2,
+    "missing_occupation": 0.2
+  }
+}
+)json";
+constexpr std::string_view k_within_snapshot_duplicates = R"json({
+  "schema": "tglink.scenario/1",
+  "name": "within_snapshot_duplicates",
+  "description": "Adversarial: five percent of persons are enumerated twice within one snapshot, each copy corrupted independently. Ground truth links only the first copy, so the second is pure precision bait for one-to-one matching.",
+  "corruption": {
+    "duplicate_record_prob": 0.05
+  }
+}
+)json";
+
+/// The embedded text IS the file content, trailing newline included, so
+/// the content hash recorded in RunReports is the same whether a preset is
+/// resolved by name or loaded from its scenarios/ file.
+const std::vector<ScenarioPreset> kPresets = {
+    {"rawtenstall", k_rawtenstall},
+    {"ice_id_longitudinal", k_ice_id_longitudinal},
+    {"mass_surname_change", k_mass_surname_change},
+    {"household_dissolution_wave", k_household_dissolution_wave},
+    {"migration_shock", k_migration_shock},
+    {"extreme_missingness", k_extreme_missingness},
+    {"within_snapshot_duplicates", k_within_snapshot_duplicates},
+};
+
+}  // namespace
+
+const std::vector<ScenarioPreset>& ScenarioPresets() { return kPresets; }
+
+}  // namespace tglink

@@ -1,0 +1,61 @@
+// Minimal strict JSON parser for configuration ingestion (scenario
+// profiles; see synth/scenario.h). The counterpart of obs/json_writer.h:
+// that side serializes, this side parses. Deliberately small — a DOM of
+// JsonValue nodes, no streaming, no comments, no extensions — and strict:
+// the full input must be one valid RFC 8259 document, objects preserve key
+// order (so round-trips and error messages are deterministic), and nesting
+// depth is capped so adversarial inputs cannot overflow the stack.
+
+#ifndef TGLINK_UTIL_JSON_H_
+#define TGLINK_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "tglink/util/status.h"
+
+namespace tglink {
+
+/// One parsed JSON value. A tagged aggregate rather than a std::variant so
+/// the accessors can stay trivial and the recursive members need no
+/// indirection tricks.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;  // kArray elements
+  /// kObject members in document order. Duplicate keys are rejected at
+  /// parse time, so lookups are unambiguous.
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const;
+};
+
+/// Maximum container nesting accepted by ParseJson. Configuration documents
+/// are a handful of levels deep; anything deeper is hostile input.
+inline constexpr int kJsonMaxDepth = 64;
+
+/// Parses exactly one JSON document from `text` (leading/trailing
+/// whitespace allowed, nothing else). Returns ParseError with a byte offset
+/// and reason on malformed input, including: trailing garbage, duplicate
+/// object keys, unpaired surrogates, control characters in strings,
+/// numbers outside double range, and nesting beyond kJsonMaxDepth.
+[[nodiscard]] Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace tglink
+
+#endif  // TGLINK_UTIL_JSON_H_

@@ -4,7 +4,10 @@
 //
 //   * equivalence: with pruning disabled, GeneratePairs() emits EXACTLY the
 //     candidate-pair set of blocking.cc hash blocking, across >= 50 seeded
-//     synthetic datasets covering every corruption preset;
+//     synthetic datasets covering every corruption preset AND every
+//     scenario-registry profile (the adversarial regimes produce token
+//     distributions — duplicated records, dissolved households, mass
+//     renames — the friendly presets never do);
 //   * batching: the concatenation of EmitBatches() batches is the same
 //     stream GeneratePairs() returns;
 //   * pruning: a token is pruned under exactly the condition hash blocking
@@ -49,6 +52,20 @@ std::string DescribePair(const SyntheticPair& pair) {
          std::to_string(pair.new_dataset.num_records()) + " records";
 }
 
+/// Every corruption regime the generator can produce: the five classic
+/// presets plus every scenario-registry profile, labelled for reports.
+std::vector<proptest::NamedScenarioConfig> AllRegimes() {
+  std::vector<proptest::NamedScenarioConfig> regimes;
+  const std::vector<GeneratorConfig> presets = proptest::AllPresets();
+  for (size_t i = 0; i < presets.size(); ++i) {
+    regimes.push_back({"preset" + std::to_string(i), presets[i]});
+  }
+  for (proptest::NamedScenarioConfig& sc : proptest::AllScenarioConfigs()) {
+    regimes.push_back(std::move(sc));
+  }
+  return regimes;
+}
+
 bool SamePairs(const std::vector<CandidatePair>& a,
                const std::vector<CandidatePair>& b) {
   if (a.size() != b.size()) return false;
@@ -73,14 +90,15 @@ double GoldRecall(const std::vector<CandidatePair>& candidates,
   return static_cast<double>(found) / gold.record_links.size();
 }
 
-// Pruning-disabled index output == hash blocking output, exactly, for 50
-// datasets: every corruption preset x 10 seeds (preset coverage is
-// deterministic, not sampled).
+// Pruning-disabled index output == hash blocking output, exactly, for 60
+// datasets: every corruption regime — classic presets and scenario
+// profiles — x 5 seeds (regime coverage is deterministic, not sampled).
 TEST_F(CandidateIndexPropertyTest, ExactEquivalenceWithHashBlocking) {
-  for (const GeneratorConfig& preset : proptest::AllPresets()) {
-    proptest::Runner runner("candidate_index.equivalence", /*iterations=*/10);
-    runner.Run([&preset](proptest::Case& c) {
-      GeneratorConfig gen = preset;
+  for (const proptest::NamedScenarioConfig& regime : AllRegimes()) {
+    proptest::Runner runner("candidate_index.equivalence." + regime.name,
+                            /*iterations=*/5);
+    runner.Run([&regime](proptest::Case& c) {
+      GeneratorConfig gen = regime.config;
       gen.seed = c.rng().Next();
       gen.scale = c.scale();
       gen.num_censuses = 2;
@@ -99,7 +117,7 @@ TEST_F(CandidateIndexPropertyTest, ExactEquivalenceWithHashBlocking) {
                        ", index " + std::to_string(actual.size()) + ")");
     });
     EXPECT_TRUE(runner.AllPassed()) << runner.Report();
-    EXPECT_GE(runner.iterations_ran(), 10);
+    EXPECT_GE(runner.iterations_ran(), 5);
   }
 }
 
@@ -133,14 +151,14 @@ TEST_F(CandidateIndexPropertyTest, BatchedEmissionMatchesGeneratePairs) {
 // SAME oversize cap (the apples-to-apples baseline: both drop blocks with
 // old + new > cap): the index's candidate set is a superset — the fallback
 // only adds pairs back — so gold recall is never worse, for every
-// corruption preset.
+// corruption regime (classic presets and scenario profiles alike).
 TEST_F(CandidateIndexPropertyTest, PrunedRecallNoWorseThanBaseline) {
   constexpr size_t kCap = 96;
-  for (const GeneratorConfig& preset : proptest::AllPresets()) {
-    proptest::Runner runner("candidate_index.pruned_recall",
-                            /*iterations=*/10);
-    runner.Run([&preset](proptest::Case& c) {
-      GeneratorConfig gen = preset;
+  for (const proptest::NamedScenarioConfig& regime : AllRegimes()) {
+    proptest::Runner runner("candidate_index.pruned_recall." + regime.name,
+                            /*iterations=*/5);
+    runner.Run([&regime](proptest::Case& c) {
+      GeneratorConfig gen = regime.config;
       gen.seed = c.rng().Next();
       gen.scale = c.scale();
       gen.num_censuses = 2;

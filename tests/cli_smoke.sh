@@ -42,6 +42,22 @@ test -s "$DIR/evo.dot"
 grep -q "digraph evolution" "$DIR/evo.dot"
 test -s "$DIR/evo.csv"
 
+# Scenario registry: listing, validation, and scenario-driven generation.
+"$CLI" scenarios | grep -q "rawtenstall"
+"$CLI" scenarios --validate migration_shock | grep -q "ok"
+mkdir "$DIR/shock"
+"$CLI" generate --out-dir "$DIR/shock" --scenario migration_shock \
+    --scale 0.03 > /dev/null
+test -s "$DIR/shock/census_1851.csv"
+# An unknown scenario and an out-of-range profile both fail loudly.
+if "$CLI" generate --out-dir "$DIR/x" --scenario no_such_profile \
+    > /dev/null 2>&1; then exit 1; fi
+printf '{"schema": "tglink.scenario/1", "name": "bad",\n' > "$DIR/bad.json"
+printf ' "population": {"emigration_prob": 2.0}}\n' >> "$DIR/bad.json"
+if "$CLI" scenarios --validate "$DIR/bad.json" > /dev/null 2>&1; then
+  exit 1
+fi
+
 # Unknown commands and missing options fail loudly.
 if "$CLI" frobnicate > /dev/null 2>&1; then exit 1; fi
 if "$CLI" link > /dev/null 2>&1; then exit 1; fi

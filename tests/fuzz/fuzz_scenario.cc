@@ -1,0 +1,35 @@
+// Fuzz target for the scenario-profile ingestion path (util/json +
+// synth/scenario): ParseScenario must never crash, leak, overflow the
+// stack on deep nesting, or trip a sanitizer on arbitrary bytes — it is
+// the one parser that feeds attacker-controllable files straight into
+// generator configuration. On accepted documents the resolved config must
+// actually satisfy the validator (acceptance implies validity), and the
+// content hash must be stable.
+
+#include "tglink/synth/scenario.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto scenario = tglink::ParseScenario(text);
+  if (!scenario.ok()) return 0;  // rejection is fine; crashing is not
+
+  // Acceptance means the config passed validation — re-validating must
+  // agree, or parse and validate have diverged.
+  const tglink::Status valid =
+      tglink::ValidateGeneratorConfig(scenario.value().config);
+  if (!valid.ok()) std::abort();
+
+  // The recorded content hash is a pure function of the input text.
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(tglink::Fnv1a64(text)));
+  if (scenario.value().content_hash != hex) std::abort();
+  return 0;
+}

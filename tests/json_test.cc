@@ -1,0 +1,166 @@
+// Unit tests for the strict JSON parser (util/json.h) feeding the scenario
+// engine: accepted documents round into the expected DOM shape, and every
+// strictness rule — trailing content, duplicate keys, control characters,
+// unpaired surrogates, depth cap, out-of-range numbers — rejects with a
+// ParseError rather than a silent fix-up.
+
+#include "tglink/util/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tglink {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  auto null_value = ParseJson("null");
+  ASSERT_TRUE(null_value.ok());
+  EXPECT_TRUE(null_value.value().is_null());
+
+  auto true_value = ParseJson("true");
+  ASSERT_TRUE(true_value.ok());
+  ASSERT_TRUE(true_value.value().is_bool());
+  EXPECT_TRUE(true_value.value().bool_value);
+
+  auto false_value = ParseJson(" false ");
+  ASSERT_TRUE(false_value.ok());
+  ASSERT_TRUE(false_value.value().is_bool());
+  EXPECT_FALSE(false_value.value().bool_value);
+
+  auto number = ParseJson("-12.5e2");
+  ASSERT_TRUE(number.ok());
+  ASSERT_TRUE(number.value().is_number());
+  EXPECT_DOUBLE_EQ(number.value().number_value, -1250.0);
+
+  auto str = ParseJson("\"hello\"");
+  ASSERT_TRUE(str.ok());
+  ASSERT_TRUE(str.value().is_string());
+  EXPECT_EQ(str.value().string_value, "hello");
+}
+
+TEST(JsonTest, ParsesNestedContainersInDocumentOrder) {
+  auto doc = ParseJson(R"({"b": [1, 2, 3], "a": {"x": true}, "c": null})");
+  ASSERT_TRUE(doc.ok());
+  const JsonValue& root = doc.value();
+  ASSERT_TRUE(root.is_object());
+  ASSERT_EQ(root.members.size(), 3u);
+  // Members keep document order — "b" first, despite sorting after "a".
+  EXPECT_EQ(root.members[0].first, "b");
+  EXPECT_EQ(root.members[1].first, "a");
+  EXPECT_EQ(root.members[2].first, "c");
+
+  const JsonValue* b = root.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(b->items[2].number_value, 3.0);
+
+  const JsonValue* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_object());
+  const JsonValue* x = a->Find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_TRUE(x->is_bool());
+
+  EXPECT_EQ(root.Find("missing"), nullptr);
+  // Find on a non-object is a safe nullptr, not UB.
+  EXPECT_EQ(b->Find("anything"), nullptr);
+}
+
+TEST(JsonTest, DecodesEscapesAndSurrogatePairs) {
+  auto doc = ParseJson(R"("a\"b\\c\/d\n\t\u0041\u00e9")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().string_value, "a\"b\\c/d\n\tA\xc3\xa9");
+
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  auto emoji = ParseJson(R"("\ud83d\ude00")");
+  ASSERT_TRUE(emoji.ok());
+  EXPECT_EQ(emoji.value().string_value, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",                      // empty input
+      "   ",                   // whitespace only
+      "{",                     // unterminated object
+      "[1, 2",                 // unterminated array
+      "[1, ]",                 // trailing comma
+      "{\"a\": 1,}",           // trailing comma in object
+      "{\"a\" 1}",             // missing colon
+      "{'a': 1}",              // single quotes
+      "nul",                   // truncated literal
+      "TRUE",                  // wrong case
+      "+1",                    // leading plus
+      "01",                    // leading zero
+      "1.",                    // bare trailing dot
+      ".5",                    // bare leading dot
+      "1e",                    // empty exponent
+      "\"abc",                 // unterminated string
+      "\"\\q\"",               // unknown escape
+      "\"\\u12\"",             // short unicode escape
+      "// comment\n1",         // comments are not JSON
+      "{\"a\": 1} {\"b\": 2}",  // two documents
+      "1 2",                   // trailing content
+  };
+  for (const char* text : bad) {
+    auto doc = ParseJson(text);
+    EXPECT_FALSE(doc.ok()) << "accepted: " << text;
+    if (!doc.ok()) {
+      EXPECT_EQ(doc.status().code(), StatusCode::kParseError) << text;
+    }
+  }
+}
+
+TEST(JsonTest, RejectsDuplicateObjectKeys) {
+  auto doc = ParseJson(R"({"a": 1, "a": 2})");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("duplicate"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(JsonTest, RejectsRawControlCharactersInStrings) {
+  auto doc = ParseJson("\"a\tb\"");  // literal tab must be escaped
+  EXPECT_FALSE(doc.ok());
+  // The escaped form is fine.
+  EXPECT_TRUE(ParseJson(R"("a\tb")").ok());
+}
+
+TEST(JsonTest, RejectsUnpairedSurrogates) {
+  EXPECT_FALSE(ParseJson(R"("\ud83d")").ok());          // high, no low
+  EXPECT_FALSE(ParseJson(R"("\ude00")").ok());          // lone low
+  EXPECT_FALSE(ParseJson(R"("\ud83d\u0041")").ok());    // high + non-low
+}
+
+TEST(JsonTest, RejectsNumbersOutsideDoubleRange) {
+  EXPECT_FALSE(ParseJson("1e400").ok());
+  EXPECT_FALSE(ParseJson("-1e400").ok());
+  EXPECT_TRUE(ParseJson("1e-300").ok());
+  EXPECT_TRUE(ParseJson("1.7976931348623157e308").ok());
+}
+
+TEST(JsonTest, EnforcesDepthCap) {
+  std::string deep_ok, deep_bad;
+  for (int i = 0; i < kJsonMaxDepth; ++i) deep_ok += "[";
+  deep_ok += "1";
+  for (int i = 0; i < kJsonMaxDepth; ++i) deep_ok += "]";
+  EXPECT_TRUE(ParseJson(deep_ok).ok());
+
+  for (int i = 0; i < kJsonMaxDepth + 1; ++i) deep_bad += "[";
+  deep_bad += "1";
+  for (int i = 0; i < kJsonMaxDepth + 1; ++i) deep_bad += "]";
+  auto doc = ParseJson(deep_bad);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(JsonTest, ErrorsCarryByteOffsets) {
+  auto doc = ParseJson("{\"a\": 1, \"a\": 2}");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("offset"), std::string::npos)
+      << doc.status().ToString();
+}
+
+}  // namespace
+}  // namespace tglink

@@ -1,8 +1,18 @@
 // Seed-parameterized end-to-end linkage properties: for any generated
 // region, the pipeline must uphold its structural invariants and clear a
 // quality floor under the paper's evaluation protocol.
+//
+// A second suite replays the structural invariants over every profile in
+// the scenario registry (synth/scenario.h) — including the adversarial
+// regimes (mass surname change, household dissolution waves, migration
+// shocks, extreme missingness, within-snapshot duplicates). Those corpora
+// are designed to degrade QUALITY, so the quality floor deliberately does
+// not apply to them; structure must survive regardless.
 
+#include <map>
 #include <set>
+#include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -10,6 +20,8 @@
 #include "tglink/linkage/config.h"
 #include "tglink/linkage/iterative.h"
 #include "tglink/synth/generator.h"
+#include "tglink/synth/scenario.h"
+#include "tglink/util/logging.h"
 
 namespace tglink {
 namespace {
@@ -105,6 +117,111 @@ TEST_P(LinkagePropertyTest, IterationThresholdScheduleIsSound) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LinkagePropertyTest,
                          ::testing::Values(1u, 7u, 42u, 1234u, 987654u));
+
+/// One fully linked scenario corpus, computed once per preset and shared
+/// by every structural test below (the pipeline run dominates test time).
+struct ScenarioRun {
+  SyntheticPair pair;
+  ResolvedGold gold;
+  LinkageResult result;
+};
+
+const ScenarioRun& RunForScenario(const std::string& name) {
+  static auto* cache = new std::map<std::string, ScenarioRun>();
+  auto it = cache->find(name);
+  if (it != cache->end()) return it->second;
+
+  auto scenario = ResolveScenario(name);
+  TGLINK_CHECK(scenario.ok()) << scenario.status().ToString();
+  GeneratorConfig gen = scenario.value().config;
+  gen.seed = 42;
+  gen.scale = 0.05;
+  // Measure transition 0 -> 1 unless the profile stages its event in a
+  // later decade (migration_shock fires at decade 3): then measure the
+  // transition the event actually lands in.
+  const int shock = static_cast<int>(gen.population.migration_shock_decade);
+  const int pair_index = shock > 0 ? shock - 1 : 0;
+  gen.num_censuses = pair_index + 2;
+
+  ScenarioRun run;
+  run.pair = GenerateCensusPair(gen, pair_index);
+  auto gold =
+      ResolveGold(run.pair.gold, run.pair.old_dataset, run.pair.new_dataset);
+  TGLINK_CHECK(gold.ok()) << gold.status().ToString();
+  run.gold = std::move(gold).value();
+  run.result = LinkCensusPair(run.pair.old_dataset, run.pair.new_dataset,
+                              configs::DefaultConfig());
+  return cache->emplace(name, std::move(run)).first->second;
+}
+
+class ScenarioLinkagePropertyTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioLinkagePropertyTest, OneToOneAndInRange) {
+  const ScenarioRun& run = RunForScenario(GetParam());
+  std::set<RecordId> olds, news;
+  for (const RecordLink& link : run.result.record_mapping.links()) {
+    ASSERT_LT(link.first, run.pair.old_dataset.num_records());
+    ASSERT_LT(link.second, run.pair.new_dataset.num_records());
+    EXPECT_TRUE(olds.insert(link.first).second);
+    EXPECT_TRUE(news.insert(link.second).second);
+  }
+}
+
+TEST_P(ScenarioLinkagePropertyTest, GroupLinksAreRecordSupported) {
+  const ScenarioRun& run = RunForScenario(GetParam());
+  std::set<GroupLink> supported;
+  for (const RecordLink& link : run.result.record_mapping.links()) {
+    supported.emplace(run.pair.old_dataset.record(link.first).group,
+                      run.pair.new_dataset.record(link.second).group);
+  }
+  for (const GroupLink& link : run.result.group_mapping.links()) {
+    EXPECT_TRUE(supported.count(link));
+  }
+}
+
+TEST_P(ScenarioLinkagePropertyTest, ProvenanceAccountingBalances) {
+  // Unlike the friendly-corpus suite, no phase is required to contribute:
+  // an adversarial regime may legitimately starve the subgraph phase.
+  const ScenarioRun& run = RunForScenario(GetParam());
+  ASSERT_EQ(run.result.provenance.size(), run.result.record_mapping.size());
+  size_t context = 0, residual = 0;
+  for (const LinkProvenance& p : run.result.provenance) {
+    if (p.phase == LinkPhase::kContextResidual) ++context;
+    if (p.phase == LinkPhase::kGlobalResidual) ++residual;
+  }
+  EXPECT_EQ(context, run.result.context_record_links);
+  EXPECT_EQ(residual, run.result.residual_record_links);
+}
+
+TEST_P(ScenarioLinkagePropertyTest, GoldResolutionIsOneToOne) {
+  // Load-bearing for within_snapshot_duplicates: duplicate records share a
+  // person, and the generator must still emit a one-to-one gold mapping
+  // (one designated copy per person per transition).
+  const ScenarioRun& run = RunForScenario(GetParam());
+  std::set<RecordId> olds, news;
+  for (const auto& link : run.gold.record_links) {
+    EXPECT_TRUE(olds.insert(link.first).second)
+        << "old record " << link.first << " gold-linked twice";
+    EXPECT_TRUE(news.insert(link.second).second)
+        << "new record " << link.second << " gold-linked twice";
+  }
+}
+
+TEST_P(ScenarioLinkagePropertyTest, IterationThresholdScheduleIsSound) {
+  const ScenarioRun& run = RunForScenario(GetParam());
+  ASSERT_FALSE(run.result.iterations.empty());
+  const LinkageConfig config = configs::DefaultConfig();
+  for (const IterationStats& it : run.result.iterations) {
+    EXPECT_LE(it.delta, config.delta_high + 1e-9);
+    EXPECT_GE(it.delta, config.delta_low - 1e-9);
+    EXPECT_GE(it.candidate_subgraphs, it.accepted_subgraphs);
+    EXPECT_GE(it.new_record_links, it.accepted_subgraphs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, ScenarioLinkagePropertyTest,
+                         ::testing::ValuesIn(ScenarioPresetNames()));
 
 }  // namespace
 }  // namespace tglink

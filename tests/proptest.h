@@ -32,6 +32,7 @@
 
 #include "tglink/synth/generator.h"
 #include "tglink/synth/presets.h"
+#include "tglink/synth/scenario.h"
 #include "tglink/util/random.h"
 
 namespace tglink {
@@ -174,11 +175,43 @@ inline std::vector<GeneratorConfig> AllPresets() {
           presets::CleanTranscription()};
 }
 
+/// Every scenario-registry profile (synth/scenario.h), paired with its
+/// name for failure reports. Structural property suites iterate this in
+/// ADDITION to AllPresets(): the adversarial regimes (mass surname change,
+/// household dissolution, migration shocks, extreme missingness,
+/// within-snapshot duplicates) deliberately generate corpora the friendly
+/// presets cannot.
+struct NamedScenarioConfig {
+  std::string name;
+  GeneratorConfig config;
+};
+inline std::vector<NamedScenarioConfig> AllScenarioConfigs() {
+  std::vector<NamedScenarioConfig> out;
+  for (const ScenarioPreset& preset : ScenarioPresets()) {
+    auto scenario = ParseScenario(preset.json);
+    if (!scenario.ok()) std::abort();  // a broken preset must not pass silently
+    out.push_back({scenario.value().name, scenario.value().config});
+  }
+  return out;
+}
+
 /// A generator configuration drawn from the case's Rng: random preset,
-/// the case's scale, a seed forked from the iteration seed.
+/// the case's scale, a seed forked from the iteration seed. Half the draws
+/// come from the classic corruption presets, half from the scenario
+/// registry, so every property sees adversarial corpora too.
 inline GeneratorConfig RandomGeneratorConfig(Case* c) {
+  GeneratorConfig gen;
   std::vector<GeneratorConfig> presets = AllPresets();
-  GeneratorConfig gen = presets[c->rng().NextBounded(presets.size())];
+  const size_t pick =
+      c->rng().NextBounded(presets.size() + ScenarioPresets().size());
+  if (pick < presets.size()) {
+    gen = presets[pick];
+  } else {
+    auto scenario =
+        ParseScenario(ScenarioPresets()[pick - presets.size()].json);
+    if (!scenario.ok()) std::abort();
+    gen = scenario.value().config;
+  }
   gen.seed = c->rng().Next();
   gen.scale = c->scale();
   gen.num_censuses = 2;

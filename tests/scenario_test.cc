@@ -1,0 +1,340 @@
+// Unit tests for the scenario engine (synth/scenario.h): preset registry
+// integrity (embedded JSON byte-identical to the checked-in scenarios/
+// files), strict parsing (unknown keys and type mismatches are errors),
+// per-field range validation (out-of-range rates return InvalidArgument
+// naming the field — never a silent clamp), resolution semantics
+// (preset -> file -> NotFound), content-hash stability, and the CHECK
+// that stops GenerateCensusSeries from ever running an invalid config.
+
+#include "tglink/synth/scenario.h"
+
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tglink/synth/generator.h"
+#include "tglink/util/csv.h"
+
+namespace tglink {
+namespace {
+
+/// A minimal valid document with one splice point for per-field probes.
+std::string DocWith(const std::string& body) {
+  return std::string("{\"schema\": \"tglink.scenario/1\", "
+                     "\"name\": \"probe\"") +
+         (body.empty() ? "" : ", " + body) + "}";
+}
+
+TEST(ScenarioTest, RegistryHasTheDocumentedPresets) {
+  const std::vector<std::string> names = ScenarioPresetNames();
+  const char* expected[] = {
+      "rawtenstall",          "ice_id_longitudinal",
+      "mass_surname_change",  "household_dissolution_wave",
+      "migration_shock",      "extreme_missingness",
+      "within_snapshot_duplicates",
+  };
+  ASSERT_EQ(names.size(), std::size(expected));
+  for (size_t i = 0; i < names.size(); ++i) EXPECT_EQ(names[i], expected[i]);
+}
+
+TEST(ScenarioTest, EveryPresetParsesAndMatchesItsRegistryName) {
+  for (const ScenarioPreset& preset : ScenarioPresets()) {
+    SCOPED_TRACE(std::string(preset.name));
+    auto scenario = ParseScenario(preset.json);
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    EXPECT_EQ(scenario.value().name, preset.name);
+    EXPECT_FALSE(scenario.value().description.empty());
+    EXPECT_EQ(scenario.value().content_hash.size(), 16u);
+  }
+}
+
+TEST(ScenarioTest, EmbeddedPresetsAreByteIdenticalToCheckedInFiles) {
+  // The registry embeds each profile so presets resolve from any working
+  // directory; the scenarios/ tree is the reviewable source of truth. The
+  // two must never drift.
+  for (const ScenarioPreset& preset : ScenarioPresets()) {
+    SCOPED_TRACE(std::string(preset.name));
+    const std::string path = std::string(TGLINK_SOURCE_DIR) + "/scenarios/" +
+                             std::string(preset.name) + ".json";
+    auto file = ReadFileToString(path);
+    ASSERT_TRUE(file.ok()) << path << ": " << file.status().ToString();
+    EXPECT_EQ(file.value(), preset.json)
+        << "embedded preset drifted from " << path;
+  }
+}
+
+TEST(ScenarioTest, RawtenstallPresetIsTheDefaultConfig) {
+  auto scenario = ResolveScenario("rawtenstall");
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  const GeneratorConfig& got = scenario.value().config;
+  const GeneratorConfig defaults;
+  EXPECT_EQ(got.seed, defaults.seed);
+  EXPECT_EQ(got.start_year, defaults.start_year);
+  EXPECT_EQ(got.num_censuses, defaults.num_censuses);
+  EXPECT_EQ(got.scale, defaults.scale);
+  EXPECT_EQ(got.population.emigration_prob,
+            defaults.population.emigration_prob);
+  EXPECT_EQ(got.population.mass_surname_change_prob, 0.0);
+  EXPECT_EQ(got.population.household_dissolution_prob, 0.0);
+  EXPECT_EQ(got.population.migration_shock_decade, 0u);
+  EXPECT_EQ(got.corruption.duplicate_record_prob, 0.0);
+  EXPECT_EQ(got.corruption.noise_scale, defaults.corruption.noise_scale);
+}
+
+TEST(ScenarioTest, ParsesOverridesFromEverySection) {
+  auto scenario = ParseScenario(DocWith(
+      "\"description\": \"d\", "
+      "\"generator\": {\"seed\": 7, \"start_year\": 1850, "
+      "\"num_censuses\": 8, \"scale\": 0.5}, "
+      "\"population\": {\"emigration_prob\": 0.06, "
+      "\"migration_shock_decade\": 3, \"migration_shock_multiplier\": 5.0, "
+      "\"household_targets\": [40, 50]}, "
+      "\"corruption\": {\"noise_scale\": 2.0, \"age_error_max\": 4, "
+      "\"duplicate_record_prob\": 0.05}"));
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  const GeneratorConfig& config = scenario.value().config;
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.start_year, 1850);
+  EXPECT_EQ(config.num_censuses, 8);
+  EXPECT_EQ(config.scale, 0.5);
+  EXPECT_EQ(config.population.emigration_prob, 0.06);
+  EXPECT_EQ(config.population.migration_shock_decade, 3u);
+  EXPECT_EQ(config.population.migration_shock_multiplier, 5.0);
+  ASSERT_EQ(config.population.household_targets.size(), 2u);
+  EXPECT_EQ(config.population.household_targets[1], 50u);
+  // generator.start_year is authoritative for the population model too.
+  EXPECT_EQ(config.population.start_year, 1850);
+  EXPECT_EQ(config.corruption.noise_scale, 2.0);
+  EXPECT_EQ(config.corruption.age_error_max, 4);
+  EXPECT_EQ(config.corruption.duplicate_record_prob, 0.05);
+}
+
+TEST(ScenarioTest, RejectsStructurallyInvalidDocuments) {
+  struct BadDoc {
+    const char* json;
+    const char* needle;  // must appear in the error message
+  };
+  const BadDoc bad[] = {
+      {"[]", "must be an object"},
+      {"{\"name\": \"x\"}", "missing \"schema\""},
+      {"{\"schema\": \"tglink.scenario/2\", \"name\": \"x\"}", "schema"},
+      {"{\"schema\": \"tglink.scenario/1\"}", "missing \"name\""},
+      {"{\"schema\": \"tglink.scenario/1\", \"name\": \"\"}", "name"},
+      {"{\"schema\": \"tglink.scenario/1\", \"name\": 3}", "name"},
+  };
+  for (const BadDoc& doc : bad) {
+    auto scenario = ParseScenario(doc.json);
+    ASSERT_FALSE(scenario.ok()) << doc.json;
+    EXPECT_EQ(scenario.status().code(), StatusCode::kInvalidArgument)
+        << doc.json;
+    EXPECT_NE(scenario.status().message().find(doc.needle), std::string::npos)
+        << doc.json << " -> " << scenario.status().ToString();
+  }
+  // Malformed JSON surfaces as the parser's error, not a scenario error.
+  EXPECT_EQ(ParseScenario("{").status().code(), StatusCode::kParseError);
+}
+
+TEST(ScenarioTest, RejectsUnknownKeysAtEveryLevel) {
+  struct BadDoc {
+    std::string json;
+    const char* needle;
+  };
+  const BadDoc bad[] = {
+      {DocWith("\"extra\": 1"), "extra is not a scenario field"},
+      {DocWith("\"generator\": {\"sclae\": 0.5}"),
+       "generator.sclae is not a generator field"},
+      {DocWith("\"population\": {\"emigration\": 0.1}"),
+       "population.emigration is not a population field"},
+      {DocWith("\"corruption\": {\"typo_prob\": 0.1}"),
+       "corruption.typo_prob is not a corruption field"},
+  };
+  for (const BadDoc& doc : bad) {
+    auto scenario = ParseScenario(doc.json);
+    ASSERT_FALSE(scenario.ok()) << doc.json;
+    EXPECT_NE(scenario.status().message().find(doc.needle), std::string::npos)
+        << doc.json << " -> " << scenario.status().ToString();
+  }
+}
+
+TEST(ScenarioTest, RejectsTypeMismatches) {
+  struct BadDoc {
+    std::string json;
+    const char* needle;
+  };
+  const BadDoc bad[] = {
+      {DocWith("\"generator\": 3"), "generator must be an object"},
+      {DocWith("\"generator\": {\"seed\": -1}"), "generator.seed"},
+      {DocWith("\"generator\": {\"num_censuses\": 2.5}"),
+       "generator.num_censuses must be an integer"},
+      {DocWith("\"population\": {\"emigration_prob\": \"high\"}"),
+       "population.emigration_prob must be a number"},
+      {DocWith("\"population\": {\"household_targets\": 40}"),
+       "population.household_targets must be an array"},
+      {DocWith("\"population\": {\"household_targets\": [40, \"x\"]}"),
+       "population.household_targets[]"},
+      {DocWith("\"corruption\": {\"age_error_max\": \"big\"}"),
+       "corruption.age_error_max must be an integer"},
+  };
+  for (const BadDoc& doc : bad) {
+    auto scenario = ParseScenario(doc.json);
+    ASSERT_FALSE(scenario.ok()) << doc.json;
+    EXPECT_NE(scenario.status().message().find(doc.needle), std::string::npos)
+        << doc.json << " -> " << scenario.status().ToString();
+  }
+}
+
+// The no-silent-clamp guarantee, field by field: every out-of-range rate is
+// an InvalidArgument naming the offending field.
+TEST(ScenarioTest, OutOfRangeRatesAreErrorsNamingTheField) {
+  struct BadDoc {
+    std::string json;
+    const char* needle;
+  };
+  const BadDoc bad[] = {
+      {DocWith("\"generator\": {\"scale\": 0}"), "generator.scale"},
+      {DocWith("\"generator\": {\"scale\": -0.5}"), "generator.scale"},
+      {DocWith("\"generator\": {\"num_censuses\": 0}"),
+       "generator.num_censuses"},
+      {DocWith("\"population\": {\"emigration_prob\": 1.5}"),
+       "population.emigration_prob"},
+      {DocWith("\"population\": {\"death_prob_old\": -0.1}"),
+       "population.death_prob_old"},
+      {DocWith("\"population\": {\"marriage_prob\": 2}"),
+       "population.marriage_prob"},
+      {DocWith("\"population\": {\"mass_surname_change_prob\": 1.01}"),
+       "population.mass_surname_change_prob"},
+      {DocWith("\"population\": {\"household_dissolution_prob\": -1}"),
+       "population.household_dissolution_prob"},
+      {DocWith("\"population\": {\"migration_shock_multiplier\": -2}"),
+       "population.migration_shock_multiplier"},
+      {DocWith("\"population\": {\"birth_mean\": -0.5}"),
+       "population.birth_mean"},
+      {DocWith("\"population\": {\"initial_children_mean\": -1}"),
+       "population.initial_children_mean"},
+      {DocWith("\"population\": {\"household_targets\": []}"),
+       "population.household_targets"},
+      {DocWith("\"population\": {\"household_targets\": [40, 0]}"),
+       "population.household_targets"},
+      {DocWith("\"corruption\": {\"noise_scale\": -0.5}"),
+       "corruption.noise_scale"},
+      {DocWith("\"corruption\": {\"age_error_max\": 0}"),
+       "corruption.age_error_max"},
+      {DocWith("\"corruption\": {\"name_typo_prob\": 1.2}"),
+       "corruption.name_typo_prob"},
+      {DocWith("\"corruption\": {\"missing_age\": -0.2}"),
+       "corruption.missing_age"},
+      {DocWith("\"corruption\": {\"duplicate_record_prob\": 1.5}"),
+       "corruption.duplicate_record_prob"},
+      // A legal rate whose product with noise_scale exceeds 1 is equally
+      // ill-defined: Bernoulli(rate * noise_scale) must stay a probability.
+      {DocWith("\"corruption\": {\"noise_scale\": 4.0, "
+               "\"missing_surname\": 0.3}"),
+       "corruption.missing_surname"},
+  };
+  for (const BadDoc& doc : bad) {
+    auto scenario = ParseScenario(doc.json);
+    ASSERT_FALSE(scenario.ok()) << "accepted: " << doc.json;
+    EXPECT_EQ(scenario.status().code(), StatusCode::kInvalidArgument)
+        << doc.json;
+    EXPECT_NE(scenario.status().message().find(doc.needle), std::string::npos)
+        << doc.json << " -> " << scenario.status().ToString();
+  }
+}
+
+TEST(ScenarioTest, ValidateGeneratorConfigAcceptsDefaultsRejectsBadFields) {
+  EXPECT_TRUE(ValidateGeneratorConfig(GeneratorConfig()).ok());
+
+  GeneratorConfig bad_scale;
+  bad_scale.scale = 0.0;
+  EXPECT_EQ(ValidateGeneratorConfig(bad_scale).code(),
+            StatusCode::kInvalidArgument);
+
+  GeneratorConfig bad_prob;
+  bad_prob.population.lodger_prob = 1.5;
+  const Status status = ValidateGeneratorConfig(bad_prob);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("population.lodger_prob"),
+            std::string::npos)
+      << status.ToString();
+
+  GeneratorConfig bad_dup;
+  bad_dup.corruption.duplicate_record_prob = -0.5;
+  EXPECT_FALSE(ValidateGeneratorConfig(bad_dup).ok());
+}
+
+TEST(ScenarioDeathTest, GenerateCensusSeriesChecksValidity) {
+  // The generator refuses to run an invalid config outright — aborting is
+  // the backstop behind the Status-based validation, so a config that
+  // bypasses ParseScenario still cannot be silently clamped.
+  GeneratorConfig invalid;
+  invalid.scale = 0.02;
+  invalid.population.emigration_prob = 2.0;
+  EXPECT_DEATH(GenerateCensusSeries(invalid),
+               "population.emigration_prob");
+}
+
+TEST(ScenarioTest, ResolveScenarioPrefersPresetsThenFiles) {
+  // Preset name resolves from the registry.
+  auto preset = ResolveScenario("migration_shock");
+  ASSERT_TRUE(preset.ok()) << preset.status().ToString();
+  EXPECT_EQ(preset.value().name, "migration_shock");
+
+  // A path to a checked-in profile resolves through the file loader and
+  // yields the same scenario (same content, same hash).
+  const std::string path =
+      std::string(TGLINK_SOURCE_DIR) + "/scenarios/migration_shock.json";
+  auto from_file = ResolveScenario(path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  EXPECT_EQ(from_file.value().name, preset.value().name);
+  EXPECT_EQ(from_file.value().content_hash, preset.value().content_hash);
+
+  // Neither a preset nor a file: NotFound, listing the registry.
+  auto missing = ResolveScenario("no_such_profile");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find("rawtenstall"), std::string::npos)
+      << missing.status().ToString();
+}
+
+TEST(ScenarioTest, LoadScenarioFilePrefixesThePathOnParseErrors) {
+  const std::string path = "/tmp/tglink_scenario_test_invalid.json";
+  ASSERT_TRUE(WriteStringToFile(path, DocWith(
+      "\"population\": {\"emigration_prob\": 9}")).ok());
+  auto scenario = LoadScenarioFile(path);
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find(path), std::string::npos)
+      << scenario.status().ToString();
+  EXPECT_NE(scenario.status().message().find("population.emigration_prob"),
+            std::string::npos)
+      << scenario.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioTest, ContentHashIsStableAndContentSensitive) {
+  // Known FNV-1a 64 vectors pin the algorithm itself.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+
+  const std::string doc = DocWith("");
+  auto first = ParseScenario(doc);
+  auto second = ParseScenario(doc);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first.value().content_hash, second.value().content_hash);
+
+  // Any byte change — even whitespace — changes the recorded hash: the
+  // hash pins the document text, not the parsed result.
+  auto reformatted = ParseScenario(doc + " ");
+  ASSERT_TRUE(reformatted.ok());
+  EXPECT_NE(reformatted.value().content_hash, first.value().content_hash);
+
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(doc)));
+  EXPECT_EQ(first.value().content_hash, hex);
+}
+
+}  // namespace
+}  // namespace tglink

@@ -10,8 +10,12 @@ Usage:
 
 Comparison policy, per metric class:
 
-  options     scale/seed/pair/blocking must match exactly — otherwise the
-              two runs measured different experiments (exit 2, not 1).
+  options     scale/seed/pair/blocking/scenario must match exactly —
+              otherwise the two runs measured different experiments
+              (exit 2, not 1). A missing scenario reads as "default", so
+              pre-scenario baselines stay comparable. Options ending in
+              "hash" (scenario content hashes) must match exactly when
+              both sides carry them; one-sided is a note.
   quality     byte-deterministic at fixed options, so every counted field
               (tp/fp/fn) must match exactly; the derived ratios follow.
   iterations  deterministic: per-δ counts must match exactly.
@@ -40,7 +44,10 @@ import sys
 
 # Options that define the experiment; a mismatch means the comparison is
 # meaningless rather than a regression.
-IDENTITY_OPTIONS = ("scale", "seed", "pair", "blocking")
+IDENTITY_OPTIONS = ("scale", "seed", "pair", "blocking", "scenario")
+# Absent identity options read as these values, so baselines written before
+# an option existed remain comparable without regeneration.
+IDENTITY_DEFAULTS = {"scenario": "default"}
 EXACT_QUALITY_KEYS = ("true_positives", "false_positives", "false_negatives")
 ITERATION_KEYS = (
     "delta", "scored_pairs", "candidate_subgraphs", "accepted_subgraphs",
@@ -102,9 +109,26 @@ def compare(baseline: dict, current: dict, args: argparse.Namespace,
     cur_opt = current.get("options", {})
     comparable = True
     for key in IDENTITY_OPTIONS:
-        if base_opt.get(key) != cur_opt.get(key):
-            diff.fail(f"option {key!r} differs: {base_opt.get(key)!r} vs "
-                      f"{cur_opt.get(key)!r} — runs are not comparable")
+        default = IDENTITY_DEFAULTS.get(key)
+        b = base_opt.get(key, default)
+        c = cur_opt.get(key, default)
+        if b != c:
+            diff.fail(f"option {key!r} differs: {b!r} vs {c!r} — runs are "
+                      f"not comparable")
+            comparable = False
+    # Content hashes pin the exact profile a run used: a mismatch means the
+    # scenario file changed, so quality diffs would be meaningless. Only one
+    # side having a hash (an older baseline) is informational.
+    for key in sorted(base_opt.keys() | cur_opt.keys()):
+        if not key.endswith("hash"):
+            continue
+        b, c = base_opt.get(key), cur_opt.get(key)
+        if b is None or c is None:
+            diff.note(f"option {key!r} present on only one side")
+            continue
+        if b != c:
+            diff.fail(f"option {key!r} differs: {b!r} vs {c!r} — the "
+                      f"profile content changed; regenerate the baseline")
             comparable = False
     return comparable
 
@@ -331,6 +355,24 @@ def selftest() -> int:
     other = _fixture_report()
     other["options"]["scale"] = 0.25
     expect("option mismatch", _fixture_report(), other, True)
+
+    # The fixture predates --scenario; an explicit "default" run must still
+    # compare clean against it, while a real scenario must not.
+    default_scenario = _fixture_report()
+    default_scenario["options"]["scenario"] = "default"
+    default_scenario["options"]["scenario_hash"] = "none"
+    expect("scenario defaults vs pre-scenario baseline", _fixture_report(),
+           default_scenario, False)
+    shifted = _fixture_report()
+    shifted["options"]["scenario"] = "migration_shock"
+    expect("scenario mismatch", _fixture_report(), shifted, True)
+    rehash_base = _fixture_report()
+    rehash_base["options"]["scenario"] = "migration_shock"
+    rehash_base["options"]["scenario_hash"] = "00000000deadbeef"
+    rehash_cur = _fixture_report()
+    rehash_cur["options"]["scenario"] = "migration_shock"
+    rehash_cur["options"]["scenario_hash"] = "00000000cafef00d"
+    expect("scenario content hash mismatch", rehash_base, rehash_cur, True)
 
     aborted = _fixture_report()
     aborted["aborted"] = True

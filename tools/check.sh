@@ -106,6 +106,19 @@ python3 tools/bench_diff.py "$smoke_dir/perf_gate.json" \
   "$smoke_dir/perf_gate.json"
 note ran "perf gate"
 
+# Scenario matrix: the iterative method across every scenario preset
+# (smallest smoke scale), diffed against the checked-in per-scenario
+# baseline. Quality counts are deterministic per preset, so any drift in
+# the generator, a preset file, or the linker shows here exactly.
+stage "scenario matrix: all presets vs BENCH_scenario_matrix.json"
+"$root/build-release/bench/scenario_matrix" --scale=0.05 \
+  --report="$smoke_dir/scenario_matrix.json" \
+  > "$smoke_dir/scenario_matrix_stdout.txt"
+python3 tools/check_report.py "$smoke_dir/scenario_matrix.json"
+python3 tools/bench_diff.py BENCH_scenario_matrix.json \
+  "$smoke_dir/scenario_matrix.json"
+note ran "scenario matrix"
+
 # Compile-time concurrency gate: the analyze preset builds the whole library
 # under clang++ with -Werror=thread-safety-analysis, then runs the
 # annotation tests — including the WILL_FAIL entry proving a GUARDED_BY
@@ -132,7 +145,7 @@ if [ "$quick" -eq 0 ]; then
   # Finds memory errors and round-trip violations in the ingestion layer
   # before any real corpus ever does.
   stage "fuzz smoke (asan preset, 10 s per target)"
-  for target in fuzz_csv fuzz_census_io fuzz_result_io; do
+  for target in fuzz_csv fuzz_census_io fuzz_result_io fuzz_scenario; do
     corpus="${target#fuzz_}"
     "$root/build-asan/tests/fuzz/$target" --time_budget_s=10 \
       --runs=2000000 "$root/tests/fuzz/corpus/$corpus"

@@ -2,7 +2,16 @@
 // pipeline over CSV files on disk:
 //
 //   tglink_cli generate --out-dir DIR [--scale F] [--seed N] [--censuses K]
+//              [--scenario NAME|FILE]
 //       Writes census_<year>.csv snapshots and gold_<y1>_<y2>.csv mappings.
+//       --scenario loads a calibration profile (preset name or
+//       tglink.scenario/1 JSON file); explicit --scale/--seed/--censuses
+//       still override the profile's generator block.
+//
+//   tglink_cli scenarios [--validate NAME|FILE]
+//       Lists the built-in scenario presets; --validate parses and
+//       validates one profile and prints its resolved name and content
+//       hash (exit 1 on an invalid document).
 //
 //   tglink_cli stats --census FILE --year Y
 //       Table-1 style dataset statistics.
@@ -57,6 +66,7 @@
 #include "tglink/obs/run_report.h"
 #include "tglink/obs/trace.h"
 #include "tglink/synth/generator.h"
+#include "tglink/synth/scenario.h"
 #include "tglink/util/csv.h"
 #include "tglink/util/parallel.h"
 #include "tglink/util/strings.h"
@@ -202,9 +212,28 @@ CensusDataset LoadOrDie(const std::string& path, int year) {
 
 int CmdGenerate(const Args& args) {
   GeneratorConfig gen;
-  gen.scale = args.GetDouble("scale", 0.25);
-  gen.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
-  gen.num_censuses = args.GetInt("censuses", 6);
+  if (args.Has("scenario")) {
+    Result<Scenario> scenario = ResolveScenario(args.Get("scenario"));
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("scenario %s (hash %s)\n",
+                scenario.value().name.c_str(),
+                scenario.value().content_hash.c_str());
+    gen = scenario.value().config;
+  }
+  // Explicit flags override the profile's generator block; without a
+  // profile these fall back to the historical defaults.
+  if (args.Has("scale") || !args.Has("scenario")) {
+    gen.scale = args.GetDouble("scale", 0.25);
+  }
+  if (args.Has("seed") || !args.Has("scenario")) {
+    gen.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  }
+  if (args.Has("censuses") || !args.Has("scenario")) {
+    gen.num_censuses = args.GetInt("censuses", 6);
+  }
   const std::string dir = args.Require("out-dir");
 
   Timer timer;
@@ -483,10 +512,43 @@ int CmdAnalyze(const Args& args) {
   return EmitObsArtifacts(report, args);
 }
 
+int CmdScenarios(const Args& args) {
+  if (args.Has("validate")) {
+    Result<Scenario> scenario = ResolveScenario(args.Get("validate"));
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "invalid scenario: %s\n",
+                   scenario.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ok: %s (hash %s)\n", scenario.value().name.c_str(),
+                scenario.value().content_hash.c_str());
+    return 0;
+  }
+  TextTable table("-- built-in scenario presets (tglink.scenario/1) --");
+  table.SetHeader({"name", "hash", "censuses", "description"});
+  for (const ScenarioPreset& preset : ScenarioPresets()) {
+    Result<Scenario> scenario = ParseScenario(preset.json);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "preset %s: %s\n",
+                   std::string(preset.name).c_str(),
+                   scenario.status().ToString().c_str());
+      return 1;
+    }
+    std::string description = scenario.value().description;
+    if (description.size() > 56) description = description.substr(0, 53) + "...";
+    table.AddRow({scenario.value().name, scenario.value().content_hash,
+                  std::to_string(scenario.value().config.num_censuses),
+                  description});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: tglink_cli "
-               "<generate|stats|profile|link|evaluate|analyze> [options]\n"
+               "<generate|stats|profile|link|evaluate|analyze|scenarios> "
+               "[options]\n"
                "see the header of tools/tglink_cli.cc for per-command "
                "options\n");
   return 2;
@@ -506,5 +568,6 @@ int main(int argc, char** argv) {
   if (command == "link") return CmdLink(args);
   if (command == "evaluate") return CmdEvaluate(args);
   if (command == "analyze") return CmdAnalyze(args);
+  if (command == "scenarios") return CmdScenarios(args);
   return Usage();
 }

@@ -26,6 +26,8 @@ output (e.g. "order-independent reduction" or "sorted before use").
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import os
 import re
 import sys
@@ -117,6 +119,12 @@ RULES = {
         "/proc/self access in library code — allocator interposition and "
         "RSS sampling live only in src/tglink/obs/memprof.{h,cc}, which "
         "implements them and is exempt"
+    ),
+    "scenario-schema": (
+        'every scenarios/*.json must be a valid tglink.scenario/1 document: '
+        "strict JSON, schema + name fields, name matching the filename, "
+        "only known section keys, and every rate in range (repo-level "
+        "rule; no inline suppression)"
     ),
 }
 
@@ -561,6 +569,197 @@ def lint_blocking_tests(contexts: dict[str, FileContext]) -> list[Finding]:
     return findings
 
 
+# --- scenario-schema machinery ---------------------------------------------
+# A python-side mirror of synth/scenario.cc's strict parser, kept in sync by
+# the selftest fixtures AND by ctest's scenario_test (which byte-compares the
+# embedded presets against scenarios/). The lint catches a broken profile at
+# review time, before any binary is built.
+
+SCENARIO_SCHEMA = "tglink.scenario/1"
+
+SCENARIO_TOP_KEYS = {
+    "schema", "name", "description", "generator", "population", "corruption",
+}
+SCENARIO_GENERATOR_KEYS = {"seed", "start_year", "num_censuses", "scale"}
+SCENARIO_POPULATION_PROBS = {
+    "death_prob_child", "death_prob_young", "death_prob_mid",
+    "death_prob_old", "death_prob_elder", "marriage_prob",
+    "couple_new_household_prob", "leave_home_prob", "leave_as_lodger_prob",
+    "household_move_prob", "occupation_change_prob",
+    "female_occupation_prob", "emigration_prob", "widow_merge_prob",
+    "servant_prob", "lodger_prob", "parent_coresident_prob",
+    "servant_turnover_prob", "mass_surname_change_prob",
+    "household_dissolution_prob",
+}
+SCENARIO_POPULATION_NONNEG = {
+    "birth_mean", "initial_children_mean", "migration_shock_multiplier",
+}
+SCENARIO_POPULATION_KEYS = (
+    SCENARIO_POPULATION_PROBS | SCENARIO_POPULATION_NONNEG
+    | {"household_targets", "migration_shock_decade"}
+)
+SCENARIO_CORRUPTION_SCALED_PROBS = {
+    "name_typo_prob", "nickname_prob", "age_error_prob",
+    "missing_first_name", "missing_surname", "missing_sex", "missing_age",
+    "missing_address", "missing_occupation",
+}
+SCENARIO_CORRUPTION_KEYS = (
+    SCENARIO_CORRUPTION_SCALED_PROBS
+    | {"noise_scale", "age_error_max", "duplicate_record_prob"}
+)
+
+
+def _reject_duplicate_keys(pairs):
+    seen = set()
+    for key, _ in pairs:
+        if key in seen:
+            raise ValueError(f"duplicate object key '{key}'")
+        seen.add(key)
+    return dict(pairs)
+
+
+def _scenario_problems(name_stem: str, text: str) -> list[str]:
+    """All schema violations of one scenario document (empty = valid)."""
+    try:
+        doc = json.loads(text, object_pairs_hook=_reject_duplicate_keys)
+    except ValueError as err:
+        return [f"not valid JSON: {err}"]
+    if not isinstance(doc, dict):
+        return ["document must be an object"]
+
+    problems: list[str] = []
+
+    def number(section: str, key: str, value) -> float | None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            problems.append(f"{section}.{key} must be a number")
+            return None
+        return float(value)
+
+    for key in doc:
+        if key not in SCENARIO_TOP_KEYS:
+            problems.append(f"{key} is not a scenario field")
+    if doc.get("schema") != SCENARIO_SCHEMA:
+        problems.append(f'schema must be "{SCENARIO_SCHEMA}"')
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append("name must be a non-empty string")
+    elif name != name_stem:
+        problems.append(
+            f"name '{name}' must match the filename stem '{name_stem}'")
+
+    generator = doc.get("generator", {})
+    if not isinstance(generator, dict):
+        problems.append("generator must be an object")
+        generator = {}
+    for key, value in generator.items():
+        if key not in SCENARIO_GENERATOR_KEYS:
+            problems.append(f"generator.{key} is not a generator field")
+            continue
+        v = number("generator", key, value)
+        if v is None:
+            continue
+        if key != "scale" and v != math.floor(v):
+            problems.append(f"generator.{key} must be an integer")
+        elif key == "seed" and v < 0:
+            problems.append("generator.seed must be non-negative")
+        elif key == "num_censuses" and v < 1:
+            problems.append("generator.num_censuses must be >= 1")
+        elif key == "scale" and not v > 0:
+            problems.append("generator.scale must be positive")
+
+    population = doc.get("population", {})
+    if not isinstance(population, dict):
+        problems.append("population must be an object")
+        population = {}
+    for key, value in population.items():
+        if key == "household_targets":
+            if (not isinstance(value, list) or not value
+                    or any(isinstance(t, bool) or not isinstance(t, int)
+                           or t < 1 for t in value)):
+                problems.append(
+                    "population.household_targets must be a non-empty "
+                    "array of integers >= 1")
+        elif key == "migration_shock_decade":
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < 0:
+                problems.append(
+                    "population.migration_shock_decade must be a "
+                    "non-negative integer")
+        elif key in SCENARIO_POPULATION_PROBS:
+            v = number("population", key, value)
+            if v is not None and not 0.0 <= v <= 1.0:
+                problems.append(f"population.{key} = {v} outside [0, 1]")
+        elif key in SCENARIO_POPULATION_NONNEG:
+            v = number("population", key, value)
+            if v is not None and v < 0:
+                problems.append(f"population.{key} = {v} is negative")
+        else:
+            problems.append(f"population.{key} is not a population field")
+
+    corruption = doc.get("corruption", {})
+    if not isinstance(corruption, dict):
+        problems.append("corruption must be an object")
+        corruption = {}
+    noise_scale = corruption.get("noise_scale", 1.0)
+    if isinstance(noise_scale, bool) or \
+            not isinstance(noise_scale, (int, float)):
+        noise_scale = 1.0
+    for key, value in corruption.items():
+        if key == "noise_scale":
+            v = number("corruption", key, value)
+            if v is not None and v < 0:
+                problems.append("corruption.noise_scale must be "
+                                "non-negative")
+        elif key == "age_error_max":
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < 1:
+                problems.append("corruption.age_error_max must be an "
+                                "integer >= 1")
+        elif key == "duplicate_record_prob":
+            v = number("corruption", key, value)
+            if v is not None and not 0.0 <= v <= 1.0:
+                problems.append(
+                    f"corruption.duplicate_record_prob = {v} outside "
+                    "[0, 1]")
+        elif key in SCENARIO_CORRUPTION_SCALED_PROBS:
+            v = number("corruption", key, value)
+            if v is not None:
+                if not 0.0 <= v <= 1.0:
+                    problems.append(
+                        f"corruption.{key} = {v} outside [0, 1]")
+                elif v * noise_scale > 1.0:
+                    problems.append(
+                        f"corruption.{key} * noise_scale = "
+                        f"{v * noise_scale} exceeds 1")
+        else:
+            problems.append(f"corruption.{key} is not a corruption field")
+
+    return problems
+
+
+def lint_scenarios(root: str) -> list[Finding]:
+    """Repo-level rule: every scenarios/*.json validates against the
+    tglink.scenario/1 schema and is named after its file."""
+    findings: list[Finding] = []
+    base = os.path.join(root, "scenarios")
+    if not os.path.isdir(base):
+        return findings
+    for name in sorted(os.listdir(base)):
+        if not name.endswith(".json"):
+            continue
+        relpath = os.path.join("scenarios", name)
+        try:
+            with open(os.path.join(base, name), encoding="utf-8") as f:
+                text = f.read()
+        except OSError as err:
+            findings.append(Finding(relpath, 1, "scenario-schema",
+                                    f"unreadable: {err}"))
+            continue
+        for problem in _scenario_problems(name[: -len(".json")], text):
+            findings.append(Finding(relpath, 1, "scenario-schema", problem))
+    return findings
+
+
 def collect_files(root: str) -> list[str]:
     out: list[str] = []
     for sub in ("src", "tools", "tests", "bench", "examples"):
@@ -594,6 +793,7 @@ def run_lint(root: str) -> int:
     for relpath in sorted(contexts):
         findings.extend(lint_file(contexts[relpath]))
     findings.extend(lint_blocking_tests(contexts))
+    findings.extend(lint_scenarios(root))
     for f in findings:
         print(f)
     summary = (f"tglink_lint: {len(contexts)} files, "
@@ -1073,6 +1273,68 @@ FIXTURES = [
 ]
 
 
+# Scenario fixtures: (filename under scenarios/, content, set of rules
+# lint_scenarios must report). Exercised against a temp tree so the schema
+# mirror provably rejects each violation class.
+SCENARIO_FIXTURES = [
+    (
+        "good.json",
+        '{"schema": "tglink.scenario/1", "name": "good",\n'
+        ' "description": "clean",\n'
+        ' "generator": {"num_censuses": 4, "scale": 0.5},\n'
+        ' "population": {"emigration_prob": 0.06,\n'
+        '                "household_targets": [40, 50]},\n'
+        ' "corruption": {"noise_scale": 2.0, "missing_age": 0.2}}\n',
+        set(),
+    ),
+    (
+        "broken_json.json",
+        '{"schema": "tglink.scenario/1", "name": "broken_json",\n',
+        {"scenario-schema"},
+    ),
+    (
+        "dup_key.json",
+        '{"schema": "tglink.scenario/1", "name": "dup_key",\n'
+        ' "population": {}, "population": {}}\n',
+        {"scenario-schema"},
+    ),
+    (
+        "wrong_schema.json",
+        '{"schema": "tglink.scenario/9", "name": "wrong_schema"}\n',
+        {"scenario-schema"},
+    ),
+    (
+        "misnamed.json",
+        '{"schema": "tglink.scenario/1", "name": "other"}\n',
+        {"scenario-schema"},
+    ),
+    (
+        "unknown_key.json",
+        '{"schema": "tglink.scenario/1", "name": "unknown_key",\n'
+        ' "population": {"emigration": 0.1}}\n',
+        {"scenario-schema"},
+    ),
+    (
+        "bad_rate.json",
+        '{"schema": "tglink.scenario/1", "name": "bad_rate",\n'
+        ' "population": {"emigration_prob": 1.5}}\n',
+        {"scenario-schema"},
+    ),
+    (
+        "scaled_overflow.json",
+        '{"schema": "tglink.scenario/1", "name": "scaled_overflow",\n'
+        ' "corruption": {"noise_scale": 4.0, "missing_surname": 0.3}}\n',
+        {"scenario-schema"},
+    ),
+    (
+        "bad_targets.json",
+        '{"schema": "tglink.scenario/1", "name": "bad_targets",\n'
+        ' "population": {"household_targets": []}}\n',
+        {"scenario-schema"},
+    ),
+]
+
+
 # Repo-level fixtures: (files to create, set of rules lint_blocking_tests
 # must report across the whole tree).
 TREE_FIXTURES = [
@@ -1121,6 +1383,22 @@ def run_selftest() -> int:
                 f"got {sorted(got)}",
                 file=sys.stderr,
             )
+    for filename, content, expected in SCENARIO_FIXTURES:
+        with tempfile.TemporaryDirectory(
+            prefix="tglink_lint_selftest_scenario"
+        ) as tmp:
+            os.makedirs(os.path.join(tmp, "scenarios"))
+            with open(os.path.join(tmp, "scenarios", filename), "w",
+                      encoding="utf-8") as f:
+                f.write(content)
+            got = {f.rule for f in lint_scenarios(tmp)}
+            if got != expected:
+                failures += 1
+                print(
+                    f"SELFTEST FAIL scenarios/{filename}: expected "
+                    f"{sorted(expected)}, got {sorted(got)}",
+                    file=sys.stderr,
+                )
     for i, (tree, expected) in enumerate(TREE_FIXTURES):
         with tempfile.TemporaryDirectory(
             prefix="tglink_lint_selftest_tree"
@@ -1141,8 +1419,8 @@ def run_selftest() -> int:
     if failures:
         print(f"tglink_lint selftest: {failures} failure(s)", file=sys.stderr)
         return 1
-    print(f"tglink_lint selftest: {len(FIXTURES) + len(TREE_FIXTURES)} "
-          f"fixtures OK")
+    total = len(FIXTURES) + len(SCENARIO_FIXTURES) + len(TREE_FIXTURES)
+    print(f"tglink_lint selftest: {total} fixtures OK")
     return 0
 
 
